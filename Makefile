@@ -1,0 +1,24 @@
+# Griffin reproduction — common entry points.
+
+PYTHON ?= python
+
+.PHONY: install test bench reproduce validate clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+reproduce:
+	$(PYTHON) examples/reproduce_paper.py paper_report
+
+validate:
+	$(PYTHON) -m repro.cli validate
+
+clean:
+	rm -rf paper_report .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,39 @@
+"""Shared infrastructure for the figure/table regeneration benches.
+
+Runs are deterministic, so results are memoized across bench files: the
+(baseline, griffin) runs that Figure 8 needs are the same ones Figures 9
+and 12 need.  Each bench still *measures* its own end-to-end regeneration.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import pytest
+
+from repro.config.presets import NVLINK, small_system
+from repro.harness.runner import run_workload
+
+BENCH_SCALE = 0.015
+BENCH_SEED = 3
+
+
+@lru_cache(maxsize=None)
+def cached_run(workload: str, policy: str, fabric: str = "pcie"):
+    """Memoized deterministic simulation run for the bench suite."""
+    config = small_system()
+    if fabric == "nvlink":
+        config = config.with_link(NVLINK)
+    return run_workload(
+        workload, policy, config=config, scale=BENCH_SCALE, seed=BENCH_SEED
+    )
+
+
+def run_once(benchmark, fn):
+    """Measure ``fn`` exactly once (full-simulation benches)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def bench_config():
+    return small_system()

@@ -1,0 +1,46 @@
+"""Ablation: CPMS fault-batch depth (N_PTW) sweep.
+
+The paper sets N_PTW to 8 to match the IOMMU's eight page-table walkers.
+This bench sweeps the batch depth and verifies the monotone mechanism:
+deeper batches mean fewer CPU flush/shootdown rounds.
+"""
+
+from repro.config.hyperparams import GriffinHyperParams
+from repro.config.presets import small_system
+from repro.harness.runner import run_workload
+from repro.metrics.report import format_table
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+DEPTHS = [1, 2, 4, 8, 16]
+
+
+def _collect():
+    out = {}
+    for depth in DEPTHS:
+        hyper = GriffinHyperParams.calibrated().with_overrides(n_ptw=depth)
+        out[depth] = run_workload(
+            "FIR", "griffin", config=small_system(), hyper=hyper,
+            scale=BENCH_SCALE, seed=BENCH_SEED,
+        )
+    return out
+
+
+def test_ablation_fault_batch_depth(benchmark):
+    runs = run_once(benchmark, _collect)
+
+    rows = [
+        [depth, run.cpu_shootdowns, f"{run.cycles:.0f}"]
+        for depth, run in runs.items()
+    ]
+    print()
+    print(format_table(["N_PTW", "CPU shootdowns", "Cycles"], rows,
+                       "Ablation: CPMS fault batch depth (FIR)"))
+
+    shootdowns = [runs[d].cpu_shootdowns for d in DEPTHS]
+    # Deeper batches -> no more shootdown rounds, strictly fewer across
+    # the sweep ends.
+    assert all(a >= b for a, b in zip(shootdowns, shootdowns[1:]))
+    assert shootdowns[-1] < shootdowns[0]
+    # Runtime improves going from FCFS (depth 1) to the paper's depth 8.
+    assert runs[8].cycles < runs[1].cycles

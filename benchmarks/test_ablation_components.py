@@ -1,0 +1,53 @@
+"""Ablation: contribution of each Griffin component.
+
+DESIGN.md calls out DFTM, CPMS fault batching, and DPC inter-GPU
+migration as separable design choices; this bench disables one at a time
+and checks each carries weight somewhere in the suite.
+"""
+
+from repro.metrics.report import format_table, geometric_mean
+from repro.workloads.registry import list_workloads
+
+from benchmarks.conftest import cached_run, run_once
+
+ABLATIONS = ["griffin", "griffin_no_dftm", "griffin_no_dpc", "griffin_no_batch"]
+WORKLOADS = ["FIR", "MT", "PR", "SC", "ST"]
+
+
+def _collect():
+    out = {}
+    for wl in WORKLOADS:
+        out[wl] = {p: cached_run(wl, p) for p in ABLATIONS + ["baseline"]}
+    return out
+
+
+def test_ablation_components(benchmark):
+    runs = run_once(benchmark, _collect)
+
+    rows = []
+    for wl, by_policy in runs.items():
+        base = by_policy["baseline"].cycles
+        rows.append([wl] + [f"{base / by_policy[p].cycles:.2f}" for p in ABLATIONS])
+    print()
+    print(format_table(["Workload"] + ABLATIONS, rows,
+                       "Ablation: speedup over baseline with components removed"))
+
+    def geo(policy):
+        return geometric_mean(
+            runs[wl]["baseline"].cycles / runs[wl][policy].cycles for wl in WORKLOADS
+        )
+
+    full = geo("griffin")
+    # Removing fault batching hurts the fault-storm workloads badly.
+    assert geo("griffin_no_batch") < full
+    # Removing DFTM costs MT its "never migrate touch-once pages" win.
+    mt = runs["MT"]
+    assert mt["baseline"].cycles / mt["griffin_no_dftm"].cycles < \
+           mt["baseline"].cycles / mt["griffin"].cycles
+    # Removing DPC costs SC its owner-shift tracking.
+    sc = runs["SC"]
+    assert sc["baseline"].cycles / sc["griffin_no_dpc"].cycles < \
+           sc["baseline"].cycles / sc["griffin"].cycles
+    # And DPC is what hurts PR (the paper's explanation of its slowdown).
+    pr = runs["PR"]
+    assert pr["griffin_no_dpc"].cycles <= pr["griffin"].cycles

@@ -1,0 +1,63 @@
+"""Ablation: DPC filter and classifier hyperparameter sweeps.
+
+Sweeps the EWMA weight (alpha) and the dedicated-ratio threshold
+(lambda_d) on SC — the workload whose owner-shifting pages exercise DPC
+hardest — and checks the mechanisms respond as designed.
+"""
+
+from repro.config.hyperparams import GriffinHyperParams
+from repro.config.presets import small_system
+from repro.harness.runner import run_workload
+from repro.metrics.report import format_table
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+ALPHAS = [0.05, 0.2, 0.5]
+LAMBDA_DS = [1.5, 2.0, 4.0]
+
+
+def _collect():
+    base = GriffinHyperParams.calibrated()
+    alpha_runs = {}
+    for alpha in ALPHAS:
+        hyper = base.with_overrides(alpha=alpha)
+        alpha_runs[alpha] = run_workload(
+            "SC", "griffin", config=small_system(), hyper=hyper,
+            scale=BENCH_SCALE, seed=BENCH_SEED,
+        )
+    ld_runs = {}
+    for ld in LAMBDA_DS:
+        hyper = base.with_overrides(lambda_d=ld)
+        ld_runs[ld] = run_workload(
+            "SC", "griffin", config=small_system(), hyper=hyper,
+            scale=BENCH_SCALE, seed=BENCH_SEED,
+        )
+    return alpha_runs, ld_runs
+
+
+def test_ablation_dpc_hyperparams(benchmark):
+    alpha_runs, ld_runs = run_once(benchmark, _collect)
+
+    rows = [
+        [f"alpha={a}", r.gpu_to_gpu_migrations, f"{r.cycles:.0f}"]
+        for a, r in alpha_runs.items()
+    ] + [
+        [f"lambda_d={ld}", r.gpu_to_gpu_migrations, f"{r.cycles:.0f}"]
+        for ld, r in ld_runs.items()
+    ]
+    print()
+    print(format_table(["Setting", "Inter-GPU migrations", "Cycles"], rows,
+                       "Ablation: DPC hyperparameters (SC)"))
+
+    # The calibrated alpha (0.2) tracks SC's owner shifts and migrates;
+    # a very sluggish filter (0.05) can miss every shift entirely —
+    # reaction speed is monotone in alpha.
+    assert alpha_runs[0.2].gpu_to_gpu_migrations > 0
+    assert (
+        alpha_runs[0.05].gpu_to_gpu_migrations
+        <= alpha_runs[0.2].gpu_to_gpu_migrations
+    )
+    assert alpha_runs[0.5].gpu_to_gpu_migrations > 0
+
+    # A stricter dedicated threshold admits fewer dedicated candidates.
+    assert ld_runs[4.0].gpu_to_gpu_migrations <= ld_runs[1.5].gpu_to_gpu_migrations

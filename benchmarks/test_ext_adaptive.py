@@ -1,0 +1,65 @@
+"""Extension: adaptive migration throttling.
+
+The paper's one slowdown (PageRank) happens because reactive migration
+chases non-recurring access bursts.  ``griffin_adaptive`` closes the
+loop: it audits each migration round against later raw access counts,
+backs off the cadence when migrations stop landing, and nominates
+stranded pages back to their observed steady accessors.  Shape target:
+no workload regresses versus plain Griffin, and PR's slowdown turns into
+a win.
+"""
+
+from repro.metrics.report import format_table, geometric_mean
+from repro.workloads.registry import list_workloads
+
+from benchmarks.conftest import cached_run, run_once
+
+WORKLOADS = ["BS", "FW", "KM", "MT", "PR", "SC"]
+
+
+def _collect():
+    return {
+        wl: {
+            policy: cached_run(wl, policy)
+            for policy in ["baseline", "griffin", "griffin_adaptive"]
+        }
+        for wl in WORKLOADS
+    }
+
+
+def test_extension_adaptive_throttle(benchmark):
+    runs = run_once(benchmark, _collect)
+
+    rows = []
+    for wl, by_policy in runs.items():
+        base = by_policy["baseline"].cycles
+        rows.append([
+            wl,
+            f"{base / by_policy['griffin'].cycles:.2f}",
+            f"{base / by_policy['griffin_adaptive'].cycles:.2f}",
+            by_policy["griffin"].gpu_to_gpu_migrations,
+            by_policy["griffin_adaptive"].gpu_to_gpu_migrations,
+        ])
+    print()
+    print(format_table(
+        ["Workload", "griffin", "griffin_adaptive",
+         "griffin moves", "adaptive moves"],
+        rows, "Extension: adaptive migration throttling",
+    ))
+
+    # Never materially worse than plain Griffin...
+    for wl, by_policy in runs.items():
+        assert (
+            by_policy["griffin_adaptive"].cycles
+            <= by_policy["griffin"].cycles * 1.03
+        ), wl
+    # ...and PR crosses from a slowdown to a win.
+    pr = runs["PR"]
+    assert pr["baseline"].cycles / pr["griffin"].cycles <= 1.02
+    assert pr["griffin_adaptive"].cycles < pr["griffin"].cycles
+    assert pr["baseline"].cycles / pr["griffin_adaptive"].cycles > 1.0
+    # The throttle cut PR's migration churn.
+    assert (
+        pr["griffin_adaptive"].gpu_to_gpu_migrations
+        < pr["griffin"].gpu_to_gpu_migrations
+    )

@@ -1,0 +1,63 @@
+"""Extension: Griffin + CARVE-style remote caching.
+
+The paper (Section VI-A): "We believe Griffin can also be integrated with
+previously proposed approaches such as CARVE [10] that focuses on
+dedicating DRAM space to cache remote data.  We leave study of integrated
+mechanisms for future work."  This bench runs that study: a 128 KB
+remote-data carve-out per GPU, with and without Griffin.
+"""
+
+from dataclasses import replace
+
+from repro.config.presets import small_system
+from repro.harness.runner import run_workload
+from repro.mem.access import AccessKind
+from repro.metrics.report import format_table
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+WORKLOADS = ["KM", "FLW", "SC"]
+
+
+def _collect():
+    plain = small_system()
+    carve = replace(plain, gpu=plain.gpu.with_remote_cache(128))
+    out = {}
+    for wl in WORKLOADS:
+        out[wl] = {
+            "baseline": run_workload(wl, "baseline", config=plain, scale=BENCH_SCALE, seed=BENCH_SEED),
+            "baseline+carve": run_workload(wl, "baseline", config=carve, scale=BENCH_SCALE, seed=BENCH_SEED),
+            "griffin": run_workload(wl, "griffin", config=plain, scale=BENCH_SCALE, seed=BENCH_SEED),
+            "griffin+carve": run_workload(wl, "griffin", config=carve, scale=BENCH_SCALE, seed=BENCH_SEED),
+        }
+    return out
+
+
+def test_extension_carve_integration(benchmark):
+    runs = run_once(benchmark, _collect)
+
+    rows = []
+    for wl, by_cfg in runs.items():
+        base = by_cfg["baseline"].cycles
+        rows.append([wl] + [
+            f"{base / by_cfg[c].cycles:.2f}"
+            for c in ["baseline", "baseline+carve", "griffin", "griffin+carve"]
+        ] + [by_cfg["griffin+carve"].kind_counts[AccessKind.REMOTE_CACHE]])
+    print()
+    print(format_table(
+        ["Workload", "baseline", "+carve", "griffin", "griffin+carve", "carve hits"],
+        rows, "Extension: CARVE remote caching, with and without Griffin",
+    ))
+
+    for wl, by_cfg in runs.items():
+        # The carve-out helps the baseline (fewer fabric round trips)...
+        assert by_cfg["baseline+carve"].cycles <= by_cfg["baseline"].cycles, wl
+        # ...and composes with Griffin: the integrated design is best.
+        best = min(c.cycles for c in by_cfg.values())
+        assert by_cfg["griffin+carve"].cycles <= best * 1.02, wl
+        # Remote-cache hits actually occurred and count as local service.
+        assert by_cfg["griffin+carve"].kind_counts[AccessKind.REMOTE_CACHE] > 0, wl
+        assert (
+            by_cfg["griffin+carve"].local_fraction
+            >= by_cfg["griffin"].local_fraction
+        ), wl

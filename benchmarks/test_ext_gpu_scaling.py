@@ -1,0 +1,57 @@
+"""Extension: GPU-count scaling.
+
+The paper evaluates a 4-GPU node (DGX-class nodes ship up to 16).  This
+bench checks Griffin's mechanisms scale with GPU count: its win holds
+from 2 to 8 GPUs, and DFTM keeps the page distribution near-uniform at
+every size.
+"""
+
+from repro.config.presets import small_system
+from repro.harness.runner import run_workload
+from repro.metrics.report import format_table
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+GPU_COUNTS = [2, 4, 8]
+
+
+def _collect():
+    out = {}
+    for n in GPU_COUNTS:
+        config = small_system(num_gpus=n)
+        out[n] = {
+            policy: run_workload(
+                "SC", policy, config=config, scale=BENCH_SCALE, seed=BENCH_SEED
+            )
+            for policy in ["baseline", "griffin"]
+        }
+    return out
+
+
+def test_extension_gpu_scaling(benchmark):
+    runs = run_once(benchmark, _collect)
+
+    rows = []
+    for n, by_policy in runs.items():
+        base, grif = by_policy["baseline"], by_policy["griffin"]
+        rows.append([
+            n,
+            f"{base.cycles / grif.cycles:.2f}",
+            f"{base.imbalance():.2f}",
+            f"{grif.imbalance():.2f}",
+            f"{max(grif.occupancy.percentages()):.0f}%",
+        ])
+    print()
+    print(format_table(
+        ["GPUs", "Griffin speedup", "Base imbalance", "Griffin imbalance",
+         "Griffin max share"],
+        rows, "Extension: scaling with GPU count (SC)",
+    ))
+
+    for n, by_policy in runs.items():
+        base, grif = by_policy["baseline"], by_policy["griffin"]
+        assert grif.cycles < base.cycles, n
+        assert grif.imbalance() <= base.imbalance() + 0.05, n
+        # Near-uniform distribution at every GPU count.
+        fair = 100.0 / n
+        assert max(grif.occupancy.percentages()) <= 1.6 * fair, n

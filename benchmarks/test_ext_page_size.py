@@ -1,0 +1,77 @@
+"""Extension: page-size sensitivity.
+
+The paper uses 4 KB pages "as large pages cause higher degree of false
+sharing as well as page migration overhead [22]" and cites page-splitting
+approaches as future work.  This bench quantifies those structural
+effects in our model: with 16 KB pages the same footprint has 4x fewer
+pages (fewer faults to batch) but each page is shared by more GPUs
+(false sharing) and each migration moves 4x the data.
+"""
+
+from repro.config.presets import small_system
+from repro.harness.runner import run_workload
+from repro.metrics.report import format_table
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+PAGE_SIZES = [4096, 16384]
+
+
+def _shared_fraction(run) -> float:
+    """Fraction of touched pages accessed by more than one GPU."""
+    timeline = run.timeline
+    shared = 0
+    total = 0
+    for page in timeline._totals:
+        total += 1
+        if sum(1 for c in timeline.per_gpu_totals(page) if c > 0) >= 2:
+            shared += 1
+    return shared / total if total else 0.0
+
+
+def _collect():
+    out = {}
+    for page_size in PAGE_SIZES:
+        config = small_system().with_overrides(page_size=page_size)
+        out[page_size] = {
+            policy: run_workload(
+                "FW", policy, config=config, scale=BENCH_SCALE,
+                seed=BENCH_SEED, keep_timeline=True,
+            )
+            for policy in ["baseline", "griffin"]
+        }
+    return out
+
+
+def test_extension_page_size(benchmark):
+    runs = run_once(benchmark, _collect)
+
+    rows = []
+    for page_size, by_policy in runs.items():
+        base, grif = by_policy["baseline"], by_policy["griffin"]
+        rows.append([
+            f"{page_size // 1024} KB",
+            base.occupancy.total_gpu_pages + base.occupancy.cpu_pages,
+            base.cpu_shootdowns,
+            f"{_shared_fraction(base):.2f}",
+            f"{base.cycles / grif.cycles:.2f}",
+        ])
+    print()
+    print(format_table(
+        ["Page size", "Pages touched", "Baseline CPU shootdowns",
+         "Shared-page fraction", "Griffin speedup"],
+        rows, "Extension: page-size sensitivity (FW)",
+    ))
+
+    small, large = runs[4096], runs[16384]
+    # Larger pages: fewer pages and fewer fault shootdowns...
+    assert (
+        large["baseline"].occupancy.total_gpu_pages
+        < small["baseline"].occupancy.total_gpu_pages
+    )
+    assert large["baseline"].cpu_shootdowns < small["baseline"].cpu_shootdowns
+    # ...but more false sharing (more of the footprint is multi-GPU).
+    assert _shared_fraction(large["baseline"]) >= _shared_fraction(small["baseline"])
+    # Griffin keeps winning at both page sizes.
+    for page_size, by_policy in runs.items():
+        assert by_policy["griffin"].cycles < by_policy["baseline"].cycles, page_size

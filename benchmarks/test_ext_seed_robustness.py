@@ -1,0 +1,49 @@
+"""Extension: the Figure 12 shape is not a seed artifact.
+
+Re-runs the headline comparison on three additional seeds for a
+representative workload subset and checks the qualitative conclusions —
+Griffin wins, MT biggest, PR weakest — hold on every seed.
+"""
+
+from repro.config.presets import small_system
+from repro.harness.runner import run_workload
+from repro.metrics.report import format_table, geometric_mean
+
+from benchmarks.conftest import BENCH_SCALE, run_once
+
+SEEDS = [3, 11, 42]
+WORKLOADS = ["FIR", "MT", "PR", "ST"]
+
+
+def _collect():
+    config = small_system()
+    out = {}
+    for seed in SEEDS:
+        out[seed] = {}
+        for wl in WORKLOADS:
+            base = run_workload(wl, "baseline", config=config, scale=BENCH_SCALE, seed=seed)
+            grif = run_workload(wl, "griffin", config=config, scale=BENCH_SCALE, seed=seed)
+            out[seed][wl] = base.cycles / grif.cycles
+    return out
+
+
+def test_extension_seed_robustness(benchmark):
+    speedups = run_once(benchmark, _collect)
+
+    rows = [
+        [seed] + [f"{speedups[seed][wl]:.2f}" for wl in WORKLOADS]
+        + [f"{geometric_mean(speedups[seed].values()):.2f}"]
+        for seed in SEEDS
+    ]
+    print()
+    print(format_table(["Seed"] + WORKLOADS + ["geomean"], rows,
+                       "Extension: Figure 12 shape across seeds"))
+
+    for seed in SEEDS:
+        s = speedups[seed]
+        # MT is the biggest win on every seed; PR the weakest.
+        assert max(s, key=s.get) == "MT", seed
+        assert min(s, key=s.get) == "PR", seed
+        assert s["MT"] >= 1.8, seed
+        assert s["PR"] <= 1.10, seed
+        assert geometric_mean(s.values()) > 1.1, seed

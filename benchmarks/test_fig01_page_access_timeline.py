@@ -1,0 +1,38 @@
+"""Figure 1: distribution of accesses to one page over time (SC, baseline).
+
+The paper's motivating observation: the GPU that dominates accesses to a
+page changes over time, while first-touch pins the page at its initial
+location.
+"""
+
+from repro.config.presets import small_system
+from repro.harness.experiments import fig1_page_access_timeline
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+
+def test_fig1_page_access_timeline(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: fig1_page_access_timeline(
+            "SC", config=small_system(), scale=BENCH_SCALE, seed=BENCH_SEED
+        ),
+    )
+    print()
+    print(result.render())
+
+    assert len(result.series) >= 3
+
+    # The dominant accessor must change across the run (the paper's
+    # observation that motivates inter-GPU migration).
+    dominant = [
+        max(range(len(pct)), key=pct.__getitem__)
+        for _, pct in result.series
+        if sum(pct) > 0
+    ]
+    assert len(set(dominant)) >= 2, "page ownership never shifted"
+
+    # Under the baseline the page migrates from the CPU exactly once and
+    # is pinned afterwards: no GPU-to-GPU moves.
+    gpu_moves = [m for m in result.migrations if m[1] >= 0]
+    assert gpu_moves == []

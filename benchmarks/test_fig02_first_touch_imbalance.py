@@ -1,0 +1,41 @@
+"""Figure 2: first-touch page placement imbalance across the ten workloads.
+
+Shape target: under the baseline first-touch policy, one GPU (GPU0, which
+enjoys the dispatch head start and the arbiter feedback loop) acquires far
+more than its fair 25% share of the pages.
+"""
+
+from repro.metrics.report import format_table
+from repro.workloads.registry import list_workloads
+
+from benchmarks.conftest import cached_run, run_once
+
+
+def _collect():
+    return {wl: cached_run(wl, "baseline") for wl in list_workloads()}
+
+
+def test_fig2_first_touch_imbalance(benchmark):
+    runs = run_once(benchmark, _collect)
+
+    rows = []
+    for wl, run in runs.items():
+        rows.append([wl] + [f"{p:.1f}" for p in run.occupancy.percentages()])
+    print()
+    print(format_table(
+        ["Workload", "GPU0 %", "GPU1 %", "GPU2 %", "GPU3 %"], rows,
+        "Figure 2: page placement under first-touch (baseline)",
+    ))
+
+    max_shares = [run.occupancy.max_share() for run in runs.values()]
+    # Every workload shows some imbalance; most show a clearly overweight GPU.
+    assert all(s > 0.25 for s in max_shares)
+    assert sum(1 for s in max_shares if s >= 0.30) >= 7
+    assert max(max_shares) >= 0.38
+
+    # The overweight GPU is the head-start GPU (GPU0) for most workloads.
+    winners = [
+        max(range(4), key=lambda g: run.occupancy.pages_per_gpu[g])
+        for run in runs.values()
+    ]
+    assert winners.count(0) >= 6

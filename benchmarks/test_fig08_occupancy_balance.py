@@ -1,0 +1,46 @@
+"""Figure 8: occupancy balancing improvement (baseline vs. Griffin).
+
+Shape target: Griffin's DFTM achieves a near-equal split of pages across
+the GPUs without runtime load balancing, where the baseline is skewed.
+"""
+
+from repro.metrics.report import format_table
+from repro.workloads.registry import list_workloads
+
+from benchmarks.conftest import cached_run, run_once
+
+
+def _collect():
+    return {
+        wl: (cached_run(wl, "baseline"), cached_run(wl, "griffin"))
+        for wl in list_workloads()
+    }
+
+
+def test_fig8_occupancy_balance(benchmark):
+    runs = run_once(benchmark, _collect)
+
+    rows = []
+    for wl, (base, grif) in runs.items():
+        rows.append([
+            wl,
+            " / ".join(f"{p:.0f}" for p in base.occupancy.percentages()),
+            " / ".join(f"{p:.0f}" for p in grif.occupancy.percentages()),
+            f"{base.imbalance():.2f}",
+            f"{grif.imbalance():.2f}",
+        ])
+    print()
+    print(format_table(
+        ["Workload", "Baseline %/GPU", "Griffin %/GPU", "Base imb", "Griffin imb"],
+        rows, "Figure 8: occupancy balancing improvement",
+    ))
+
+    for wl, (base, grif) in runs.items():
+        # Griffin is never materially worse balanced than the baseline.
+        assert grif.imbalance() <= base.imbalance() + 0.05, wl
+        # And its max share is close to the fair 25%.
+        assert grif.occupancy.max_share() <= 0.40, wl
+
+    mean_base = sum(b.imbalance() for b, _ in runs.values()) / len(runs)
+    mean_grif = sum(g.imbalance() for _, g in runs.values()) / len(runs)
+    assert mean_grif < mean_base * 0.5

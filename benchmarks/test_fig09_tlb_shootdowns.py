@@ -1,0 +1,44 @@
+"""Figure 9: number of TLB shootdowns, baseline vs. Griffin (normalized).
+
+Shape target: despite adding inter-GPU migration shootdowns, Griffin's
+CPMS batching leaves the total well below the baseline's one-flush-per-
+fault FCFS scheme on every workload.
+"""
+
+from repro.metrics.report import format_table
+from repro.workloads.registry import list_workloads
+
+from benchmarks.conftest import cached_run, run_once
+
+
+def _collect():
+    return {
+        wl: (cached_run(wl, "baseline"), cached_run(wl, "griffin"))
+        for wl in list_workloads()
+    }
+
+
+def test_fig9_tlb_shootdowns(benchmark):
+    runs = run_once(benchmark, _collect)
+
+    rows = []
+    for wl, (base, grif) in runs.items():
+        rows.append([
+            wl, base.total_shootdowns, grif.total_shootdowns,
+            f"{grif.total_shootdowns / base.total_shootdowns:.2f}",
+        ])
+    print()
+    print(format_table(
+        ["Workload", "Baseline", "Griffin", "Normalized"],
+        rows, "Figure 9: TLB shootdowns (lower is better)",
+    ))
+
+    for wl, (base, grif) in runs.items():
+        assert grif.total_shootdowns < base.total_shootdowns, wl
+        # Griffin still performs GPU-side shootdowns for its inter-GPU
+        # migrations (the paper's "additional shootdowns on the GPU").
+    assert any(g.gpu_shootdowns > 0 for _, g in runs.values())
+
+    total_base = sum(b.total_shootdowns for b, _ in runs.values())
+    total_grif = sum(g.total_shootdowns for _, g in runs.values())
+    assert total_grif < 0.8 * total_base

@@ -1,0 +1,35 @@
+"""Figure 10: DPC's dynamic inter-GPU migration decisions in action (SC).
+
+Shape target: Griffin detects the hot page's accessor changes and
+reactively migrates the page after them — the page's location changes at
+least once between GPUs during the run.
+"""
+
+from repro.config.presets import small_system
+from repro.harness.experiments import fig10_dpc_migration
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+
+def test_fig10_dpc_migration(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: fig10_dpc_migration(
+            "SC", config=small_system(), scale=BENCH_SCALE, seed=BENCH_SEED
+        ),
+    )
+    print()
+    print(result.render())
+
+    # First-touch (or delayed first-touch) placement from the CPU...
+    cpu_moves = [m for m in result.migrations if m[1] < 0]
+    assert len(cpu_moves) == 1
+
+    # ...followed by at least one reactive GPU-to-GPU migration.
+    gpu_moves = [m for m in result.migrations if m[1] >= 0]
+    assert len(gpu_moves) >= 1, "DPC never migrated the hot page"
+
+    # Migrations are reactive: each lands strictly after execution began
+    # and they are time-ordered.
+    times = [m[0] for m in result.migrations]
+    assert times == sorted(times)

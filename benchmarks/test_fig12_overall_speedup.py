@@ -1,0 +1,47 @@
+"""Figure 12: speedup of Griffin versus the baseline design (the headline).
+
+Shape targets from the paper: Griffin wins on 9 of 10 workloads; MT is
+the largest win (paper: 2.9x); PR is the one slowdown (paper: ~0.95);
+geometric mean is ~1.37x.  Absolute factors need not match the paper's
+testbed, but the ordering and rough magnitudes must.
+"""
+
+from repro.metrics.report import format_table, geometric_mean
+from repro.workloads.registry import list_workloads
+
+from benchmarks.conftest import cached_run, run_once
+
+
+def _collect():
+    return {
+        wl: (cached_run(wl, "baseline"), cached_run(wl, "griffin"))
+        for wl in list_workloads()
+    }
+
+
+def test_fig12_overall_speedup(benchmark):
+    runs = run_once(benchmark, _collect)
+
+    speedups = {wl: b.cycles / g.cycles for wl, (b, g) in runs.items()}
+    rows = [[wl, f"{s:.2f}"] for wl, s in speedups.items()]
+    geo = geometric_mean(speedups.values())
+    rows.append(["geomean", f"{geo:.2f}"])
+    print()
+    print(format_table(
+        ["Workload", "Speedup"], rows,
+        "Figure 12: speedup of Griffin versus the Baseline design",
+    ))
+
+    # Griffin wins on at least 9 of 10 workloads.
+    assert sum(1 for s in speedups.values() if s > 1.0) >= 9
+
+    # MT is the peak speedup, a large factor.
+    assert max(speedups, key=speedups.get) == "MT"
+    assert speedups["MT"] >= 2.0
+
+    # PR is the weakest (the paper's one slowdown).
+    assert min(speedups, key=speedups.get) == "PR"
+    assert speedups["PR"] <= 1.05
+
+    # Geometric mean in the paper's ballpark (paper: 1.37x).
+    assert 1.15 <= geo <= 1.75

@@ -1,0 +1,58 @@
+"""Figure 13: Griffin vs. baseline with a higher-bandwidth interconnect.
+
+Shape target: Griffin still outperforms the baseline on an NVLink-class
+fabric, and several workloads (the paper calls out BFS, KM, PR) improve
+relative to their PCIe results because Griffin's better page placement
+exploits the extra bandwidth.
+"""
+
+from repro.metrics.report import format_table, geometric_mean
+from repro.workloads.registry import list_workloads
+
+from benchmarks.conftest import cached_run, run_once
+
+
+def _collect():
+    out = {}
+    for wl in list_workloads():
+        out[wl] = {
+            "pcie": (cached_run(wl, "baseline"), cached_run(wl, "griffin")),
+            "nvlink": (
+                cached_run(wl, "baseline", "nvlink"),
+                cached_run(wl, "griffin", "nvlink"),
+            ),
+        }
+    return out
+
+
+def test_fig13_high_bandwidth(benchmark):
+    runs = run_once(benchmark, _collect)
+
+    pcie = {wl: r["pcie"][0].cycles / r["pcie"][1].cycles for wl, r in runs.items()}
+    nvlink = {wl: r["nvlink"][0].cycles / r["nvlink"][1].cycles for wl, r in runs.items()}
+
+    rows = [
+        [wl, f"{pcie[wl]:.2f}", f"{nvlink[wl]:.2f}"] for wl in runs
+    ]
+    rows.append(["geomean",
+                 f"{geometric_mean(pcie.values()):.2f}",
+                 f"{geometric_mean(nvlink.values()):.2f}"])
+    print()
+    print(format_table(
+        ["Workload", "PCIe-v4 speedup", "NVLink speedup"], rows,
+        "Figure 13: speedup with a higher bandwidth interconnect",
+    ))
+
+    # Griffin still wins on the high-bandwidth fabric.
+    assert sum(1 for s in nvlink.values() if s > 1.0) >= 8
+    geo_nv = geometric_mean(nvlink.values())
+    geo_pc = geometric_mean(pcie.values())
+    assert geo_nv >= 0.95 * geo_pc
+
+    # Several workloads improve with bandwidth (paper: BFS, KM, PR).
+    improved = [wl for wl in runs if nvlink[wl] > pcie[wl]]
+    assert len(improved) >= 3
+
+    # Absolute runtimes drop with the faster fabric for both designs.
+    for wl, r in runs.items():
+        assert r["nvlink"][1].cycles <= r["pcie"][1].cycles * 1.02, wl

@@ -1,0 +1,23 @@
+"""Section V "Hardware Cost": Griffin's added hardware.
+
+Shape target: the published numbers — 2 200 bytes of DPC tables per GPU
+(4 Shader Engines x 100 entries x 44 bits), one page-table bit for DFTM,
+one 64-bit comparator per CU for ACUD, and no hardware for CPMS.
+"""
+
+from repro.metrics.report import format_table
+from repro.harness.experiments import hardware_cost_report
+
+from benchmarks.conftest import run_once
+
+
+def test_hardware_cost(benchmark):
+    report = run_once(benchmark, hardware_cost_report)
+    print()
+    print(format_table(["Component", "Cost"], report.rows(),
+                       "Section V: Griffin hardware cost"))
+    assert report.dpc_bytes_per_gpu == 2200
+    assert report.dpc_bits_per_entry == 44
+    assert report.dftm_bits_per_page == 1
+    assert report.acud_comparators_per_gpu == 36
+    assert report.cpms_hardware_bytes == 0

@@ -1,0 +1,18 @@
+"""Table I: default Griffin hyperparameter configuration."""
+
+from repro.harness.experiments import table1_hyperparameters
+
+from benchmarks.conftest import run_once
+
+
+def test_table1_hyperparameters(benchmark):
+    result = run_once(benchmark, table1_hyperparameters)
+    print()
+    print(result.render())
+    rows = {r[0]: r[1] for r in result.rows}
+    assert rows["N_PTW"] == "8"
+    assert rows["T_ac"] == "1000"
+    assert rows["alpha"] == "0.03"
+    assert rows["lambda_d"] == "2"
+    assert rows["lambda_s"] == "1.3"
+    assert rows["lambda_t"] == "0.03"

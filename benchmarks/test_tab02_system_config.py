@@ -1,0 +1,20 @@
+"""Table II: multi-GPU system configuration."""
+
+from repro.harness.experiments import table2_system_config
+
+from benchmarks.conftest import run_once
+
+
+def test_table2_system_config(benchmark):
+    result = run_once(benchmark, table2_system_config)
+    print()
+    print(result.render())
+    rows = {r[0]: (r[1], r[2]) for r in result.rows}
+    assert rows["CU"] == ("1 GHz", "36")
+    assert rows["L1 Vector Cache"] == ("16KB 4-way", "36")
+    assert rows["L2 Cache"] == ("256KB 16-way", "8")
+    assert rows["DRAM"] == ("512MB HBM", "8")
+    assert rows["L1 TLB"] == ("1 set, 32-way", "54")
+    assert rows["L2 TLB"] == ("32 sets, 16-way", "1")
+    assert rows["IOMMU"][0] == "8 Page Table Walkers"
+    assert rows["Inter-Device Network"][0] == "32GB/s PCIe-v4"

@@ -1,0 +1,18 @@
+"""Table III: the ten evaluated workloads."""
+
+from repro.harness.experiments import table3_workloads
+
+from benchmarks.conftest import run_once
+
+
+def test_table3_workloads(benchmark):
+    result = run_once(benchmark, table3_workloads)
+    print()
+    print(result.render())
+    assert len(result.rows) == 10
+    by_abbrev = {r[0]: r for r in result.rows}
+    assert by_abbrev["MT"][3] == "Scatter-Gather"
+    assert by_abbrev["FIR"][4] == "64 MB"
+    assert by_abbrev["BFS"][2] == "SHOC"
+    footprints = [int(r[4].split()[0]) for r in result.rows]
+    assert min(footprints) >= 30 and max(footprints) <= 64

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Bring your own workload: evaluate Griffin on a custom access pattern.
+
+Demonstrates the workload API end to end: define a producer/consumer
+pipeline (stage 1 writes a buffer, stage 2 — scheduled to different GPUs —
+reads it), register nothing, just hand the object to ``run_workload``.
+This pattern is adversarial for first-touch pinning (the producer GPU
+first-touches every page; the consumers then hammer them remotely) and is
+exactly what Griffin's owner-shifting class targets.
+
+Usage::
+
+    python examples/custom_workload.py
+"""
+
+from repro import run_workload, small_system
+from repro.gpu.wavefront import Kernel
+from repro.metrics.report import format_table
+from repro.workloads.base import AddressSpace, WorkloadBase, WorkloadSpec
+
+
+class ProducerConsumerWorkload(WorkloadBase):
+    """Stage 1 produces a buffer; stages 2..n consume it elsewhere.
+
+    Because the dispatcher assigns workgroups round-robin, shifting the
+    workgroup index moves each buffer chunk's consumer to a different GPU
+    every few stages.
+    """
+
+    spec = WorkloadSpec("PC", "Producer-Consumer", "custom", "Pipeline", 32)
+
+    def __init__(self, num_stages: int = 9, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.num_stages = num_stages
+
+    def build_kernels(self, num_gpus: int) -> list:
+        pages = self.footprint_pages()
+        space = AddressSpace(self.page_size)
+        buffer = space.alloc("buffer", pages)
+
+        wgs_per_kernel = 4 * num_gpus
+        kernels = []
+        for stage in range(self.num_stages):
+            kernel = Kernel(kernel_id=stage)
+            for i in range(wgs_per_kernel):
+                rng = self.rng("wg", stage, i)
+                # The consumer of chunk c moves one GPU further on every
+                # three stages (long enough epochs for DPC to track).
+                chunk = self.chunk(buffer, wgs_per_kernel, (i + stage // 3) % wgs_per_kernel)
+                writes = 0.8 if stage == 0 else 0.2
+                accesses = self.page_accesses(
+                    chunk, rng, touches_per_page=4, write_prob=writes
+                )
+                kernel.workgroups.append(self.make_workgroup(stage, accesses))
+            kernels.append(kernel)
+        return kernels
+
+
+def main() -> None:
+    workload = ProducerConsumerWorkload(scale=0.015, seed=3)
+    config = small_system()
+
+    rows = []
+    for policy in ["baseline", "dftm_only", "griffin"]:
+        result = run_workload(workload, policy, config=config)
+        rows.append([
+            policy,
+            f"{result.cycles:,.0f}",
+            f"{result.local_fraction:.2f}",
+            result.gpu_to_gpu_migrations,
+            " / ".join(f"{p:.0f}" for p in result.occupancy.percentages()),
+        ])
+    print(format_table(
+        ["Policy", "Cycles", "Local frac", "GPU-GPU moves", "Pages %/GPU"],
+        rows,
+        "Producer-consumer pipeline on 4 GPUs",
+    ))
+
+    base = float(rows[0][1].replace(",", ""))
+    grif = float(rows[2][1].replace(",", ""))
+    print(f"\nGriffin speedup over first-touch pinning: {base / grif:.2f}x")
+    print("The buffer's consumer GPU changes every few stages; only runtime")
+    print("inter-GPU migration keeps the pages near their current users.")
+
+
+if __name__ == "__main__":
+    main()

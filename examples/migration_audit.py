@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Audit Griffin's migrations: why SC wins and PageRank doesn't.
+
+The paper explains PR's slowdown qualitatively: "the access patterns to
+sparse matrices can be very random and irregular, which makes it
+difficult to exploit inter-GPU migration effectively."  This example
+makes that quantitative with the analysis API: it grades every inter-GPU
+migration on SC (regular ownership epochs) and PR (non-recurring random
+bursts) as justified / neutral / wasted.
+
+Usage::
+
+    python examples/migration_audit.py
+"""
+
+from repro import run_workload, small_system
+from repro.analysis import audit_migrations, detect_phases, profile_sharing
+
+
+def analyse(workload: str) -> None:
+    print(f"=== {workload} under Griffin ===")
+    result = run_workload(workload, "griffin", config=small_system(),
+                          scale=0.015, seed=3, keep_timeline=True,
+                          watch_pages="all")
+    baseline = run_workload(workload, "baseline", config=small_system(),
+                            scale=0.015, seed=3)
+    print(f"speedup over baseline: {baseline.cycles / result.cycles:.2f}x\n")
+
+    print(profile_sharing(result).render())
+    print()
+    print(audit_migrations(result).render())
+    print()
+    print(detect_phases(result).render())
+    print()
+
+
+def main() -> None:
+    analyse("SC")
+    analyse("PR")
+    print("SC's migrations chase long ownership epochs and mostly land on a")
+    print("page's dominant accessor; PR's chase one-iteration bursts that")
+    print("have already moved on — the paper's diagnosis, quantified.")
+
+
+if __name__ == "__main__":
+    main()

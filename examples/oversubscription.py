@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Unified Memory oversubscription: running a footprint bigger than GPU memory.
+
+The paper's introduction motivates UM partly by oversubscription: "backed
+by system memory, a programmer can allocate memory exceeding a single
+GPU's physical memory space."  This example caps each GPU's capacity and
+watches the system thrash — pages evict to the CPU and refault — and how
+much better Griffin's batched fault handling copes than the baseline's
+FCFS servicing.
+
+Usage::
+
+    python examples/oversubscription.py
+"""
+
+from dataclasses import replace
+
+from repro import run_workload, small_system
+from repro.metrics.chart import bar_chart
+from repro.metrics.report import format_table
+
+CAPACITIES = [0, 40, 30, 25]  # resident pages per GPU; 0 = unlimited
+
+
+def main() -> None:
+    base_cfg = small_system()
+    rows = []
+    speedups = {}
+    for capacity in CAPACITIES:
+        config = replace(
+            base_cfg, gpu=replace(base_cfg.gpu, capacity_pages=capacity)
+        )
+        base = run_workload("KM", "baseline", config=config, scale=0.015, seed=3)
+        grif = run_workload("KM", "griffin", config=config, scale=0.015, seed=3)
+        label = "unlimited" if capacity == 0 else f"{capacity}/GPU"
+        evictions = sum(1 for e in base.migration_events if e.dst < 0)
+        rows.append([
+            label,
+            f"{base.cycles:,.0f}",
+            f"{grif.cycles:,.0f}",
+            base.cpu_to_gpu_migrations,
+            evictions,
+        ])
+        speedups[label] = base.cycles / grif.cycles
+
+    print(format_table(
+        ["GPU capacity", "Baseline cycles", "Griffin cycles",
+         "Baseline migrations", "Baseline evictions"],
+        rows, "KMeans under memory oversubscription",
+    ))
+    print()
+    print(bar_chart(speedups, "Griffin speedup by capacity", reference=1.0))
+    print()
+    print("Tighter capacity means more eviction/refault churn; every refault")
+    print("is another serialized CPU flush for the baseline but amortizes")
+    print("into CPMS batches under Griffin, so Griffin's advantage grows as")
+    print("memory pressure rises.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Trace one hot page's life: who accesses it, and where Griffin moves it.
+
+Reproduces the paper's Figures 1 and 10 as ASCII timelines: under the
+baseline, the page's dominant accessor changes over time while the page
+stays pinned; under Griffin, DPC detects each shift and migrates the page
+after its users.
+
+Usage::
+
+    python examples/page_migration_trace.py
+"""
+
+from repro import run_workload, small_system
+
+SCALE = 0.015
+SEED = 3
+BUCKET = 100_000
+
+
+def bar(pct: float, width: int = 20) -> str:
+    filled = int(round(pct / 100 * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def show_timeline(title: str, run, page: int) -> None:
+    print()
+    print(f"--- {title} (page {page}) ---")
+    moves = {int(e.time): e for e in run.migration_events if e.page == page}
+    location = "CPU"
+    move_times = sorted(moves)
+    for start, pct in run.timeline.series_percentages(page):
+        while move_times and move_times[0] <= start:
+            location = f"GPU{moves[move_times.pop(0)].dst}"
+        dominant = max(range(len(pct)), key=pct.__getitem__)
+        print(f"t={int(start):>8}  " + "  ".join(
+            f"G{g}:{bar(p, 8)}" for g, p in enumerate(pct)
+        ) + f"  dominant=GPU{dominant}  resident={location}")
+    if moves:
+        print("page moves: " + ", ".join(
+            f"t={t}: {'CPU' if e.src < 0 else f'GPU{e.src}'}->GPU{e.dst}"
+            for t, e in sorted(moves.items())
+        ))
+    else:
+        print("page never migrated")
+
+
+def main() -> None:
+    config = small_system()
+
+    print("Pass 1: find the hottest owner-shifting page in SC (baseline run)...")
+    probe = run_workload("SC", "baseline", config=config, scale=SCALE, seed=SEED,
+                         keep_timeline=True)
+    page = probe.timeline.hottest_shifting_pages(1)[0]
+    totals = probe.timeline.per_gpu_totals(page)
+    print(f"Selected page {page}; per-GPU access totals {totals}")
+
+    print("Pass 2: replay the identical trace, watching that page...")
+    baseline = run_workload(
+        "SC", "baseline", config=config, scale=SCALE, seed=SEED,
+        watch_pages=[page], timeline_bucket=BUCKET, keep_timeline=True,
+    )
+    griffin = run_workload(
+        "SC", "griffin", config=config, scale=SCALE, seed=SEED,
+        watch_pages=[page], timeline_bucket=BUCKET, keep_timeline=True,
+    )
+
+    show_timeline("Figure 1: baseline (first-touch pins the page)", baseline, page)
+    show_timeline("Figure 10: Griffin (DPC follows the accessors)", griffin, page)
+
+    print()
+    print(f"Baseline makespan: {baseline.cycles:,.0f} cycles")
+    print(f"Griffin  makespan: {griffin.cycles:,.0f} cycles "
+          f"({baseline.cycles / griffin.cycles:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

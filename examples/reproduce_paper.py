@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Reproduce the whole paper: every table, every figure, one report.
+
+Runs the complete evaluation — Tables I-III, Figures 1/2/8-13, the
+hardware-cost estimate, and the shape-validation checks — printing each
+artifact and writing the figure data as CSV into ``paper_report/``.
+
+This is the long-running flagship example (~2 minutes); for single
+artifacts use ``griffin-sim figures fig12`` etc.
+
+Usage::
+
+    python examples/reproduce_paper.py [OUTPUT_DIR]
+"""
+
+import sys
+import time
+from pathlib import Path
+
+from repro.config.presets import small_system
+from repro.harness import experiments as ex
+from repro.harness import export as ex_csv
+from repro.harness.validate import validate_reproduction
+from repro.metrics.chart import bar_chart
+from repro.metrics.report import format_table
+
+SCALE = 0.015
+SEED = 3
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("paper_report")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    config = small_system()
+    kwargs = dict(config=config, scale=SCALE, seed=SEED)
+    started = time.time()
+
+    print("=" * 72)
+    print("Griffin (HPCA 2020) — full reproduction report")
+    print("=" * 72)
+
+    for table in (ex.table1_hyperparameters(), ex.table2_system_config(),
+                  ex.table3_workloads()):
+        print()
+        print(table.render())
+
+    print()
+    report = ex.hardware_cost_report()
+    print(format_table(["Component", "Cost"], report.rows(),
+                       "Section V: Griffin hardware cost"))
+
+    print()
+    fig1 = ex.fig1_page_access_timeline(**kwargs)
+    print(fig1.render())
+    ex_csv.export_timeline(fig1, out_dir / "fig1.csv")
+
+    fig2 = ex.fig2_first_touch_imbalance(**kwargs)
+    print()
+    print(ex.render_fig2(fig2))
+    ex_csv.export_occupancy(fig2, out_dir / "fig2.csv")
+
+    fig8 = ex.fig8_occupancy_balance(**kwargs)
+    print()
+    print(ex.render_fig8(fig8))
+    ex_csv.export_occupancy(fig8, out_dir / "fig8.csv")
+
+    fig9 = ex.fig9_tlb_shootdowns(**kwargs)
+    print()
+    print(ex.render_fig9(fig9))
+    ex_csv.export_shootdowns(fig9, out_dir / "fig9.csv")
+
+    fig10 = ex.fig10_dpc_migration(**kwargs)
+    print()
+    print(fig10.render())
+    ex_csv.export_timeline(fig10, out_dir / "fig10.csv")
+
+    fig11 = ex.fig11_acud_vs_flush(**kwargs)
+    print()
+    print(ex.render_fig11(fig11))
+    ex_csv.export_speedups(fig11, out_dir / "fig11.csv",
+                           "griffin_flush", "griffin")
+
+    fig12 = ex.fig12_overall_speedup(**kwargs)
+    print()
+    print(ex.render_fig12(fig12))
+    print()
+    print(bar_chart(fig12.speedups("baseline", "griffin"),
+                    "Figure 12 as bars (| marks 1.0)", reference=1.0))
+    ex_csv.export_speedups(fig12, out_dir / "fig12.csv")
+
+    fig13 = ex.fig13_high_bandwidth(scale=SCALE, seed=SEED)
+    print()
+    print(ex.render_fig13(fig13))
+    ex_csv.export_speedups(fig13, out_dir / "fig13.csv")
+
+    print()
+    print("=" * 72)
+    print("Shape validation against the paper's claims")
+    print("=" * 72)
+    validation = validate_reproduction(config=config, scale=SCALE, seed=SEED)
+    print(validation.render())
+
+    print()
+    print(f"CSV data written to {out_dir}/")
+    print(f"Total wall time: {time.time() - started:.1f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Griffin: Hardware-Software Support for Efficient Page Migration in
+Multi-GPU Systems (HPCA 2020) — a complete Python reproduction.
+
+Public API quickstart::
+
+    from repro import run_workload, compare_policies
+
+    results = compare_policies("SC", ["baseline", "griffin"])
+    speedup = results["baseline"].cycles / results["griffin"].cycles
+
+Packages:
+
+* :mod:`repro.core` — Griffin's four mechanisms (DFTM, CPMS, DPC, ACUD).
+* :mod:`repro.system` — the assembled multi-GPU machine.
+* :mod:`repro.gpu`, :mod:`repro.mem`, :mod:`repro.vm`,
+  :mod:`repro.interconnect` — hardware substrates.
+* :mod:`repro.workloads` — Table III's ten benchmarks.
+* :mod:`repro.harness` — experiment runner and figure regeneration.
+"""
+
+from repro.config import (
+    GriffinHyperParams,
+    SystemConfig,
+    nvlink_system,
+    paper_system,
+    small_system,
+    tiny_system,
+)
+from repro.core import (
+    DrainStrategy,
+    PageClass,
+    PolicyConfig,
+    baseline_policy,
+    estimate_hardware_cost,
+    get_policy,
+    griffin_flush_policy,
+    griffin_policy,
+    list_policies,
+)
+from repro.harness import RunResult, compare_policies, run_workload
+from repro.system import Machine
+from repro.workloads import WORKLOAD_SPECS, get_workload, list_workloads
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GriffinHyperParams",
+    "SystemConfig",
+    "paper_system",
+    "nvlink_system",
+    "small_system",
+    "tiny_system",
+    "DrainStrategy",
+    "PageClass",
+    "PolicyConfig",
+    "baseline_policy",
+    "griffin_policy",
+    "griffin_flush_policy",
+    "get_policy",
+    "list_policies",
+    "estimate_hardware_cost",
+    "RunResult",
+    "run_workload",
+    "compare_policies",
+    "Machine",
+    "WORKLOAD_SPECS",
+    "get_workload",
+    "list_workloads",
+    "__version__",
+]

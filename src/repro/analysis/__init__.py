@@ -1,0 +1,19 @@
+"""Post-run analysis: migration efficiency, sharing, phase structure."""
+
+from repro.analysis.migration import (
+    MigrationAudit,
+    MigrationVerdict,
+    audit_migrations,
+)
+from repro.analysis.sharing import SharingProfile, profile_sharing
+from repro.analysis.phases import PhaseReport, detect_phases
+
+__all__ = [
+    "MigrationAudit",
+    "MigrationVerdict",
+    "audit_migrations",
+    "SharingProfile",
+    "profile_sharing",
+    "PhaseReport",
+    "detect_phases",
+]

@@ -1,0 +1,122 @@
+"""Migration auditing: was each inter-GPU migration worth it?
+
+The paper observes that Griffin's migration is reactive — a page moves
+only after DPC recognizes the benefit — and that on irregular workloads
+(PR) migrations can land after the accessor has already moved on.  This
+module quantifies that per migration: for each GPU-to-GPU move it counts
+the destination GPU's share of the page's accesses in the window after
+the move, and grades the move.
+
+Requires a run with ``keep_timeline=True`` and the page in the timeline's
+watch set, or — the common case — audits at whole-run granularity using
+the per-(page, GPU) totals recorded for every page.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.harness.results import RunResult
+
+
+class MigrationVerdict(enum.Enum):
+    """Grade of one inter-GPU migration."""
+
+    JUSTIFIED = "justified"      # destination is a top accessor of the page
+    NEUTRAL = "neutral"          # destination accesses it, but not dominantly
+    WASTED = "wasted"            # destination barely touches the page
+
+
+@dataclass(frozen=True)
+class MigrationAudit:
+    """The audit of one run's inter-GPU migrations.
+
+    Attributes:
+        total: Inter-GPU migrations audited.
+        verdicts: Migration count per verdict.
+        justified_fraction: Share graded JUSTIFIED.
+        per_page_moves: page -> number of inter-GPU moves (ping-pong
+            shows up as pages with many moves).
+        ping_pong_pages: Pages that moved 3+ times between GPUs.
+    """
+
+    total: int
+    verdicts: dict
+    justified_fraction: float
+    per_page_moves: dict
+    ping_pong_pages: list
+
+    def render(self) -> str:
+        lines = [f"Inter-GPU migrations audited: {self.total}"]
+        for verdict in MigrationVerdict:
+            count = self.verdicts.get(verdict, 0)
+            share = count / self.total if self.total else 0.0
+            lines.append(f"  {verdict.value:<10} {count:>5}  ({share:.0%})")
+        if self.ping_pong_pages:
+            lines.append(
+                f"  ping-pong pages (3+ moves): {len(self.ping_pong_pages)}"
+            )
+        return "\n".join(lines)
+
+
+def audit_migrations(
+    result: RunResult,
+    justified_share: float = 0.4,
+    wasted_share: float = 0.1,
+) -> MigrationAudit:
+    """Grade every inter-GPU migration of a run.
+
+    A move to GPU *g* at time *t* is graded by *g*'s share of the page's
+    accesses in the window from *t* to the page's next move (or the end
+    of the run): JUSTIFIED at or above ``justified_share``, WASTED under
+    ``wasted_share``, NEUTRAL otherwise.  The windowed view needs a
+    bucketized series — run with ``watch_pages="all"`` (preferred) or
+    watch the pages of interest; pages without a series fall back to
+    whole-run totals.
+
+    Requires ``keep_timeline=True`` on the run.
+    """
+    if result.timeline is None:
+        raise ValueError("audit requires a run with keep_timeline=True")
+    timeline = result.timeline
+
+    inter_moves = [
+        e for e in result.migration_events if e.src >= 0 and e.dst >= 0
+    ]
+    next_move_at: dict = {}
+    move_windows = []
+    for event in sorted(inter_moves, key=lambda e: e.time, reverse=True):
+        end = next_move_at.get(event.page, result.cycles)
+        move_windows.append((event, end))
+        next_move_at[event.page] = event.time
+    move_windows.reverse()
+
+    verdicts: dict = {v: 0 for v in MigrationVerdict}
+    per_page_moves: dict = {}
+    total = 0
+    for event, window_end in move_windows:
+        total += 1
+        per_page_moves[event.page] = per_page_moves.get(event.page, 0) + 1
+        counts = timeline.window_counts(event.page, event.time, window_end)
+        if sum(counts) == 0:
+            counts = timeline.per_gpu_totals(event.page)
+        page_total = sum(counts)
+        share = counts[event.dst] / page_total if page_total else 0.0
+        if share >= justified_share:
+            verdicts[MigrationVerdict.JUSTIFIED] += 1
+        elif share < wasted_share:
+            verdicts[MigrationVerdict.WASTED] += 1
+        else:
+            verdicts[MigrationVerdict.NEUTRAL] += 1
+
+    justified = verdicts[MigrationVerdict.JUSTIFIED]
+    return MigrationAudit(
+        total=total,
+        verdicts=verdicts,
+        justified_fraction=justified / total if total else 0.0,
+        per_page_moves=per_page_moves,
+        ping_pong_pages=sorted(
+            p for p, n in per_page_moves.items() if n >= 3
+        ),
+    )

@@ -1,0 +1,68 @@
+"""Phase detection from migration activity.
+
+Kernels are bulk-synchronous, so ownership changes cluster at phase
+boundaries.  This module recovers that structure from a run's migration
+events alone — useful when analysing a run whose workload internals are
+unknown (e.g. a loaded JSON result).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.harness.results import RunResult
+
+
+@dataclass(frozen=True)
+class PhaseReport:
+    """Clustered migration activity.
+
+    Attributes:
+        bursts: list of (start_cycle, end_cycle, migration_count).
+        quiet_fraction: Share of the run with no migration activity.
+        makespan: Run length in cycles.
+    """
+
+    bursts: list
+    quiet_fraction: float
+    makespan: float
+
+    @property
+    def num_bursts(self) -> int:
+        return len(self.bursts)
+
+    def render(self) -> str:
+        lines = [f"{self.num_bursts} migration burst(s); "
+                 f"{self.quiet_fraction:.0%} of the run quiet"]
+        for start, end, count in self.bursts:
+            lines.append(f"  [{int(start):>9} .. {int(end):>9}]  {count} moves")
+        return "\n".join(lines)
+
+
+def detect_phases(result: RunResult, gap_cycles: float = 50_000) -> PhaseReport:
+    """Cluster migration events separated by less than ``gap_cycles``.
+
+    Returns an empty report for runs without migrations.
+    """
+    events = sorted(e.time for e in result.migration_events)
+    makespan = result.cycles
+    if not events:
+        return PhaseReport([], 1.0, makespan)
+
+    bursts = []
+    start = events[0]
+    last = events[0]
+    count = 1
+    for t in events[1:]:
+        if t - last <= gap_cycles:
+            last = t
+            count += 1
+            continue
+        bursts.append((start, last, count))
+        start = last = t
+        count = 1
+    bursts.append((start, last, count))
+
+    busy = sum(end - begin for begin, end, _ in bursts)
+    quiet = max(0.0, 1.0 - busy / makespan) if makespan > 0 else 0.0
+    return PhaseReport(bursts, quiet, makespan)

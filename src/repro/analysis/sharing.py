@@ -1,0 +1,91 @@
+"""Page-sharing profiles: how many GPUs touch each page, how hard.
+
+A compact summary of the property that decides whether first-touch
+pinning, DCA, or migration is the right tool for a page — the axis the
+paper's Table III "access pattern" column describes qualitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.harness.results import RunResult
+
+
+@dataclass(frozen=True)
+class SharingProfile:
+    """Sharing structure of one run's touched pages.
+
+    Attributes:
+        total_pages: Pages touched at least once.
+        pages_by_degree: sharing degree (GPU count) -> page count.
+        private_fraction: Pages touched by exactly one GPU.
+        fully_shared_fraction: Pages touched by every GPU.
+        touch_once_fraction: Pages with exactly one access, ever.
+        gini: Inequality of per-page access totals in [0, 1]
+            (0 = all pages equally hot).
+    """
+
+    total_pages: int
+    pages_by_degree: dict
+    private_fraction: float
+    fully_shared_fraction: float
+    touch_once_fraction: float
+    gini: float
+
+    def render(self) -> str:
+        lines = [f"Pages touched: {self.total_pages}"]
+        for degree in sorted(self.pages_by_degree):
+            count = self.pages_by_degree[degree]
+            lines.append(f"  shared by {degree} GPU(s): {count:>5}  "
+                         f"({count / self.total_pages:.0%})")
+        lines.append(f"  touch-once pages: {self.touch_once_fraction:.0%}")
+        lines.append(f"  access-heat gini: {self.gini:.2f}")
+        return "\n".join(lines)
+
+
+def _gini(values) -> float:
+    vals = sorted(v for v in values if v > 0)
+    n = len(vals)
+    if n == 0:
+        return 0.0
+    total = sum(vals)
+    if total == 0:
+        return 0.0
+    cumulative = 0.0
+    for i, v in enumerate(vals, start=1):
+        cumulative += i * v
+    return max(0.0, (2.0 * cumulative) / (n * total) - (n + 1) / n)
+
+
+def profile_sharing(result: RunResult) -> SharingProfile:
+    """Build the sharing profile of a run (requires keep_timeline=True)."""
+    if result.timeline is None:
+        raise ValueError("profiling requires a run with keep_timeline=True")
+    timeline = result.timeline
+    num_gpus = timeline.num_gpus
+
+    degrees: dict = {}
+    touch_once = 0
+    heats = []
+    total_pages = 0
+    for page in timeline._totals:
+        totals = timeline.per_gpu_totals(page)
+        degree = sum(1 for c in totals if c > 0)
+        heat = sum(totals)
+        total_pages += 1
+        degrees[degree] = degrees.get(degree, 0) + 1
+        heats.append(heat)
+        if heat == 1:
+            touch_once += 1
+
+    if total_pages == 0:
+        return SharingProfile(0, {}, 0.0, 0.0, 0.0, 0.0)
+    return SharingProfile(
+        total_pages=total_pages,
+        pages_by_degree=degrees,
+        private_fraction=degrees.get(1, 0) / total_pages,
+        fully_shared_fraction=degrees.get(num_gpus, 0) / total_pages,
+        touch_once_fraction=touch_once / total_pages,
+        gini=_gini(heats),
+    )

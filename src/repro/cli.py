@@ -1,0 +1,310 @@
+"""Command-line interface: ``griffin-sim``.
+
+Subcommands::
+
+    griffin-sim run SC --policy griffin          # one simulation, summary
+    griffin-sim compare MT                       # baseline vs. griffin
+    griffin-sim figures fig12 fig9               # regenerate paper figures
+    griffin-sim tables                           # Tables I-III + HW cost
+    griffin-sim list                             # workloads & policies
+
+All simulations are deterministic for a given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.config.presets import NVLINK, PCIE_V4, paper_system, small_system
+from repro.core.policies import list_policies
+from repro.harness import experiments as ex
+from repro.harness import export as ex_csv
+from repro.harness.runner import run_workload
+from repro.metrics.chart import bar_chart
+from repro.metrics.report import format_table
+from repro.workloads.registry import list_workloads
+
+# name -> (experiment fn, renderer, csv exporter or None)
+_FIGURES = {
+    "fig1": (
+        ex.fig1_page_access_timeline,
+        lambda r: r.render(),
+        ex_csv.export_timeline,
+    ),
+    "fig2": (
+        ex.fig2_first_touch_imbalance,
+        ex.render_fig2,
+        ex_csv.export_occupancy,
+    ),
+    "fig8": (
+        ex.fig8_occupancy_balance,
+        ex.render_fig8,
+        ex_csv.export_occupancy,
+    ),
+    "fig9": (
+        ex.fig9_tlb_shootdowns,
+        ex.render_fig9,
+        ex_csv.export_shootdowns,
+    ),
+    "fig10": (
+        ex.fig10_dpc_migration,
+        lambda r: r.render(),
+        ex_csv.export_timeline,
+    ),
+    "fig11": (
+        ex.fig11_acud_vs_flush,
+        ex.render_fig11,
+        lambda r, p: ex_csv.export_speedups(r, p, "griffin_flush", "griffin"),
+    ),
+    "fig12": (
+        ex.fig12_overall_speedup,
+        ex.render_fig12,
+        ex_csv.export_speedups,
+    ),
+    "fig13": (
+        ex.fig13_high_bandwidth,
+        ex.render_fig13,
+        ex_csv.export_speedups,
+    ),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="griffin-sim",
+        description="Griffin (HPCA 2020) multi-GPU page-migration simulator",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_sim_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--scale", type=float, default=0.015,
+                       help="footprint scale (default 0.015)")
+        p.add_argument("--seed", type=int, default=3, help="RNG seed")
+        p.add_argument("--gpus", type=int, default=4, help="GPU count")
+        p.add_argument("--fabric", choices=["pcie", "nvlink"], default="pcie")
+        p.add_argument("--full-size", action="store_true",
+                       help="use the paper's full Table II GPU (slower)")
+
+    run_p = sub.add_parser("run", help="simulate one workload under one policy")
+    run_p.add_argument("workload", help="Table III abbreviation (e.g. SC)")
+    run_p.add_argument("--policy", default="griffin", help="policy name")
+    run_p.add_argument("--detail", action="store_true",
+                       help="print the full component-level statistics")
+    run_p.add_argument("--save", metavar="PATH",
+                       help="write the result to a JSON file")
+    add_sim_options(run_p)
+
+    cmp_p = sub.add_parser("compare", help="compare policies on one workload")
+    cmp_p.add_argument("workload")
+    cmp_p.add_argument("--policies", default="baseline,griffin",
+                       help="comma-separated policy names")
+    add_sim_options(cmp_p)
+
+    fig_p = sub.add_parser("figures", help="regenerate paper figures")
+    fig_p.add_argument("names", nargs="*", default=[],
+                       help=f"figures to run ({', '.join(_FIGURES)}); "
+                            "default: all")
+    fig_p.add_argument("--export", metavar="DIR",
+                       help="also write each figure's data as CSV here")
+    fig_p.add_argument("--chart", action="store_true",
+                       help="render speedup figures as ASCII bar charts")
+    add_sim_options(fig_p)
+
+    sub.add_parser("tables", help="print Tables I-III and the hardware cost")
+    sub.add_parser("list", help="list workloads and policies")
+
+    val_p = sub.add_parser(
+        "validate", help="grade the paper's shape claims on this machine"
+    )
+    val_p.add_argument("--workloads", default="",
+                       help="comma-separated subset (default: all ten)")
+    add_sim_options(val_p)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="run a workload x policy grid and tabulate it"
+    )
+    sweep_p.add_argument("--workloads", default="MT,SC,PR",
+                         help="comma-separated workloads")
+    sweep_p.add_argument("--policies", default="baseline,griffin",
+                         help="comma-separated policies")
+    sweep_p.add_argument("--metric", default="cycles",
+                         help="metric to tabulate (cycles, local_fraction, "
+                              "shootdowns, migrations, gpu_to_gpu, imbalance)")
+    sweep_p.add_argument("--workers", type=int, default=1,
+                         help="parallel worker processes")
+    add_sim_options(sweep_p)
+    return parser
+
+
+def _make_config(args: argparse.Namespace):
+    base = paper_system(args.gpus) if args.full_size else small_system(args.gpus)
+    return base.with_link(NVLINK if args.fabric == "nvlink" else PCIE_V4)
+
+
+def _summarize(result) -> str:
+    rows = [
+        ["Cycles", f"{result.cycles:,.0f}"],
+        ["Transactions", result.transactions],
+        ["Local access fraction", f"{result.local_fraction:.3f}"],
+        ["Pages per GPU (%)",
+         " / ".join(f"{p:.0f}" for p in result.occupancy.percentages())],
+        ["TLB shootdowns", result.total_shootdowns],
+        ["CPU->GPU migrations", result.cpu_to_gpu_migrations],
+        ["GPU->GPU migrations", result.gpu_to_gpu_migrations],
+        ["DFTM denials", result.dftm_denials],
+    ]
+    return format_table(
+        ["Metric", "Value"], rows,
+        f"{result.workload} under {result.policy}",
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_workload(
+        args.workload.upper(), args.policy, config=_make_config(args),
+        scale=args.scale, seed=args.seed, collect_detail=args.detail,
+    )
+    print(_summarize(result))
+    if args.detail and result.detail is not None:
+        from repro.metrics.collector import render_stats
+
+        print()
+        print(render_stats(result.detail))
+    if args.save:
+        from repro.harness.io import save_result
+
+        path = save_result(result, args.save)
+        print(f"\nresult written to {path}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    config = _make_config(args)
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    if len(policies) < 2:
+        print("compare needs at least two policies", file=sys.stderr)
+        return 2
+    results = {
+        policy: run_workload(
+            args.workload.upper(), policy, config=config,
+            scale=args.scale, seed=args.seed,
+        )
+        for policy in policies
+    }
+    reference = results[policies[0]]
+    rows = [
+        [policy,
+         f"{r.cycles:,.0f}",
+         f"{reference.cycles / r.cycles:.2f}",
+         f"{r.local_fraction:.3f}",
+         r.total_shootdowns]
+        for policy, r in results.items()
+    ]
+    print(format_table(
+        ["Policy", "Cycles", f"Speedup vs {policies[0]}", "Local frac",
+         "Shootdowns"],
+        rows, f"{args.workload.upper()}: policy comparison",
+    ))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    names = [n.lower() for n in args.names] or list(_FIGURES)
+    unknown = [n for n in names if n not in _FIGURES]
+    if unknown:
+        print(f"unknown figures: {', '.join(unknown)}; "
+              f"available: {', '.join(_FIGURES)}", file=sys.stderr)
+        return 2
+    kwargs = dict(config=_make_config(args), scale=args.scale, seed=args.seed)
+    for name in names:
+        experiment, renderer, exporter = _FIGURES[name]
+        result = experiment(**dict(kwargs))
+        print(renderer(result))
+        if args.chart and name in ("fig11", "fig12", "fig13"):
+            baseline = "griffin_flush" if name == "fig11" else "baseline"
+            speedups = result.speedups(baseline, "griffin")
+            print()
+            print(bar_chart(speedups, f"{name}: speedup", reference=1.0))
+        if args.export and exporter is not None:
+            from pathlib import Path
+
+            path = exporter(result, Path(args.export) / f"{name}.csv")
+            print(f"[data written to {path}]")
+        print()
+    return 0
+
+
+def _cmd_tables(_args: argparse.Namespace) -> int:
+    print(ex.table1_hyperparameters().render())
+    print()
+    print(ex.table2_system_config().render())
+    print()
+    print(ex.table3_workloads().render())
+    print()
+    report = ex.hardware_cost_report()
+    print(format_table(["Component", "Cost"], report.rows(),
+                       "Section V: Griffin hardware cost"))
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("Workloads: " + ", ".join(list_workloads()))
+    print("Policies:  " + ", ".join(list_policies()))
+    print("Figures:   " + ", ".join(_FIGURES))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.harness.validate import validate_reproduction
+
+    workloads = [w.strip().upper() for w in args.workloads.split(",") if w.strip()]
+    report = validate_reproduction(
+        config=_make_config(args), scale=args.scale, seed=args.seed,
+        workloads=workloads or None,
+    )
+    print(report.render())
+    return 0 if report.passed else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.harness.sweep import Sweep
+
+    sweep = Sweep(
+        workloads=[w.strip().upper() for w in args.workloads.split(",") if w.strip()],
+        policies=[p.strip() for p in args.policies.split(",") if p.strip()],
+        configs={"default": _make_config(args)},
+    )
+    result = sweep.run(scale=args.scale, seed=args.seed, workers=args.workers)
+    print(result.table(args.metric))
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    if len(policies) >= 2:
+        print()
+        print(result.speedup_table(policies[0], policies[1]))
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "compare": _cmd_compare,
+    "figures": _cmd_figures,
+    "tables": _cmd_tables,
+    "list": _cmd_list,
+    "validate": _cmd_validate,
+    "sweep": _cmd_sweep,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,35 @@
+"""Configuration objects: Table I hyperparameters and Table II system config."""
+
+from repro.config.hyperparams import GriffinHyperParams
+from repro.config.system import (
+    CacheConfig,
+    DRAMConfig,
+    GPUConfig,
+    IOMMUConfig,
+    LinkConfig,
+    SystemConfig,
+    TLBConfig,
+    TimingConfig,
+)
+from repro.config.presets import (
+    nvlink_system,
+    paper_system,
+    small_system,
+    tiny_system,
+)
+
+__all__ = [
+    "GriffinHyperParams",
+    "CacheConfig",
+    "DRAMConfig",
+    "GPUConfig",
+    "IOMMUConfig",
+    "LinkConfig",
+    "SystemConfig",
+    "TLBConfig",
+    "TimingConfig",
+    "paper_system",
+    "nvlink_system",
+    "small_system",
+    "tiny_system",
+]

@@ -1,0 +1,75 @@
+"""Ready-made system configurations.
+
+``paper_system`` matches Table II.  ``nvlink_system`` swaps the PCIe-v4
+fabric for an NVLink-class link (used by Figure 13).  ``small_system`` and
+``tiny_system`` shrink the GPU so unit/integration tests run quickly while
+keeping every mechanism on the same code path.
+"""
+
+from __future__ import annotations
+
+from repro.config.system import (
+    KB,
+    CacheConfig,
+    DRAMConfig,
+    GPUConfig,
+    IOMMUConfig,
+    LinkConfig,
+    SystemConfig,
+    TLBConfig,
+)
+
+PCIE_V4 = LinkConfig(name="PCIe-v4", bandwidth_gbps=32.0, latency=500)
+NVLINK = LinkConfig(name="NVLink", bandwidth_gbps=128.0, latency=300)
+
+
+def paper_system(num_gpus: int = 4) -> SystemConfig:
+    """The 4x AMD MI6 configuration of paper Table II."""
+    return SystemConfig(num_gpus=num_gpus, link=PCIE_V4)
+
+
+def nvlink_system(num_gpus: int = 4) -> SystemConfig:
+    """Paper system with a higher-bandwidth NVLink-class fabric (Fig. 13)."""
+    return SystemConfig(num_gpus=num_gpus, link=NVLINK)
+
+
+def small_system(num_gpus: int = 4) -> SystemConfig:
+    """A shrunken system for fast integration tests and examples.
+
+    2 SEs x 4 CUs per GPU, smaller caches/TLBs; identical mechanisms.
+    """
+    gpu = GPUConfig(
+        num_shader_engines=2,
+        cus_per_se=4,
+        l1v=CacheConfig(4 * KB, 4),
+        l1i=CacheConfig(8 * KB, 4),
+        l1s=CacheConfig(4 * KB, 4),
+        l2=CacheConfig(64 * KB, 16),
+        l2_slices=4,
+        l1_tlb=TLBConfig(1, 16),
+        l2_tlb=TLBConfig(16, 8, latency=10),
+        dram=DRAMConfig(size_bytes=64 * 1024 * 1024, channels=4),
+        max_inflight_per_cu=8,
+        concurrent_workgroups_per_cu=2,
+    )
+    return SystemConfig(num_gpus=num_gpus, gpu=gpu, link=PCIE_V4)
+
+
+def tiny_system(num_gpus: int = 2) -> SystemConfig:
+    """The smallest useful system, for unit tests of end-to-end paths."""
+    gpu = GPUConfig(
+        num_shader_engines=1,
+        cus_per_se=2,
+        l1v=CacheConfig(1 * KB, 2),
+        l1i=CacheConfig(2 * KB, 2),
+        l1s=CacheConfig(1 * KB, 2),
+        l2=CacheConfig(8 * KB, 4),
+        l2_slices=2,
+        l1_tlb=TLBConfig(1, 8),
+        l2_tlb=TLBConfig(8, 4, latency=10),
+        dram=DRAMConfig(size_bytes=16 * 1024 * 1024, channels=2),
+        max_inflight_per_cu=4,
+        concurrent_workgroups_per_cu=2,
+    )
+    iommu = IOMMUConfig(num_walkers=4, walk_latency=200)
+    return SystemConfig(num_gpus=num_gpus, gpu=gpu, link=PCIE_V4, iommu=iommu)

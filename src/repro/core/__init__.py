@@ -1,0 +1,52 @@
+"""Griffin's four mechanisms — the paper's primary contribution.
+
+* :mod:`repro.core.dftm` — Delayed First-Touch Migration (Section III-A)
+* :mod:`repro.core.cpms` — Cooperative Page Migration Scheduling (III-B)
+* :mod:`repro.core.dpc` — Dynamic Page Classification (III-C)
+* :mod:`repro.core.acud` — Asynchronous Compute Unit Draining (III-D)
+* :mod:`repro.core.policies` — policy compositions (baseline, Griffin,
+  Griffin+flush, component ablations)
+* :mod:`repro.core.hardware_cost` — the Section V hardware-cost estimates
+"""
+
+from repro.core.classification import MigrationCandidate, PageClass
+from repro.core.dftm import DelayedFirstTouchMigration, FaultDecision
+from repro.core.dpc import DynamicPageClassifier
+from repro.core.cpms import FaultBatcher, MigrationPlanner
+from repro.core.acud import DrainStrategy
+from repro.core.adaptive import AdaptiveMigrationController
+from repro.core.predictive import PredictiveMigration
+from repro.core.policies import (
+    PolicyConfig,
+    baseline_policy,
+    get_policy,
+    griffin_flush_policy,
+    griffin_adaptive_policy,
+    griffin_policy,
+    griffin_predictive_policy,
+    list_policies,
+)
+from repro.core.hardware_cost import HardwareCostReport, estimate_hardware_cost
+
+__all__ = [
+    "MigrationCandidate",
+    "PageClass",
+    "DelayedFirstTouchMigration",
+    "FaultDecision",
+    "DynamicPageClassifier",
+    "FaultBatcher",
+    "MigrationPlanner",
+    "DrainStrategy",
+    "PredictiveMigration",
+    "AdaptiveMigrationController",
+    "griffin_predictive_policy",
+    "griffin_adaptive_policy",
+    "PolicyConfig",
+    "baseline_policy",
+    "griffin_policy",
+    "griffin_flush_policy",
+    "get_policy",
+    "list_policies",
+    "HardwareCostReport",
+    "estimate_hardware_cost",
+]

@@ -1,0 +1,29 @@
+"""Asynchronous Compute Unit Draining (paper Section III-D).
+
+The mechanics live in :class:`repro.gpu.compute_unit.ComputeUnit`
+(the in-flight buffer scan) and :class:`repro.gpu.drain.DrainController`
+(the per-GPU fan-out of Figure 7).  This module defines the strategy
+selector the driver uses: Griffin runs ACUD; the Figure 11 comparison
+point runs Griffin with conventional pipeline flushing instead.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class DrainStrategy(enum.Enum):
+    """How a source GPU is quiesced before pages migrate out of it."""
+
+    ACUD = "acud"
+    FLUSH = "flush"
+
+    @classmethod
+    def parse(cls, value) -> "DrainStrategy":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            names = ", ".join(s.value for s in cls)
+            raise ValueError(f"unknown drain strategy {value!r}; expected one of {names}")

@@ -1,0 +1,153 @@
+"""Adaptive migration throttling (extension).
+
+The paper's PR result shows reactive migration can be net-negative when
+access patterns are irregular; its classification is "configurable" but
+statically so.  This extension closes the loop: the driver audits each
+migration round against the *next* collection period — did the pages we
+moved end up at their current dominant accessor? — and throttles the
+migration cadence when the hit rate is poor.
+
+The controller keeps a multiplicative backoff factor on the migration
+period:
+
+* hit rate below ``throttle_below`` → double the backoff (up to
+  ``max_backoff``) — patterns are too irregular to chase;
+* hit rate above ``restore_above`` → halve it — migrations are landing,
+  run at full cadence.
+
+With this controller, workloads like SC (regular epochs) run at full
+aggressiveness while workloads like PR (non-recurring bursts) quickly
+back off to near-zero migration activity, converting the paper's PR
+slowdown into parity without touching its SC win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.dpc import DynamicPageClassifier
+
+
+@dataclass
+class AdaptiveMigrationController:
+    """Closed-loop throttle on the inter-GPU migration cadence.
+
+    Attributes:
+        throttle_below: Hit rate under which the backoff doubles.
+        restore_above: Hit rate over which the backoff halves.
+        max_backoff: Upper bound on the period multiplier.
+        backoff: Current period multiplier (1 = full cadence).
+    """
+
+    throttle_below: float = 0.4
+    restore_above: float = 0.7
+    max_backoff: int = 16
+    accumulate_periods: int = 5
+    backoff: int = 1
+    _pending: dict = field(default_factory=dict)  # page -> (dst, accum[])
+    _periods_accumulated: int = 0
+    _skip_budget: int = 0
+    corrections: list = field(default_factory=list)  # [(page, better_dst)]
+    rounds_audited: int = 0
+    rounds_skipped: int = 0
+    corrections_issued: int = 0
+    hits: int = 0
+    misses: int = 0
+
+    # ------------------------------------------------------------------
+
+    def note_round(self, plan: dict) -> None:
+        """Record the (page, dst) pairs of a migration round for auditing."""
+        self._pending = {
+            cand.page: (cand.dst, None)
+            for cands in plan.values()
+            for cand in cands
+        }
+        self._periods_accumulated = 0
+
+    def audit(self, dpc: DynamicPageClassifier) -> None:
+        """Grade the last round against *raw* counts accumulated after it.
+
+        The EWMA still carries the burst that motivated the migration for
+        several periods, so grading against it would be circular.  Raw
+        per-period counts are too sparse to grade individually, so they
+        are accumulated for ``accumulate_periods`` collection periods; a
+        page is a hit when the accumulated accesses are dominated by its
+        new home, a miss when another GPU dominates, and ungraded when
+        nobody touched it at all.
+        """
+        if not self._pending:
+            return
+        num_gpus = dpc.num_gpus
+        for page, (dst, accum) in list(self._pending.items()):
+            raw = dpc.last_raw_counts(page)
+            if accum is None:
+                accum = [0] * num_gpus
+            for g in range(num_gpus):
+                accum[g] += raw[g]
+            self._pending[page] = (dst, accum)
+        self._periods_accumulated += 1
+        if self._periods_accumulated < self.accumulate_periods:
+            return
+
+        hits = 0
+        graded = 0
+        missed_pages = []
+        for page, (dst, accum) in self._pending.items():
+            if accum is None or sum(accum) == 0:
+                continue
+            graded += 1
+            top = max(range(num_gpus), key=accum.__getitem__)
+            if top == dst:
+                hits += 1
+            else:
+                missed_pages.append((page, top))
+        self._pending = {}
+        if graded == 0:
+            return
+        self.rounds_audited += 1
+        self.hits += hits
+        self.misses += graded - hits
+        hit_rate = hits / graded
+        if hit_rate < self.throttle_below:
+            self.backoff = min(self.max_backoff, self.backoff * 2)
+            # The round mostly misjudged: nominate the stranded pages back
+            # to their observed steady accessors.  Good rounds' few misses
+            # are left for DPC to correct naturally — issuing corrections
+            # against a mostly-right round just ping-pongs pages.
+            self.corrections.extend(missed_pages)
+        elif hit_rate > self.restore_above and self.backoff > 1:
+            self.backoff //= 2
+
+    def should_run_round(self) -> bool:
+        """Gate a migration phase by the current backoff factor."""
+        if self._skip_budget > 0:
+            self._skip_budget -= 1
+            self.rounds_skipped += 1
+            return False
+        self._skip_budget = self.backoff - 1
+        return True
+
+    def take_corrections(self) -> list:
+        """Drain the pending (page, better_dst) correction nominations."""
+        corrections, self.corrections = self.corrections, []
+        self.corrections_issued += len(corrections)
+        return corrections
+
+    def page_budget(self, probation_pages: int = 64):
+        """Cap on pages per round, or None for no cap.
+
+        Until the first audit lands (and whenever the controller is backed
+        off), rounds run on probation with a small budget: a misjudged
+        round then scatters at most ``probation_pages`` pages instead of a
+        full round's worth — the unaudited first round is where an
+        irregular workload takes most of its damage.
+        """
+        if self.rounds_audited == 0 or self.backoff > 1:
+            return probation_pages
+        return None
+
+    @property
+    def hit_rate(self) -> float:
+        graded = self.hits + self.misses
+        return self.hits / graded if graded else 0.0

@@ -1,0 +1,37 @@
+"""Page classes and migration candidates (DPC vocabulary)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class PageClass(enum.Enum):
+    """The five DPC page categories (paper Section III-C)."""
+
+    MOSTLY_DEDICATED = "mostly_dedicated"
+    SHARED = "shared"
+    STREAMING = "streaming"
+    OWNER_SHIFTING = "owner_shifting"
+    OUT_OF_INTEREST = "out_of_interest"
+
+
+@dataclass(frozen=True)
+class MigrationCandidate:
+    """A page DPC selected for inter-GPU migration.
+
+    Attributes:
+        page: Virtual page number.
+        src: GPU currently holding the page.
+        dst: GPU the page should move to.
+        page_class: Why DPC picked it.
+        benefit: Expected locality gain (filtered accesses/period that
+            become local minus those that become remote); used by CPMS to
+            prioritize when a round is over-subscribed.
+    """
+
+    page: int
+    src: int
+    dst: int
+    page_class: PageClass
+    benefit: float

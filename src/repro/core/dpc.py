@@ -1,0 +1,219 @@
+"""Dynamic Page Classification (paper Section III-C).
+
+Raw per-GPU access counts collected from the Shader Engine tables are
+smoothed by an exponentially weighted moving average implemented in the
+IOMMU::
+
+    C^{p,g}_n = (1 - alpha) * C^{p,g}_{n-1} + alpha * N^{p,g}
+
+Each page is then placed into one of five classes:
+
+* **Mostly Dedicated** — highest per-GPU count at least ``lambda_d`` times
+  the second highest; migrate to the top GPU if not already there.
+* **Shared** — highest count at most ``lambda_s`` times the second
+  highest; migrate to the top GPU only if the page currently sits on a GPU
+  with a very low share of the accesses (not worth moving otherwise).
+* **Streaming** — per-GPU access rate stays below ``lambda_t`` per cycle;
+  never migrated (no locality to exploit).
+* **Owner-Shifting** — not classifiable as above, the current owner's
+  filtered count is falling while another GPU's is rising; always migrated
+  to the rising GPU.
+* **Out-of-Interest** — everything else; never migrated.
+
+Ordering note: we evaluate the streaming rate test before the dedicated /
+shared ratio tests.  The paper lists the classes in a different order, but
+without a floor the ratio tests would classify a page with counts (2, 0)
+as Mostly Dedicated and migrate it on noise; a genuinely dedicated page
+always clears the streaming floor, so the two orderings agree on every
+page with meaningful traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.hyperparams import GriffinHyperParams
+from repro.core.classification import MigrationCandidate, PageClass
+
+_FORGET_EPSILON = 1e-3
+
+
+@dataclass
+class _PageState:
+    """Filter state for one page: EWMA count, its trend, and the most
+    recent raw counts per GPU (the unfiltered signal the adaptive
+    controller audits against)."""
+
+    filtered: list[float]
+    trend: list[float]
+    last_raw: list[int]
+
+
+class DynamicPageClassifier:
+    """The EWMA filter plus the five-class page classifier."""
+
+    def __init__(self, hyper: GriffinHyperParams, num_gpus: int) -> None:
+        self.hyper = hyper
+        self.num_gpus = num_gpus
+        self._pages: dict[int, _PageState] = {}
+        self.updates = 0
+        self.class_counts: dict[PageClass, int] = {c: 0 for c in PageClass}
+
+    # ------------------------------------------------------------------
+    # Filtering
+    # ------------------------------------------------------------------
+
+    def update(self, counts_per_gpu: list[dict[int, int]]) -> None:
+        """Fold one collection period of raw counts into the filter.
+
+        ``counts_per_gpu[g]`` maps page -> raw count collected from GPU g
+        this period.  Pages absent from every GPU's report decay toward
+        zero and are forgotten once negligible.
+        """
+        if len(counts_per_gpu) != self.num_gpus:
+            raise ValueError(
+                f"expected counts for {self.num_gpus} GPUs, "
+                f"got {len(counts_per_gpu)}"
+            )
+        self.updates += 1
+        alpha = self.hyper.alpha
+        keep = 1.0 - alpha
+
+        touched = set(self._pages)
+        for counts in counts_per_gpu:
+            touched.update(counts)
+
+        dead: list[int] = []
+        for page in touched:
+            state = self._pages.get(page)
+            if state is None:
+                state = _PageState(
+                    [0.0] * self.num_gpus,
+                    [0.0] * self.num_gpus,
+                    [0] * self.num_gpus,
+                )
+                self._pages[page] = state
+            filtered = state.filtered
+            trend = state.trend
+            last_raw = state.last_raw
+            alive = False
+            for g in range(self.num_gpus):
+                raw = counts_per_gpu[g].get(page, 0)
+                last_raw[g] = raw
+                new = keep * filtered[g] + alpha * raw
+                trend[g] = new - filtered[g]
+                filtered[g] = new
+                if new > _FORGET_EPSILON:
+                    alive = True
+            if not alive:
+                dead.append(page)
+        for page in dead:
+            del self._pages[page]
+
+    def filtered_counts(self, page: int) -> list[float]:
+        """Current EWMA counts per GPU for ``page`` (zeros if unknown)."""
+        state = self._pages.get(page)
+        if state is None:
+            return [0.0] * self.num_gpus
+        return list(state.filtered)
+
+    def last_raw_counts(self, page: int) -> list[int]:
+        """The most recent collection period's raw counts for ``page``."""
+        state = self._pages.get(page)
+        if state is None:
+            return [0] * self.num_gpus
+        return list(state.last_raw)
+
+    def tracked_pages(self) -> int:
+        return len(self._pages)
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+
+    def classify(self, page: int, location: int) -> PageClass:
+        """Classify one page given its current resident GPU."""
+        state = self._pages.get(page)
+        if state is None:
+            return PageClass.OUT_OF_INTEREST
+        filtered = state.filtered
+        order = sorted(range(self.num_gpus), key=filtered.__getitem__, reverse=True)
+        top, top_count = order[0], filtered[order[0]]
+        second_count = filtered[order[1]] if self.num_gpus > 1 else 0.0
+
+        streaming_floor = self.hyper.lambda_t * self.hyper.t_ac
+        if top_count < streaming_floor:
+            return PageClass.STREAMING
+        if top_count >= self.hyper.lambda_d * max(second_count, streaming_floor / self.hyper.lambda_d):
+            return PageClass.MOSTLY_DEDICATED
+        if second_count > 0 and top_count <= self.hyper.lambda_s * second_count:
+            return PageClass.SHARED
+        if self._is_owner_shifting(state, location):
+            return PageClass.OWNER_SHIFTING
+        return PageClass.OUT_OF_INTEREST
+
+    def _is_owner_shifting(self, state: _PageState, location: int) -> bool:
+        if location < 0 or location >= self.num_gpus:
+            return False
+        top_count = max(state.filtered)
+        # A step from 0 to N moves the EWMA by alpha*N in one period, so
+        # this threshold is scale-free in the access intensity.
+        threshold = self.hyper.trend_fraction * self.hyper.alpha * top_count
+        if threshold <= 0:
+            return False
+        owner_falling = state.trend[location] < -threshold
+        challenger_rising = any(
+            state.trend[g] > threshold
+            for g in range(self.num_gpus)
+            if g != location
+        )
+        return owner_falling and challenger_rising
+
+    # ------------------------------------------------------------------
+    # Candidate selection
+    # ------------------------------------------------------------------
+
+    def select_candidates(self, location_of) -> list[MigrationCandidate]:
+        """Pick pages worth migrating, best locality gain first.
+
+        Args:
+            location_of: Callable page -> device id.  Only GPU-resident
+                pages are eligible (CPU-resident pages are DFTM's job).
+
+        Returns:
+            Candidates sorted by descending expected benefit.
+        """
+        candidates: list[MigrationCandidate] = []
+        for page, state in self._pages.items():
+            location = location_of(page)
+            if location < 0 or location >= self.num_gpus:
+                continue
+            page_class = self.classify(page, location)
+            self.class_counts[page_class] += 1
+            dst = self._destination(state, location, page_class)
+            if dst is None or dst == location:
+                continue
+            benefit = state.filtered[dst] - state.filtered[location]
+            if benefit <= 0:
+                continue
+            candidates.append(
+                MigrationCandidate(page, location, dst, page_class, benefit)
+            )
+        candidates.sort(key=lambda c: (-c.benefit, c.page))
+        return candidates
+
+    def _destination(self, state: _PageState, location: int, page_class: PageClass):
+        filtered = state.filtered
+        if page_class == PageClass.MOSTLY_DEDICATED:
+            return max(range(self.num_gpus), key=filtered.__getitem__)
+        if page_class == PageClass.SHARED:
+            total = sum(filtered)
+            if total <= 0:
+                return None
+            if filtered[location] / total >= self.hyper.shared_min_share:
+                return None  # already on a reasonably hot GPU; not worth it
+            return max(range(self.num_gpus), key=filtered.__getitem__)
+        if page_class == PageClass.OWNER_SHIFTING:
+            rising = [g for g in range(self.num_gpus) if g != location]
+            return max(rising, key=state.trend.__getitem__)
+        return None

@@ -1,0 +1,82 @@
+"""Hardware-cost estimates (paper Section V, "Hardware Cost").
+
+The paper reports:
+
+* **DFTM** — one extra page-table bit per page.
+* **CPMS** — no hardware; software data structures in the driver.
+* **DPC** — one access-count table per Shader Engine: 100 entries of
+  36-bit page ID + 8-bit count = 4 400 bits = 550 bytes per SE, 2 200
+  bytes per 4-SE GPU.
+* **ACUD** — per CU: a 64-bit comparator plus arithmetic shift logic that
+  scans the existing in-flight buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.hyperparams import GriffinHyperParams
+from repro.config.system import SystemConfig
+
+
+@dataclass(frozen=True)
+class HardwareCostReport:
+    """Griffin's added hardware, per GPU and system-wide.
+
+    Attributes:
+        dpc_bits_per_entry: Page ID bits + counter bits per table entry.
+        dpc_bytes_per_se: Storage of one SE's access-count table.
+        dpc_bytes_per_gpu: Storage of all SE tables on one GPU.
+        dpc_bytes_total: Across all GPUs.
+        dftm_bits_per_page: Extra page-table bits per page (1).
+        dftm_bytes_for_footprint: DFTM bits for a given page count.
+        acud_comparators_per_gpu: One 64-bit comparator per CU.
+        cpms_hardware_bytes: Zero; CPMS is driver software.
+    """
+
+    dpc_bits_per_entry: int
+    dpc_bytes_per_se: float
+    dpc_bytes_per_gpu: float
+    dpc_bytes_total: float
+    dftm_bits_per_page: int
+    dftm_bytes_for_footprint: float
+    acud_comparators_per_gpu: int
+    cpms_hardware_bytes: int
+
+    def rows(self) -> list[tuple[str, str]]:
+        """(component, cost) rows for report printing."""
+        return [
+            ("DPC table entry", f"{self.dpc_bits_per_entry} bits"),
+            ("DPC table / Shader Engine", f"{self.dpc_bytes_per_se:.0f} B"),
+            ("DPC tables / GPU", f"{self.dpc_bytes_per_gpu:.0f} B"),
+            ("DPC tables / system", f"{self.dpc_bytes_total:.0f} B"),
+            ("DFTM page-table bit", f"{self.dftm_bits_per_page} bit/page"),
+            ("DFTM bits for footprint", f"{self.dftm_bytes_for_footprint:.0f} B"),
+            ("ACUD comparators / GPU", f"{self.acud_comparators_per_gpu} x 64-bit"),
+            ("CPMS hardware", f"{self.cpms_hardware_bytes} B (driver software)"),
+        ]
+
+
+def estimate_hardware_cost(
+    system: SystemConfig,
+    hyper: GriffinHyperParams,
+    footprint_pages: int = 16384,
+) -> HardwareCostReport:
+    """Compute Griffin's hardware overhead for a given configuration.
+
+    With the paper's defaults (4 SEs, 100 entries, 36+8 bit entries) this
+    reproduces the published 2 200 bytes per GPU.
+    """
+    bits_per_entry = hyper.page_id_bits + hyper.counter_bits
+    bytes_per_se = hyper.counter_table_entries * bits_per_entry / 8
+    bytes_per_gpu = bytes_per_se * system.gpu.num_shader_engines
+    return HardwareCostReport(
+        dpc_bits_per_entry=bits_per_entry,
+        dpc_bytes_per_se=bytes_per_se,
+        dpc_bytes_per_gpu=bytes_per_gpu,
+        dpc_bytes_total=bytes_per_gpu * system.num_gpus,
+        dftm_bits_per_page=1,
+        dftm_bytes_for_footprint=footprint_pages / 8,
+        acud_comparators_per_gpu=system.gpu.num_cus,
+        cpms_hardware_bytes=0,
+    )

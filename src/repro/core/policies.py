@@ -1,0 +1,130 @@
+"""Migration policy compositions.
+
+A :class:`PolicyConfig` selects which of Griffin's four mechanisms are
+active; the driver consults it at every decision point.  The evaluation
+uses:
+
+* ``baseline`` — the conventional NUMA multi-GPU scheme: first-touch
+  migration serviced FCFS (one CPU flush per fault), pages pinned after
+  migration, all remote access via DCA.
+* ``griffin`` — DFTM + CPMS + DPC + ACUD (the full system).
+* ``griffin_flush`` — Griffin with pipeline flushing instead of ACUD
+  (Figure 11's comparison point).
+* component ablations (``griffin_no_dftm`` etc.) for the ablation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.acud import DrainStrategy
+
+
+@dataclass(frozen=True)
+class PolicyConfig:
+    """Which mechanisms are enabled.
+
+    Attributes:
+        name: Registry key.
+        dftm: Delayed First-Touch Migration on CPU faults.
+        batch_cpu_faults: CPMS batching of CPU->GPU migrations (False means
+            the baseline FCFS IOMMU scheduler).
+        inter_gpu_migration: Periodic DPC-driven GPU->GPU migration.
+        drain: How source GPUs are quiesced for inter-GPU migration.
+        predictive: Enable the speculative-migration extension (the
+            paper's stated future work; see :mod:`repro.core.predictive`).
+        adaptive: Enable the closed-loop migration throttle
+            (:mod:`repro.core.adaptive`).
+    """
+
+    name: str
+    dftm: bool
+    batch_cpu_faults: bool
+    inter_gpu_migration: bool
+    drain: DrainStrategy = DrainStrategy.ACUD
+    predictive: bool = False
+    adaptive: bool = False
+
+    def describe(self) -> str:
+        parts = []
+        parts.append("DFTM" if self.dftm else "first-touch")
+        parts.append("CPMS-batched faults" if self.batch_cpu_faults else "FCFS faults")
+        if self.inter_gpu_migration:
+            parts.append(f"DPC inter-GPU migration ({self.drain.value})")
+        else:
+            parts.append("pages pinned after migration")
+        return ", ".join(parts)
+
+
+def baseline_policy() -> PolicyConfig:
+    """The conventional NUMA multi-GPU scheme [10], [2]."""
+    return PolicyConfig(
+        name="baseline",
+        dftm=False,
+        batch_cpu_faults=False,
+        inter_gpu_migration=False,
+    )
+
+
+def griffin_policy() -> PolicyConfig:
+    """Full Griffin: DFTM + CPMS + DPC + ACUD."""
+    return PolicyConfig(
+        name="griffin",
+        dftm=True,
+        batch_cpu_faults=True,
+        inter_gpu_migration=True,
+        drain=DrainStrategy.ACUD,
+    )
+
+
+def griffin_flush_policy() -> PolicyConfig:
+    """Griffin with pipeline flushing instead of ACUD (Figure 11)."""
+    return replace(griffin_policy(), name="griffin_flush", drain=DrainStrategy.FLUSH)
+
+
+def griffin_predictive_policy() -> PolicyConfig:
+    """Griffin plus speculative migration (the paper's future work)."""
+    return replace(griffin_policy(), name="griffin_predictive", predictive=True)
+
+
+def griffin_adaptive_policy() -> PolicyConfig:
+    """Griffin with the closed-loop migration throttle."""
+    return replace(griffin_policy(), name="griffin_adaptive", adaptive=True)
+
+
+_REGISTRY = {
+    "baseline": baseline_policy,
+    "griffin": griffin_policy,
+    "griffin_flush": griffin_flush_policy,
+    "griffin_predictive": griffin_predictive_policy,
+    "griffin_adaptive": griffin_adaptive_policy,
+    "griffin_no_dftm": lambda: replace(
+        griffin_policy(), name="griffin_no_dftm", dftm=False
+    ),
+    "griffin_no_dpc": lambda: replace(
+        griffin_policy(), name="griffin_no_dpc", inter_gpu_migration=False
+    ),
+    "griffin_no_batch": lambda: replace(
+        griffin_policy(), name="griffin_no_batch", batch_cpu_faults=False
+    ),
+    "dftm_only": lambda: PolicyConfig(
+        name="dftm_only", dftm=True, batch_cpu_faults=False,
+        inter_gpu_migration=False,
+    ),
+}
+
+
+def get_policy(name: str) -> PolicyConfig:
+    """Look up a policy by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown policy {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+    return factory()
+
+
+def list_policies() -> list[str]:
+    """Names of all registered policies."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,140 @@
+"""Predictive inter-GPU page migration (the paper's stated future work).
+
+Section V of the paper notes that Griffin's migration is *reactive*: "A
+page is not migrated until the DPC recognizes that migration is
+beneficial... We leave predictive approaches for inter-GPU migration as
+future work."  This module implements that extension.
+
+The predictor watches the dominant accessor DPC's filtered counts assign
+to each page.  Many multi-GPU workloads shift ownership in a *regular*
+pattern (SC's band rotation, pipeline stages handing buffers downstream):
+the dominant GPU advances by a fixed stride at a roughly fixed cadence.
+When a page's last transitions agree on stride and cadence, the predictor
+nominates a speculative migration to the *next* owner shortly before the
+predicted hand-off — converting DPC's detection lag into lead time.
+
+Speculative candidates are merged into the normal CPMS round (capped by
+``max_speculative_per_round``) so they amortize the same drains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config.hyperparams import GriffinHyperParams
+from repro.core.classification import MigrationCandidate, PageClass
+from repro.core.dpc import DynamicPageClassifier
+
+_MIN_TRANSITIONS = 2
+_CADENCE_TOLERANCE = 0.5
+
+
+@dataclass
+class _OwnershipHistory:
+    """Dominance transitions of one page, in collection-period units."""
+
+    owners: list = field(default_factory=list)       # dominant GPU ids
+    change_periods: list = field(default_factory=list)  # period index of change
+
+
+class PredictiveMigration:
+    """Learns per-page ownership rotation and nominates pages early."""
+
+    def __init__(self, hyper: GriffinHyperParams, num_gpus: int) -> None:
+        self.hyper = hyper
+        self.num_gpus = num_gpus
+        self._history: dict[int, _OwnershipHistory] = {}
+        self._period = 0
+        self.predictions_made = 0
+        self.max_speculative_per_round = 32
+        # Nominate this many collection periods before the predicted
+        # hand-off — roughly the reactive path's detection lag, so the
+        # page lands at its next owner as the hand-off happens.
+        self.lead_periods = 8
+
+    # ------------------------------------------------------------------
+
+    def observe(self, dpc: DynamicPageClassifier) -> None:
+        """Record this period's dominant accessor for every tracked page."""
+        self._period += 1
+        floor = self.hyper.lambda_t * self.hyper.t_ac
+        for page, state in dpc._pages.items():
+            filtered = state.filtered
+            top = max(range(self.num_gpus), key=filtered.__getitem__)
+            if filtered[top] < floor:
+                continue
+            history = self._history.get(page)
+            if history is None:
+                history = _OwnershipHistory()
+                self._history[page] = history
+            if not history.owners or history.owners[-1] != top:
+                history.owners.append(top)
+                history.change_periods.append(self._period)
+                if len(history.owners) > 6:
+                    history.owners.pop(0)
+                    history.change_periods.pop(0)
+
+    # ------------------------------------------------------------------
+
+    def _predict(self, history: _OwnershipHistory):
+        """Return (next_owner, predicted_change_period) or None."""
+        owners = history.owners
+        periods = history.change_periods
+        if len(owners) < _MIN_TRANSITIONS + 1:
+            return None
+        # Stride between consecutive owners must be consistent.
+        strides = [
+            (owners[i + 1] - owners[i]) % self.num_gpus
+            for i in range(len(owners) - 1)
+        ]
+        stride = strides[-1]
+        if stride == 0 or any(s != stride for s in strides[-_MIN_TRANSITIONS:]):
+            return None
+        # Cadence (periods between hand-offs) must be stable.
+        gaps = [periods[i + 1] - periods[i] for i in range(len(periods) - 1)]
+        recent = gaps[-_MIN_TRANSITIONS:]
+        cadence = sum(recent) / len(recent)
+        if cadence <= 0:
+            return None
+        spread = max(recent) - min(recent)
+        if spread > _CADENCE_TOLERANCE * cadence:
+            return None
+        next_owner = (owners[-1] + stride) % self.num_gpus
+        predicted_period = periods[-1] + cadence
+        return next_owner, predicted_period
+
+    def speculative_candidates(self, location_of) -> list[MigrationCandidate]:
+        """Pages whose predicted hand-off is imminent, best-evidence first.
+
+        Args:
+            location_of: Callable page -> device id; only GPU-resident
+                pages are nominated, and only when the page is not already
+                at the predicted next owner.
+        """
+        nominations: list[MigrationCandidate] = []
+        horizon = self._period + self.lead_periods
+        for page, history in self._history.items():
+            prediction = self._predict(history)
+            if prediction is None:
+                continue
+            next_owner, predicted_period = prediction
+            if predicted_period > horizon:
+                continue  # hand-off not imminent yet
+            location = location_of(page)
+            if location < 0 or location == next_owner:
+                continue
+            evidence = len(history.owners)
+            nominations.append(
+                MigrationCandidate(
+                    page, location, next_owner,
+                    PageClass.OWNER_SHIFTING,
+                    benefit=float(evidence),
+                )
+            )
+        nominations.sort(key=lambda c: (-c.benefit, c.page))
+        chosen = nominations[: self.max_speculative_per_round]
+        self.predictions_made += len(chosen)
+        return chosen
+
+    def tracked_pages(self) -> int:
+        return len(self._history)

@@ -1,0 +1,6 @@
+"""GPU driver model: fault servicing, count collection, migration rounds."""
+
+from repro.driver.fault import PageFault
+from repro.driver.driver import GPUDriver
+
+__all__ = ["PageFault", "GPUDriver"]

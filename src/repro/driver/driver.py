@@ -1,0 +1,374 @@
+"""The GPU driver (runs on the CPU).
+
+The driver is the software half of Griffin:
+
+* services CPU-resident page faults, consulting DFTM for the
+  migrate-vs-DCA decision and CPMS's :class:`FaultBatcher` for scheduling
+  (batch size 1 reproduces the baseline's FCFS IOMMU scheduler — one CPU
+  flush/shootdown per fault);
+* every ``T_ac`` cycles collects the per-Shader-Engine access counters and
+  feeds them to DPC's EWMA filter in the IOMMU;
+* every migration period asks DPC for candidates, lets CPMS's
+  :class:`MigrationPlanner` group them by source GPU, and executes the
+  round: drain the source (ACUD or pipeline flush), targeted TLB shootdown
+  and L2 flush, *Continue* to the CUs, then PMC page transfers overlapping
+  with resumed execution.
+
+Pages are blocked (``PageEntry.migrating``) only while their data is
+actually in transfer; during the drain itself accesses keep being serviced
+at the source, which is both what the hardware would do (the data has not
+moved yet) and what makes the drain guaranteed to terminate.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.acud import DrainStrategy
+from repro.core.classification import MigrationCandidate
+from repro.core.cpms import FaultBatcher, MigrationPlanner
+from repro.core.dftm import DelayedFirstTouchMigration, FaultDecision
+from repro.core.dpc import DynamicPageClassifier
+from repro.core.adaptive import AdaptiveMigrationController
+from repro.core.policies import PolicyConfig
+from repro.core.predictive import PredictiveMigration
+from repro.driver.fault import PageFault
+from repro.interconnect.link import CPU_PORT
+from repro.mem.access import AccessKind, MemoryTransaction
+from repro.sim.component import Component
+from repro.sim.resource import SlotResource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system.machine import Machine
+
+
+class GPUDriver(Component):
+    """Driver software orchestrating page placement and migration."""
+
+    def __init__(self, machine: "Machine", policy: PolicyConfig) -> None:
+        super().__init__(machine.engine, "driver")
+        self.machine = machine
+        self.policy = policy
+        hyper = machine.hyper
+
+        self.dftm = DelayedFirstTouchMigration(
+            machine.page_table, enabled=policy.dftm
+        )
+        batch_size = hyper.n_ptw if policy.batch_cpu_faults else 1
+        self.batcher = FaultBatcher(
+            machine.engine,
+            batch_size,
+            hyper.fault_batch_timeout,
+            self._flush_fault_batch,
+        )
+        self.dpc = DynamicPageClassifier(hyper, machine.num_gpus)
+        self.predictor = (
+            PredictiveMigration(hyper, machine.num_gpus)
+            if policy.predictive else None
+        )
+        self.adaptive = (
+            AdaptiveMigrationController() if policy.adaptive else None
+        )
+        self.planner = MigrationPlanner(hyper)
+        # The CPU services one flush/fault-handler invocation at a time.
+        self.cpu_service = SlotResource("driver.cpu", 1)
+
+        self._waiters: dict[int, list] = {}
+        self._round_active = False
+        self._active = False
+        # Oversubscription support: FIFO of resident pages per GPU.
+        self._residency_fifo: dict[int, list] = {
+            g: [] for g in range(machine.num_gpus)
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm the recurring collection/migration events (Griffin only)."""
+        self._active = True
+        if self.policy.inter_gpu_migration:
+            hyper = self.machine.hyper
+            self.engine.schedule(hyper.t_ac, self._collect_counts)
+            self.engine.schedule(hyper.migration_period, self._migration_phase)
+
+    def stop(self) -> None:
+        """Stop rescheduling periodic events (end of workload)."""
+        self._active = False
+
+    # ------------------------------------------------------------------
+    # CPU-resident page faults (DFTM + CPMS fault batching)
+    # ------------------------------------------------------------------
+
+    def handle_cpu_fault(self, txn: MemoryTransaction, walk_done: float, on_complete: Callable) -> None:
+        """A translation resolved to a CPU-resident page."""
+        machine = self.machine
+        entry = machine.page_table.entry(txn.page)
+        if entry.first_touch_gpu is None:
+            entry.first_touch_gpu = txn.gpu_id
+        decision = self.dftm.decide(txn.gpu_id, entry)
+        if decision == FaultDecision.DCA:
+            # IOMMU returns the CPU physical address; access via DCA.
+            txn.kind = AccessKind.CPU_DCA
+            self.bump("cpu_dca_redirects")
+            reply = machine.iommu.reply_time(walk_done, txn.gpu_id)
+            machine.access_path.cpu_dca_access(txn, reply, on_complete)
+            return
+        txn.kind = AccessKind.FAULT_MIGRATE
+        self.bump("migration_faults")
+        entry.migrating = True
+        self._waiters.setdefault(txn.page, []).append((txn, on_complete))
+        self.batcher.add(PageFault(txn.page, txn.gpu_id, walk_done))
+
+    def wait_for_page(self, page: int, txn: MemoryTransaction, on_complete: Callable) -> None:
+        """Queue an access that hit a page whose data is in transfer."""
+        self.bump("accesses_blocked_on_migration")
+        self._waiters.setdefault(page, []).append((txn, on_complete))
+
+    def _flush_fault_batch(self, batch: list) -> None:
+        """One CPU flush covering a whole batch of fault migrations."""
+        machine = self.machine
+        timing = machine.config.timing
+        cost = timing.cpu_flush_cycles + timing.page_fault_handler_cycles
+        flush_done = self.cpu_service.acquire(self.now, cost)
+        machine.shootdowns.record_cpu(len(batch))
+        self.bump("fault_batches")
+        self.bump("fault_pages_migrated", len(batch))
+
+        def start_transfers() -> None:
+            for fault in batch:
+                machine.pmc.transfer_pages(
+                    self.now,
+                    [fault.page],
+                    CPU_PORT,
+                    fault.dst_gpu,
+                    self._make_cpu_arrival(fault.dst_gpu),
+                )
+
+        self.engine.schedule_at(max(flush_done, self.now), start_transfers)
+
+    def _make_cpu_arrival(self, dst_gpu: int):
+        def on_arrival(page: int, arrival: float) -> None:
+            self._complete_migration(page, CPU_PORT, dst_gpu)
+
+        return on_arrival
+
+    # ------------------------------------------------------------------
+    # Periodic DPC collection
+    # ------------------------------------------------------------------
+
+    def _collect_counts(self) -> None:
+        if not self._active:
+            return
+        machine = self.machine
+        counts = []
+        for gpu in machine.gpus:
+            message_bytes = gpu.counter_message_bytes()
+            machine.fabric.transfer(self.now, gpu.gpu_id, CPU_PORT, message_bytes)
+            counts.append(gpu.collect_access_counts())
+        self.dpc.update(counts)
+        if self.predictor is not None:
+            self.predictor.observe(self.dpc)
+        if self.adaptive is not None:
+            self.adaptive.audit(self.dpc)
+        self.bump("count_collections")
+        self.engine.schedule(machine.hyper.t_ac, self._collect_counts)
+
+    # ------------------------------------------------------------------
+    # Periodic inter-GPU migration rounds (CPMS + DPC + ACUD)
+    # ------------------------------------------------------------------
+
+    def _migration_phase(self) -> None:
+        if not self._active:
+            return
+        machine = self.machine
+        self.engine.schedule(machine.hyper.migration_period, self._migration_phase)
+        if self._round_active:
+            self.bump("rounds_skipped_busy")
+            return
+
+        corrections: list = []
+        round_allowed = True
+        if self.adaptive is not None:
+            corrections = self._correction_candidates()
+            round_allowed = self.adaptive.should_run_round()
+            if not round_allowed and not corrections:
+                self.bump("rounds_skipped_adaptive")
+                return
+        if round_allowed:
+            candidates = self.dpc.select_candidates(machine.page_table.location)
+        else:
+            self.bump("rounds_skipped_adaptive")
+            candidates = []
+        if self.predictor is not None:
+            reactive_pages = {c.page for c in candidates}
+            speculative = [
+                c for c in self.predictor.speculative_candidates(
+                    machine.page_table.location
+                )
+                if c.page not in reactive_pages
+            ]
+            self.bump("speculative_candidates", len(speculative))
+            candidates = candidates + speculative
+        if self.adaptive is not None:
+            budget = self.adaptive.page_budget()
+            if budget is not None:
+                candidates = candidates[:budget]
+            # Corrections carry fresh evidence; they ride along regardless
+            # of the probation budget.
+            correction_pages = {c.page for c in corrections}
+            candidates = corrections + [
+                c for c in candidates if c.page not in correction_pages
+            ]
+        plan = self.planner.plan(candidates)
+        if not plan:
+            return
+        if self.adaptive is not None:
+            self.adaptive.note_round(plan)
+        self._round_active = True
+        self.bump("migration_rounds")
+        pending_sources = [len(plan)]
+        for src, cands in plan.items():
+            self._migrate_from(src, cands, pending_sources)
+
+    def _correction_candidates(self) -> list:
+        """Turn the adaptive controller's correction nominations into
+        migration candidates (page back to its observed steady accessor)."""
+        from repro.core.classification import MigrationCandidate, PageClass
+
+        machine = self.machine
+        candidates = []
+        for page, better_dst in self.adaptive.take_corrections():
+            location = machine.page_table.location(page)
+            if location < 0 or location == better_dst:
+                continue
+            candidates.append(MigrationCandidate(
+                page, location, better_dst,
+                PageClass.OWNER_SHIFTING, benefit=1e6,
+            ))
+        return candidates
+
+    def _migrate_from(self, src: int, cands: list, pending_sources: list) -> None:
+        machine = self.machine
+        gpu = machine.gpus[src]
+        pages = {c.page for c in cands}
+
+        def drained(_t: float) -> None:
+            self._after_drain(src, cands, pending_sources)
+
+        if self.policy.drain == DrainStrategy.ACUD:
+            gpu.drain_controller.drain_acud(pages, drained)
+        else:
+            gpu.drain_controller.drain_flush(drained)
+
+    def _after_drain(self, src: int, cands: list, pending_sources: list) -> None:
+        machine = self.machine
+        timing = machine.config.timing
+        gpu = machine.gpus[src]
+        pages = [c.page for c in cands]
+
+        if self.policy.drain == DrainStrategy.ACUD:
+            invalidated = gpu.invalidate_tlb_pages(pages)
+            lines, _dirty = gpu.hierarchy.flush_pages(pages)
+            delay = timing.tlb_shootdown_cycles + gpu.hierarchy.targeted_flush_cost(lines)
+        else:
+            invalidated = gpu.flush_all_tlbs()
+            gpu.hierarchy.flush_all()
+            delay = timing.tlb_shootdown_cycles
+        machine.shootdowns.record_gpu(src, invalidated)
+        self.bump("inter_gpu_pages_selected", len(pages))
+        self.engine.schedule(delay, self._start_transfer, src, cands, pending_sources)
+
+    def _start_transfer(self, src: int, cands: list, pending_sources: list) -> None:
+        machine = self.machine
+        gpu = machine.gpus[src]
+        # Continue message: CUs resume before the page data moves.
+        gpu.drain_controller.resume_all()
+
+        # Lock the pages only now — data is about to leave the source.
+        destinations: dict[int, int] = {}
+        by_dst: dict[int, list[int]] = {}
+        for cand in cands:
+            machine.page_table.entry(cand.page).migrating = True
+            destinations[cand.page] = cand.dst
+            by_dst.setdefault(cand.dst, []).append(cand.page)
+
+        outstanding = [len(destinations)]
+
+        def on_arrival(page: int, arrival: float) -> None:
+            self._complete_migration(page, src, destinations[page])
+            outstanding[0] -= 1
+            if outstanding[0] == 0:
+                pending_sources[0] -= 1
+                if pending_sources[0] == 0:
+                    self._round_active = False
+
+        for dst, pages in by_dst.items():
+            machine.pmc.transfer_pages(self.now, pages, src, dst, on_arrival)
+
+    def _complete_migration(self, page: int, src: int, dst: int) -> None:
+        machine = self.machine
+        machine.page_table.migrate(page, dst)
+        machine.record_migration(self.now, page, src, dst)
+        # CARVE coherence: cached remote copies of a migrated page are
+        # stale everywhere (and redundant at the new owner).
+        for gpu in machine.gpus:
+            gpu.hierarchy.remote_cache_invalidate([page])
+        if src >= 0 and dst >= 0:
+            self.bump("inter_gpu_pages_migrated")
+        self._wake_waiters(page)
+        if dst >= 0:
+            self._residency_fifo[dst].append(page)
+            self._evict_if_needed(dst)
+
+    # ------------------------------------------------------------------
+    # Oversubscription: capacity eviction (UM's backing-store property)
+    # ------------------------------------------------------------------
+
+    def _evict_if_needed(self, gpu_id: int) -> None:
+        """Evict the oldest resident pages back to the CPU if over capacity.
+
+        Unified Memory is backed by system memory; when a migration would
+        exceed ``GPUConfig.capacity_pages``, the driver writes the oldest
+        resident page back to the CPU.  Accesses arriving mid-eviction
+        wait on the transfer (the normal migrating-page path) and are then
+        served from CPU memory.
+        """
+        machine = self.machine
+        capacity = machine.config.gpu.capacity_pages
+        if capacity <= 0:
+            return
+        page_table = machine.page_table
+        fifo = self._residency_fifo[gpu_id]
+        gpu = machine.gpus[gpu_id]
+        while page_table.gpu_page_count(gpu_id) > capacity and fifo:
+            victim = fifo.pop(0)
+            entry = page_table.entry(victim)
+            if entry.device != gpu_id or entry.migrating:
+                continue  # stale FIFO entry; the page moved already
+            # The page-table update commits immediately (later accesses
+            # route to the CPU); the writeback still occupies the fabric.
+            invalidated = gpu.invalidate_tlb_pages([victim])
+            machine.shootdowns.record_gpu(gpu_id, invalidated)
+            gpu.hierarchy.flush_pages([victim])
+            page_table.migrate(victim, CPU_PORT)
+            machine.record_migration(self.now, victim, gpu_id, CPU_PORT)
+            for other in machine.gpus:
+                other.hierarchy.remote_cache_invalidate([victim])
+            self.bump("capacity_evictions")
+            machine.pmc.transfer_pages(
+                self.now, [victim], gpu_id, CPU_PORT,
+                lambda page, arrival: None,
+            )
+
+    # ------------------------------------------------------------------
+    # Waiter management (shared by CPU->GPU and GPU->GPU paths)
+    # ------------------------------------------------------------------
+
+    def _wake_waiters(self, page: int) -> None:
+        waiters = self._waiters.pop(page, None)
+        if not waiters:
+            return
+        for txn, on_complete in waiters:
+            self.machine.access_path.route_after_migration(txn, self.now, on_complete)

@@ -1,0 +1,20 @@
+"""Page-fault records exchanged between the IOMMU and the driver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PageFault:
+    """A first-touch fault selected for CPU->GPU migration.
+
+    Attributes:
+        page: Faulting virtual page.
+        dst_gpu: GPU the page will migrate to (the faulting GPU).
+        fault_time: Cycle the fault was raised (walk completion).
+    """
+
+    page: int
+    dst_gpu: int
+    fault_time: float

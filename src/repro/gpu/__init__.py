@@ -1,0 +1,25 @@
+"""GPU device model: CUs, Shader Engines, RDMA, PMC, draining, dispatch."""
+
+from repro.gpu.wavefront import Kernel, WavefrontTrace, Workgroup
+from repro.gpu.access_counter import AccessCounterTable
+from repro.gpu.compute_unit import ComputeUnit
+from repro.gpu.shader_engine import ShaderEngine
+from repro.gpu.rdma import RdmaEngine
+from repro.gpu.pmc import PageMigrationController
+from repro.gpu.drain import DrainController
+from repro.gpu.gpu import GPU
+from repro.gpu.dispatcher import Dispatcher
+
+__all__ = [
+    "Kernel",
+    "WavefrontTrace",
+    "Workgroup",
+    "AccessCounterTable",
+    "ComputeUnit",
+    "ShaderEngine",
+    "RdmaEngine",
+    "PageMigrationController",
+    "DrainController",
+    "GPU",
+    "Dispatcher",
+]

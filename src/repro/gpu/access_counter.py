@@ -1,0 +1,64 @@
+"""Per-Shader-Engine page access counter table (DPC's hardware half).
+
+The paper augments each Shader Engine with "a table that records the number
+of post-coalescing memory transactions that access each page": 100 entries,
+each holding a 36-bit page ID and an 8-bit saturating count (2 200 bytes of
+storage per GPU with 4 SEs).  The counters are harvested and reset every
+``T_ac`` cycles by the GPU driver.
+"""
+
+from __future__ import annotations
+
+
+class AccessCounterTable:
+    """A bounded table of saturating per-page access counters.
+
+    When the table is full and a new page arrives, the entry with the
+    smallest count is evicted — a hardware-friendly victim choice that
+    keeps the hot pages DPC actually cares about.
+    """
+
+    __slots__ = ("capacity", "max_count", "_counts", "recorded", "dropped", "evicted")
+
+    def __init__(self, capacity: int = 100, max_count: int = 255) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.max_count = max_count
+        self._counts: dict[int, int] = {}
+        self.recorded = 0
+        self.dropped = 0
+        self.evicted = 0
+
+    def record(self, page: int) -> None:
+        """Count one post-coalescing transaction touching ``page``."""
+        self.recorded += 1
+        current = self._counts.get(page)
+        if current is not None:
+            if current < self.max_count:
+                self._counts[page] = current + 1
+            return
+        if len(self._counts) >= self.capacity:
+            victim = min(self._counts, key=self._counts.__getitem__)
+            if self._counts[victim] > 1:
+                # Replacement would discard a hotter entry than the
+                # newcomer; drop the newcomer instead (hardware tables do
+                # not reshuffle on every conflict).
+                self.dropped += 1
+                return
+            del self._counts[victim]
+            self.evicted += 1
+        self._counts[page] = 1
+
+    def snapshot(self) -> dict[int, int]:
+        """Current counts without resetting (for inspection)."""
+        return dict(self._counts)
+
+    def collect_and_reset(self) -> dict[int, int]:
+        """Harvest the counters and clear the table (driver collection)."""
+        counts = self._counts
+        self._counts = {}
+        return counts
+
+    def __len__(self) -> int:
+        return len(self._counts)

@@ -1,0 +1,110 @@
+"""Centralized workgroup dispatcher.
+
+Implements the paper's Unified Multi-GPU model: a kernel's workgroups are
+dispatched across GPUs (and round-robin across CUs within a GPU).
+Kernels are bulk-synchronous — kernel ``k+1`` starts only after all
+workgroups of kernel ``k`` complete.
+
+Two assignment strategies are provided:
+
+* ``round_robin`` (the paper's policy, default): workgroup *i* goes to
+  GPU ``i % n``, interleaving neighbouring workgroups across GPUs.
+* ``chunked``: contiguous blocks of workgroups go to the same GPU, the
+  alternative NUMA-GPU studies compare against — it keeps adjacent
+  (halo-sharing) workgroups on one GPU at the cost of coarser balance.
+
+The dispatcher also reproduces the start-time skew that causes first-touch
+imbalance: "GPU 1 always requests the first work-group in each round,
+acquiring a slight 'advantage' in the competition for pages."  GPU ``i``'s
+workgroups become eligible ``i * dispatch_skew_cycles`` after the kernel
+start.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.gpu.gpu import GPU
+from repro.gpu.wavefront import Kernel
+from repro.sim.component import Component
+from repro.sim.engine import Engine
+
+DISPATCH_STRATEGIES = ("round_robin", "chunked")
+
+
+class Dispatcher(Component):
+    """Dispatches kernels across the multi-GPU system."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        gpus: list[GPU],
+        dispatch_skew_cycles: int,
+        on_all_done: Optional[Callable[[float], None]] = None,
+        strategy: str = "round_robin",
+    ) -> None:
+        super().__init__(engine, "dispatcher")
+        if strategy not in DISPATCH_STRATEGIES:
+            raise ValueError(
+                f"unknown dispatch strategy {strategy!r}; "
+                f"expected one of {DISPATCH_STRATEGIES}"
+            )
+        self.gpus = gpus
+        self.dispatch_skew_cycles = dispatch_skew_cycles
+        self.strategy = strategy
+        self.on_all_done = on_all_done
+        self._kernels: list[Kernel] = []
+        self._kernel_index = 0
+        self._pending_wgs = 0
+        self._next_cu: list[int] = []
+        self.finish_time: Optional[float] = None
+        self.kernel_start_times: list[float] = []
+
+    def run_kernels(self, kernels: list[Kernel]) -> None:
+        """Begin executing the kernel sequence."""
+        if not kernels:
+            raise ValueError("no kernels to dispatch")
+        self._kernels = kernels
+        self._kernel_index = 0
+        self._next_cu = [0] * len(self.gpus)
+        self._dispatch_current_kernel()
+
+    def _dispatch_current_kernel(self) -> None:
+        kernel = self._kernels[self._kernel_index]
+        start = self.now
+        self.kernel_start_times.append(start)
+        self.bump("kernels_dispatched")
+        live = [wg for wg in kernel.workgroups if wg.total_accesses() > 0]
+        self._pending_wgs = len(live)
+        if not live:
+            self._kernel_complete()
+            return
+        num_gpus = len(self.gpus)
+        chunk = -(-len(live) // num_gpus)  # ceil division
+        for i, workgroup in enumerate(live):
+            if self.strategy == "chunked":
+                gpu_index = min(i // chunk, num_gpus - 1)
+            else:
+                gpu_index = i % num_gpus
+            gpu = self.gpus[gpu_index]
+            cu_index = self._next_cu[gpu_index] % gpu.config.num_cus
+            self._next_cu[gpu_index] += 1
+            start_time = start + gpu_index * self.dispatch_skew_cycles
+            gpu.cu(cu_index).enqueue_workgroup(workgroup, start_time)
+            self.bump("workgroups_dispatched")
+
+    def workgroup_complete(self, workgroup) -> None:
+        """Callback from CUs when a workgroup finishes."""
+        self._pending_wgs -= 1
+        if self._pending_wgs == 0:
+            self._kernel_complete()
+
+    def _kernel_complete(self) -> None:
+        self._kernel_index += 1
+        if self._kernel_index < len(self._kernels):
+            # A small launch gap models the host enqueueing the next kernel.
+            self.engine.schedule(10, self._dispatch_current_kernel)
+            return
+        self.finish_time = self.now
+        if self.on_all_done is not None:
+            self.on_all_done(self.now)

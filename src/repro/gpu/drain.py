@@ -1,0 +1,73 @@
+"""GPU-level drain orchestration: ACUD versus pipeline flush.
+
+The controller fans a drain/flush request out to every CU of a GPU and
+reports when all have completed (paper Figure 7's timeline).  The two
+strategies differ exactly as the paper describes:
+
+* **ACUD** pauses issue and waits only for in-flight transactions touching
+  the migrating pages; no work is discarded, and the *Continue* message is
+  sent before the page data transfer starts.
+* **Pipeline flush** discards all in-flight work; completion waits for the
+  pipeline to empty and pays a fixed flush cost plus a per-discarded-
+  transaction replay penalty.
+
+Cache and TLB cleansing is performed by the driver after the drain
+completes, so shootdown accounting stays in one place
+(:class:`repro.vm.shootdown.ShootdownAccounting`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.config.system import TimingConfig
+from repro.sim.component import Component
+from repro.sim.engine import Engine
+
+
+class DrainController(Component):
+    """Coordinates draining/flushing all CUs of one GPU."""
+
+    def __init__(self, engine: Engine, gpu) -> None:
+        super().__init__(engine, f"gpu{gpu.gpu_id}.drain")
+        self.gpu = gpu
+        self.timing: TimingConfig = gpu.timing
+
+    def drain_acud(self, pages: set, callback: Callable[[float], None]) -> None:
+        """ACUD: selective drain of transactions touching ``pages``."""
+        self.bump("acud_drains")
+        cus = self.gpu.all_cus()
+        remaining = [len(cus)]
+
+        def cu_done() -> None:
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                callback(self.now)
+
+        def deliver() -> None:
+            for cu in cus:
+                cu.request_drain(pages, cu_done)
+
+        self.engine.schedule(self.timing.drain_request_cycles, deliver)
+
+    def drain_flush(self, callback: Callable[[float], None]) -> None:
+        """Pipeline flush: discard and replay all in-flight work."""
+        self.bump("pipeline_flushes")
+        cus = self.gpu.all_cus()
+        remaining = [len(cus)]
+
+        def cu_done() -> None:
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                callback(self.now)
+
+        def deliver() -> None:
+            for cu in cus:
+                cu.request_flush(cu_done)
+
+        self.engine.schedule(self.timing.drain_request_cycles, deliver)
+
+    def resume_all(self) -> None:
+        """Send *Continue* to every CU."""
+        for cu in self.gpu.all_cus():
+            cu.resume()

@@ -1,0 +1,115 @@
+"""The GPU device: Shader Engines, CUs, TLBs, caches, RDMA, draining."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.config.hyperparams import GriffinHyperParams
+from repro.config.system import GPUConfig, TimingConfig
+from repro.gpu.compute_unit import ComputeUnit, IssueFn
+from repro.gpu.drain import DrainController
+from repro.gpu.rdma import RdmaEngine
+from repro.gpu.shader_engine import ShaderEngine
+from repro.mem.hierarchy import GPUMemoryHierarchy
+from repro.sim.component import Component
+from repro.sim.engine import Engine
+from repro.vm.tlb import TLB
+
+
+class GPU(Component):
+    """One GPU of the NUMA multi-GPU system (Table II)."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        gpu_id: int,
+        config: GPUConfig,
+        timing: TimingConfig,
+        hyper: GriffinHyperParams,
+        page_size: int,
+        issue_fn: IssueFn,
+        on_workgroup_complete: Callable[[object], None],
+    ) -> None:
+        super().__init__(engine, f"gpu{gpu_id}")
+        self.gpu_id = gpu_id
+        self.config = config
+        self.timing = timing
+        self.page_size = page_size
+
+        self.hierarchy = GPUMemoryHierarchy(gpu_id, config, timing, page_size)
+        self.l1_tlbs = [
+            TLB(f"gpu{gpu_id}.cu{c}.l1tlb", config.l1_tlb)
+            for c in range(config.num_cus)
+        ]
+        self.l2_tlb = TLB(f"gpu{gpu_id}.l2tlb", config.l2_tlb)
+
+        self.shader_engines: list[ShaderEngine] = []
+        cu_index = 0
+        for se_id in range(config.num_shader_engines):
+            se = ShaderEngine(
+                engine, gpu_id, se_id,
+                hyper.counter_table_entries, hyper.counter_max,
+            )
+            for _ in range(config.cus_per_se):
+                cu = ComputeUnit(
+                    engine, gpu_id, se_id, cu_index, config, timing,
+                    issue_fn, on_workgroup_complete,
+                )
+                se.cus.append(cu)
+                cu_index += 1
+            self.shader_engines.append(se)
+
+        self.rdma = RdmaEngine(engine, gpu_id, self.hierarchy)
+        self.drain_controller = DrainController(engine, self)
+
+    def all_cus(self) -> list[ComputeUnit]:
+        return [cu for se in self.shader_engines for cu in se.cus]
+
+    def cu(self, cu_index: int) -> ComputeUnit:
+        se, offset = divmod(cu_index, self.config.cus_per_se)
+        return self.shader_engines[se].cus[offset]
+
+    def se_of_cu(self, cu_index: int) -> int:
+        return cu_index // self.config.cus_per_se
+
+    def record_se_access(self, cu_index: int, page: int) -> None:
+        """Bump the issuing Shader Engine's access counter for ``page``."""
+        self.shader_engines[self.se_of_cu(cu_index)].record_access(page)
+
+    def collect_access_counts(self) -> dict[int, int]:
+        """Harvest and merge all SE counter tables (driver collection)."""
+        merged: dict[int, int] = {}
+        for se in self.shader_engines:
+            for page, count in se.collect_counts().items():
+                merged[page] = merged.get(page, 0) + count
+        return merged
+
+    def counter_message_bytes(self) -> int:
+        """Bytes of the count-report message the driver sends to the IOMMU.
+
+        The paper sizes the message at 110 bytes per 20 pages (36-bit page
+        ID + 8-bit count per entry).
+        """
+        entries = sum(len(se.counters) for se in self.shader_engines)
+        groups = max(1, -(-entries // 20))
+        return groups * 110
+
+    def invalidate_tlb_pages(self, pages) -> int:
+        """Targeted shootdown: drop entries for ``pages`` in all local TLBs.
+
+        Returns the number of entries invalidated.
+        """
+        dropped = self.l2_tlb.invalidate_pages(pages)
+        for tlb in self.l1_tlbs:
+            dropped += tlb.invalidate_pages(pages)
+        return dropped
+
+    def flush_all_tlbs(self) -> int:
+        """Full shootdown: drop every TLB entry on this GPU."""
+        dropped = self.l2_tlb.flush_all()
+        for tlb in self.l1_tlbs:
+            dropped += tlb.flush_all()
+        return dropped
+
+    def idle(self) -> bool:
+        return all(cu.idle() for cu in self.all_cus())

@@ -1,0 +1,37 @@
+"""RDMA engine: Direct Cache Access service point.
+
+Each GPU's RDMA engine forwards incoming remote requests to the local L2
+(paper Figure 4).  It is a serializing resource: a GPU that ends up holding
+most of the pages (the baseline's imbalance) funnels all other GPUs'
+requests through this one engine, producing the congestion the paper
+describes in Section II-C.
+"""
+
+from __future__ import annotations
+
+from repro.mem.hierarchy import GPUMemoryHierarchy
+from repro.sim.component import Component
+from repro.sim.engine import Engine
+from repro.sim.resource import ThroughputResource
+
+
+class RdmaEngine(Component):
+    """Serializes incoming DCA traffic in front of the local L2."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        gpu_id: int,
+        hierarchy: GPUMemoryHierarchy,
+        bytes_per_cycle: float = 64.0,
+    ) -> None:
+        super().__init__(engine, f"gpu{gpu_id}.rdma")
+        self.gpu_id = gpu_id
+        self.hierarchy = hierarchy
+        self.pipe = ThroughputResource(f"gpu{gpu_id}.rdma.pipe", bytes_per_cycle)
+
+    def service(self, now: float, address: int, is_write: bool, size_bytes: int = 64) -> float:
+        """Service one incoming remote request; returns completion time."""
+        self.bump("requests")
+        start = self.pipe.acquire(now, size_bytes)
+        return self.hierarchy.remote_service(start, address, is_write)

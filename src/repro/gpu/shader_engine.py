@@ -1,0 +1,40 @@
+"""Shader Engine: a group of CUs plus the DPC access-count table."""
+
+from __future__ import annotations
+
+from repro.gpu.access_counter import AccessCounterTable
+from repro.gpu.compute_unit import ComputeUnit
+from repro.sim.component import Component
+from repro.sim.engine import Engine
+
+
+class ShaderEngine(Component):
+    """A group of up to 16 CUs sharing one page-access-counter table.
+
+    The paper places the counter at the L1 level because caches are VIPT:
+    "the access counter must be changed before the address translation is
+    done" — we therefore record the access at issue time, before the TLB
+    lookup.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        gpu_id: int,
+        se_id: int,
+        counter_entries: int,
+        counter_max: int,
+    ) -> None:
+        super().__init__(engine, f"gpu{gpu_id}.se{se_id}")
+        self.gpu_id = gpu_id
+        self.se_id = se_id
+        self.cus: list[ComputeUnit] = []
+        self.counters = AccessCounterTable(counter_entries, counter_max)
+
+    def record_access(self, page: int) -> None:
+        """Count one post-coalescing transaction (pre-translation)."""
+        self.counters.record(page)
+
+    def collect_counts(self) -> dict[int, int]:
+        """Harvest and reset this SE's counter table (driver collection)."""
+        return self.counters.collect_and_reset()

@@ -1,0 +1,67 @@
+"""Work decomposition: kernels, workgroups, wavefront traces.
+
+Following the paper's Unified Multi-GPU model, a kernel launch is converted
+into a grid of workgroups by a centralized dispatcher; workgroups are
+assigned round-robin across GPUs, and wavefronts of a workgroup always run
+on the same CU.  A :class:`WavefrontTrace` is the sequence of
+post-coalescing memory transactions one wavefront issues, with the compute
+delay preceding each access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+Access = Tuple[int, int, bool]
+"""(delay_cycles, virtual_address, is_write)."""
+
+
+@dataclass
+class WavefrontTrace:
+    """One wavefront's memory-transaction stream.
+
+    Attributes:
+        accesses: Sequence of (delay, address, is_write); each access is
+            issued ``delay`` cycles after the previous access completes
+            (the delay models the compute instructions in between).
+    """
+
+    accesses: Sequence[Access]
+
+    def __len__(self) -> int:
+        return len(self.accesses)
+
+
+@dataclass
+class Workgroup:
+    """A workgroup: wavefronts that execute on the same CU.
+
+    Attributes:
+        wg_id: Global workgroup id (dispatch order).
+        kernel_id: Kernel this workgroup belongs to.
+        wavefronts: Wavefront traces to interleave on the CU.
+    """
+
+    wg_id: int
+    kernel_id: int
+    wavefronts: list[WavefrontTrace] = field(default_factory=list)
+
+    def total_accesses(self) -> int:
+        return sum(len(w) for w in self.wavefronts)
+
+
+@dataclass
+class Kernel:
+    """A kernel launch: a bag of workgroups dispatched as one phase.
+
+    Kernel launches are bulk-synchronous: the dispatcher starts kernel
+    ``k+1`` only when every workgroup of kernel ``k`` has completed, which
+    is what creates the phase changes DPC's owner-shifting class detects.
+    """
+
+    kernel_id: int
+    workgroups: list[Workgroup] = field(default_factory=list)
+
+    def total_accesses(self) -> int:
+        return sum(wg.total_accesses() for wg in self.workgroups)

@@ -1,0 +1,20 @@
+"""Experiment harness: run workloads, compare policies, regenerate figures."""
+
+from repro.harness.io import load_result, save_result
+from repro.harness.results import RunResult
+from repro.harness.runner import run_workload, compare_policies
+from repro.harness.sweep import Sweep, SweepKey, SweepResult
+from repro.harness.validate import ValidationReport, validate_reproduction
+
+__all__ = [
+    "RunResult",
+    "run_workload",
+    "compare_policies",
+    "save_result",
+    "load_result",
+    "Sweep",
+    "SweepKey",
+    "SweepResult",
+    "ValidationReport",
+    "validate_reproduction",
+]

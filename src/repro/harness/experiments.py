@@ -1,0 +1,342 @@
+"""Experiment definitions: one function per table and figure of the paper.
+
+Each function runs the required simulations and returns a structured
+result object with a ``render()`` method that prints the same rows/series
+the paper reports.  The benchmarks under ``benchmarks/`` call these and
+assert the paper's qualitative shape (who wins, roughly by what factor,
+where the crossovers fall).
+
+The default experiment configuration uses the shrunken
+:func:`~repro.config.presets.small_system` and a footprint scale of 0.015
+so the whole evaluation regenerates in well under a minute; both are
+overridable for higher-fidelity runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.config.hyperparams import GriffinHyperParams
+from repro.config.presets import NVLINK, small_system
+from repro.config.system import SystemConfig
+from repro.core.hardware_cost import HardwareCostReport, estimate_hardware_cost
+from repro.harness.results import RunResult
+from repro.harness.runner import run_workload
+from repro.metrics.report import format_table, geometric_mean
+from repro.workloads.registry import WORKLOAD_SPECS, list_workloads
+
+DEFAULT_SCALE = 0.015
+DEFAULT_SEED = 3
+
+
+def _config() -> SystemConfig:
+    return small_system()
+
+
+# ---------------------------------------------------------------------------
+# Tables
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TableResult:
+    """A rendered static table (Tables I-III)."""
+
+    title: str
+    headers: list
+    rows: list
+
+    def render(self) -> str:
+        return format_table(self.headers, self.rows, self.title)
+
+
+def table1_hyperparameters(hyper: Optional[GriffinHyperParams] = None) -> TableResult:
+    """Table I: default Griffin hyperparameter configuration."""
+    hyper = hyper or GriffinHyperParams()
+    return TableResult(
+        "Table I: Default Hyperparameter Configuration",
+        ["Param", "Value", "Description"],
+        [list(row) for row in hyper.table_rows()],
+    )
+
+
+def table2_system_config(config: Optional[SystemConfig] = None) -> TableResult:
+    """Table II: multi-GPU system configuration."""
+    config = config or SystemConfig()
+    return TableResult(
+        "Table II: Multi-GPU System Configuration",
+        ["Component", "Configuration", "Number per GPU"],
+        [list(row) for row in config.table_rows()],
+    )
+
+
+def table3_workloads() -> TableResult:
+    """Table III: workloads used to evaluate the Griffin design."""
+    rows = [
+        [spec.abbrev, spec.name, spec.suite, spec.pattern, f"{spec.memory_mb} MB"]
+        for spec in (WORKLOAD_SPECS[a] for a in list_workloads())
+    ]
+    return TableResult(
+        "Table III: Workloads used to evaluate the Griffin design",
+        ["Abbv.", "Application", "Benchmark Suite", "Access Pattern", "Memory Size"],
+        rows,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Per-workload policy comparisons (Figures 2, 8, 9, 11, 12, 13)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ComparisonResult:
+    """Per-workload results for a set of policies."""
+
+    title: str
+    policies: list
+    runs: dict = field(default_factory=dict)  # workload -> {policy: RunResult}
+
+    def speedups(self, baseline: str, other: str) -> dict:
+        return {
+            wl: runs[baseline].cycles / runs[other].cycles
+            for wl, runs in self.runs.items()
+        }
+
+    def geomean_speedup(self, baseline: str, other: str) -> float:
+        return geometric_mean(self.speedups(baseline, other).values())
+
+
+def _compare(
+    title: str,
+    policies,
+    workloads=None,
+    config: Optional[SystemConfig] = None,
+    scale: float = DEFAULT_SCALE,
+    seed: int = DEFAULT_SEED,
+) -> ComparisonResult:
+    result = ComparisonResult(title, list(policies))
+    config = config or _config()
+    for wl in workloads or list_workloads():
+        result.runs[wl] = {
+            policy: run_workload(wl, policy, config=config, scale=scale, seed=seed)
+            for policy in policies
+        }
+    return result
+
+
+def fig2_first_touch_imbalance(**kwargs) -> ComparisonResult:
+    """Figure 2: page placement per GPU under the first-touch policy."""
+    result = _compare("Figure 2: first-touch page placement", ["baseline"], **kwargs)
+    return result
+
+
+def render_fig2(result: ComparisonResult) -> str:
+    rows = []
+    for wl, runs in result.runs.items():
+        occ = runs["baseline"].occupancy
+        rows.append([wl] + [f"{p:.1f}%" for p in occ.percentages()])
+    num_gpus = len(next(iter(result.runs.values()))["baseline"].occupancy.pages_per_gpu)
+    headers = ["Workload"] + [f"GPU{i}" for i in range(num_gpus)]
+    return format_table(headers, rows, result.title)
+
+
+def fig8_occupancy_balance(**kwargs) -> ComparisonResult:
+    """Figure 8: page distribution, baseline vs. Griffin."""
+    return _compare(
+        "Figure 8: occupancy balancing improvement", ["baseline", "griffin"], **kwargs
+    )
+
+
+def render_fig8(result: ComparisonResult) -> str:
+    rows = []
+    for wl, runs in result.runs.items():
+        b = runs["baseline"].occupancy.percentages()
+        g = runs["griffin"].occupancy.percentages()
+        rows.append(
+            [wl,
+             " / ".join(f"{p:.0f}" for p in b),
+             " / ".join(f"{p:.0f}" for p in g),
+             f"{runs['baseline'].imbalance():.2f}",
+             f"{runs['griffin'].imbalance():.2f}"]
+        )
+    return format_table(
+        ["Workload", "Baseline %/GPU", "Griffin %/GPU", "Base imb.", "Griffin imb."],
+        rows,
+        result.title,
+    )
+
+
+def fig9_tlb_shootdowns(**kwargs) -> ComparisonResult:
+    """Figure 9: number of TLB shootdowns, baseline vs. Griffin."""
+    return _compare(
+        "Figure 9: TLB shootdowns (normalized to baseline)",
+        ["baseline", "griffin"],
+        **kwargs,
+    )
+
+
+def render_fig9(result: ComparisonResult) -> str:
+    rows = []
+    for wl, runs in result.runs.items():
+        base = runs["baseline"].total_shootdowns
+        grif = runs["griffin"].total_shootdowns
+        rows.append([wl, base, grif, f"{grif / base:.2f}" if base else "n/a"])
+    return format_table(
+        ["Workload", "Baseline", "Griffin", "Normalized"], rows, result.title
+    )
+
+
+def fig11_acud_vs_flush(**kwargs) -> ComparisonResult:
+    """Figure 11: Griffin+Flush vs. Griffin+ACUD."""
+    return _compare(
+        "Figure 11: Griffin+Flushing vs Griffin+ACUD",
+        ["griffin_flush", "griffin"],
+        **kwargs,
+    )
+
+
+def render_fig11(result: ComparisonResult) -> str:
+    rows = []
+    for wl, runs in result.runs.items():
+        flush = runs["griffin_flush"].cycles
+        acud = runs["griffin"].cycles
+        rows.append([wl, f"{flush / acud:.2f}"])
+    rows.append(["geomean", f"{result.geomean_speedup('griffin_flush', 'griffin'):.2f}"])
+    return format_table(["Workload", "ACUD speedup over Flush"], rows, result.title)
+
+
+def fig12_overall_speedup(**kwargs) -> ComparisonResult:
+    """Figure 12: speedup of Griffin versus the baseline design."""
+    return _compare(
+        "Figure 12: speedup of Griffin versus the Baseline design",
+        ["baseline", "griffin"],
+        **kwargs,
+    )
+
+
+def render_fig12(result: ComparisonResult) -> str:
+    rows = []
+    for wl, sp in result.speedups("baseline", "griffin").items():
+        rows.append([wl, f"{sp:.2f}"])
+    rows.append(["geomean", f"{result.geomean_speedup('baseline', 'griffin'):.2f}"])
+    return format_table(["Workload", "Speedup"], rows, result.title)
+
+
+def fig13_high_bandwidth(**kwargs) -> ComparisonResult:
+    """Figure 13: Griffin vs. baseline with an NVLink-class fabric."""
+    kwargs.setdefault("config", _config().with_link(NVLINK))
+    return _compare(
+        "Figure 13: speedup with a higher bandwidth interconnect",
+        ["baseline", "griffin"],
+        **kwargs,
+    )
+
+
+render_fig13 = render_fig12
+
+
+# ---------------------------------------------------------------------------
+# Timeline experiments (Figures 1 and 10)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TimelineResult:
+    """Bucketized access split for one page, plus its migrations."""
+
+    title: str
+    page: int
+    series: list  # (bucket_start, [percent per gpu])
+    migrations: list  # (time, src, dst)
+
+    def render(self) -> str:
+        num_gpus = len(self.series[0][1]) if self.series else 0
+        headers = ["t (cycles)"] + [f"GPU{i} %" for i in range(num_gpus)]
+        rows = [
+            [int(t)] + [f"{p:.0f}" for p in pct] for t, pct in self.series
+        ]
+        table = format_table(headers, rows, f"{self.title} (page {self.page})")
+        if self.migrations:
+            moves = ", ".join(
+                f"t={int(t)}: {('CPU' if s < 0 else f'GPU{s}')}->GPU{d}"
+                for t, s, d in self.migrations
+            )
+            table += f"\nPage location changes: {moves}"
+        return table
+
+
+def _hot_shifting_page(
+    workload: str, config: SystemConfig, scale: float, seed: int
+) -> int:
+    probe = run_workload(
+        workload, "baseline", config=config, scale=scale, seed=seed,
+        keep_timeline=True,
+    )
+    pages = probe.timeline.hottest_shifting_pages(1)
+    if not pages:
+        pages = probe.timeline.hottest_shared_pages(1)
+    return pages[0]
+
+
+def fig1_page_access_timeline(
+    workload: str = "SC",
+    config: Optional[SystemConfig] = None,
+    scale: float = DEFAULT_SCALE,
+    seed: int = DEFAULT_SEED,
+    bucket: int = 100_000,
+) -> TimelineResult:
+    """Figure 1: distribution of accesses to one page over time (baseline).
+
+    Pass 1 finds the hottest owner-shifting page; pass 2 (same seed, same
+    trace) records its bucketized per-GPU access split.
+    """
+    config = config or _config()
+    page = _hot_shifting_page(workload, config, scale, seed)
+    run = run_workload(
+        workload, "baseline", config=config, scale=scale, seed=seed,
+        watch_pages=[page], timeline_bucket=bucket, keep_timeline=True,
+    )
+    return TimelineResult(
+        "Figure 1: access distribution under first-touch",
+        page,
+        run.timeline.series_percentages(page),
+        [(e.time, e.src, e.dst) for e in run.migration_events if e.page == page],
+    )
+
+
+def fig10_dpc_migration(
+    workload: str = "SC",
+    config: Optional[SystemConfig] = None,
+    scale: float = DEFAULT_SCALE,
+    seed: int = DEFAULT_SEED,
+    bucket: int = 100_000,
+) -> TimelineResult:
+    """Figure 10: Griffin's DPC migrating the hot page to follow accessors."""
+    config = config or _config()
+    page = _hot_shifting_page(workload, config, scale, seed)
+    run = run_workload(
+        workload, "griffin", config=config, scale=scale, seed=seed,
+        watch_pages=[page], timeline_bucket=bucket, keep_timeline=True,
+    )
+    return TimelineResult(
+        "Figure 10: access distribution and page location under Griffin",
+        page,
+        run.timeline.series_percentages(page),
+        [(e.time, e.src, e.dst) for e in run.migration_events if e.page == page],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Hardware cost (Section V)
+# ---------------------------------------------------------------------------
+
+
+def hardware_cost_report(
+    config: Optional[SystemConfig] = None,
+    hyper: Optional[GriffinHyperParams] = None,
+) -> HardwareCostReport:
+    """Section V's hardware-cost estimates (2 200 B of DPC tables per GPU)."""
+    return estimate_hardware_cost(
+        config or SystemConfig(), hyper or GriffinHyperParams()
+    )

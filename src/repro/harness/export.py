@@ -1,0 +1,90 @@
+"""Export figure data as CSV for external plotting.
+
+Each exporter takes the corresponding experiment result and writes one
+CSV whose rows match the paper figure's data series, so any plotting
+tool can regenerate the charts.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+from repro.harness.experiments import ComparisonResult, TimelineResult
+
+
+def _open_writer(path: Path):
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle = path.open("w", newline="")
+    return handle, csv.writer(handle)
+
+
+def export_speedups(
+    result: ComparisonResult,
+    path: Union[str, Path],
+    baseline: str = "baseline",
+    other: str = "griffin",
+) -> Path:
+    """Figure 12/13-style data: one row per workload with the speedup."""
+    path = Path(path)
+    handle, writer = _open_writer(path)
+    with handle:
+        writer.writerow(["workload", f"{baseline}_cycles", f"{other}_cycles", "speedup"])
+        for wl, runs in result.runs.items():
+            writer.writerow([
+                wl,
+                f"{runs[baseline].cycles:.1f}",
+                f"{runs[other].cycles:.1f}",
+                f"{runs[baseline].cycles / runs[other].cycles:.4f}",
+            ])
+    return path
+
+
+def export_occupancy(result: ComparisonResult, path: Union[str, Path]) -> Path:
+    """Figure 2/8-style data: per-GPU page share for every run."""
+    path = Path(path)
+    handle, writer = _open_writer(path)
+    with handle:
+        first_runs = next(iter(result.runs.values()))
+        num_gpus = len(next(iter(first_runs.values())).occupancy.pages_per_gpu)
+        writer.writerow(
+            ["workload", "policy"] + [f"gpu{i}_pct" for i in range(num_gpus)]
+        )
+        for wl, runs in result.runs.items():
+            for policy, run in runs.items():
+                writer.writerow(
+                    [wl, policy]
+                    + [f"{p:.2f}" for p in run.occupancy.percentages()]
+                )
+    return path
+
+
+def export_shootdowns(result: ComparisonResult, path: Union[str, Path]) -> Path:
+    """Figure 9-style data: shootdown counts per workload and policy."""
+    path = Path(path)
+    handle, writer = _open_writer(path)
+    with handle:
+        writer.writerow(["workload", "policy", "cpu_shootdowns",
+                         "gpu_shootdowns", "total"])
+        for wl, runs in result.runs.items():
+            for policy, run in runs.items():
+                writer.writerow([wl, policy, run.cpu_shootdowns,
+                                 run.gpu_shootdowns, run.total_shootdowns])
+    return path
+
+
+def export_timeline(result: TimelineResult, path: Union[str, Path]) -> Path:
+    """Figure 1/10-style data: bucketized per-GPU access percentages."""
+    path = Path(path)
+    handle, writer = _open_writer(path)
+    with handle:
+        num_gpus = len(result.series[0][1]) if result.series else 0
+        writer.writerow(["cycle"] + [f"gpu{i}_pct" for i in range(num_gpus)])
+        for start, pct in result.series:
+            writer.writerow([int(start)] + [f"{p:.2f}" for p in pct])
+        writer.writerow([])
+        writer.writerow(["migration_time", "src", "dst"])
+        for t, src, dst in result.migrations:
+            writer.writerow([int(t), src, dst])
+    return path

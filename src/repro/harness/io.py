@@ -1,0 +1,84 @@
+"""Result serialization: save/load runs as JSON for offline analysis."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.harness.results import RunResult
+from repro.mem.access import AccessKind
+from repro.metrics.occupancy import OccupancySnapshot
+from repro.metrics.timeline import MigrationEvent
+
+_SCHEMA_VERSION = 1
+
+
+def result_to_dict(result: RunResult) -> dict:
+    """Convert a run result to a JSON-serializable dictionary."""
+    return {
+        "schema": _SCHEMA_VERSION,
+        "workload": result.workload,
+        "policy": result.policy,
+        "cycles": result.cycles,
+        "transactions": result.transactions,
+        "occupancy": {
+            "pages_per_gpu": list(result.occupancy.pages_per_gpu),
+            "cpu_pages": result.occupancy.cpu_pages,
+        },
+        "cpu_shootdowns": result.cpu_shootdowns,
+        "gpu_shootdowns": result.gpu_shootdowns,
+        "cpu_to_gpu_migrations": result.cpu_to_gpu_migrations,
+        "gpu_to_gpu_migrations": result.gpu_to_gpu_migrations,
+        "dftm_denials": result.dftm_denials,
+        "kind_counts": {k.value: v for k, v in result.kind_counts.items()},
+        "local_fraction": result.local_fraction,
+        "migration_events": [
+            {"time": e.time, "page": e.page, "src": e.src, "dst": e.dst}
+            for e in result.migration_events
+        ],
+        "seed": result.seed,
+        "scale": result.scale,
+    }
+
+
+def result_from_dict(data: dict) -> RunResult:
+    """Rebuild a run result from :func:`result_to_dict` output."""
+    schema = data.get("schema")
+    if schema != _SCHEMA_VERSION:
+        raise ValueError(f"unsupported result schema {schema!r}")
+    return RunResult(
+        workload=data["workload"],
+        policy=data["policy"],
+        cycles=data["cycles"],
+        transactions=data["transactions"],
+        occupancy=OccupancySnapshot(
+            tuple(data["occupancy"]["pages_per_gpu"]),
+            data["occupancy"]["cpu_pages"],
+        ),
+        cpu_shootdowns=data["cpu_shootdowns"],
+        gpu_shootdowns=data["gpu_shootdowns"],
+        cpu_to_gpu_migrations=data["cpu_to_gpu_migrations"],
+        gpu_to_gpu_migrations=data["gpu_to_gpu_migrations"],
+        dftm_denials=data["dftm_denials"],
+        kind_counts={AccessKind(k): v for k, v in data["kind_counts"].items()},
+        local_fraction=data["local_fraction"],
+        migration_events=[
+            MigrationEvent(e["time"], e["page"], e["src"], e["dst"])
+            for e in data["migration_events"]
+        ],
+        seed=data["seed"],
+        scale=data["scale"],
+    )
+
+
+def save_result(result: RunResult, path: Union[str, Path]) -> Path:
+    """Write a run result to a JSON file; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(result_to_dict(result), indent=2))
+    return path
+
+
+def load_result(path: Union[str, Path]) -> RunResult:
+    """Read a run result back from :func:`save_result` output."""
+    return result_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,72 @@
+"""Structured results of one simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.mem.access import AccessKind
+from repro.metrics.occupancy import OccupancySnapshot, imbalance_index
+from repro.metrics.timeline import MigrationEvent
+
+
+@dataclass
+class RunResult:
+    """Everything the benches need from one (workload, policy) run.
+
+    Attributes:
+        workload: Table III abbreviation.
+        policy: Policy name (baseline / griffin / ...).
+        cycles: Makespan in cycles.
+        transactions: Post-coalescing transactions issued.
+        occupancy: Final GPU page distribution.
+        cpu_shootdowns / gpu_shootdowns: Shootdown rounds by device class.
+        cpu_to_gpu_migrations / gpu_to_gpu_migrations: Page moves.
+        dftm_denials: First touches served by CPU DCA.
+        kind_counts: Transactions by service kind.
+        local_fraction: Share of transactions served from local memory.
+        migration_events: Completed migrations (time, page, src, dst).
+        seed / scale: Reproduction parameters of the run.
+    """
+
+    workload: str
+    policy: str
+    cycles: float
+    transactions: int
+    occupancy: OccupancySnapshot
+    cpu_shootdowns: int
+    gpu_shootdowns: int
+    cpu_to_gpu_migrations: int
+    gpu_to_gpu_migrations: int
+    dftm_denials: int
+    kind_counts: dict[AccessKind, int]
+    local_fraction: float
+    migration_events: list[MigrationEvent] = field(default_factory=list)
+    seed: int = 0
+    scale: float = 0.0
+    timeline: Optional[object] = None
+    detail: Optional[dict] = None
+
+    @property
+    def total_shootdowns(self) -> int:
+        """The Figure 9 metric: all shootdown rounds, CPU + GPU."""
+        return self.cpu_shootdowns + self.gpu_shootdowns
+
+    @property
+    def total_migrations(self) -> int:
+        return self.cpu_to_gpu_migrations + self.gpu_to_gpu_migrations
+
+    def imbalance(self) -> float:
+        """Occupancy imbalance in [0, 1]; 0 is perfectly balanced."""
+        return imbalance_index(self.occupancy.pages_per_gpu)
+
+    def summary_row(self) -> list:
+        return [
+            self.workload,
+            self.policy,
+            f"{self.cycles:.0f}",
+            self.transactions,
+            f"{self.local_fraction:.2f}",
+            self.total_shootdowns,
+            self.total_migrations,
+        ]

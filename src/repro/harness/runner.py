@@ -1,0 +1,116 @@
+"""Run one workload on one policy and harvest a :class:`RunResult`."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.config.hyperparams import GriffinHyperParams
+from repro.config.presets import small_system
+from repro.config.system import SystemConfig
+from repro.core.policies import PolicyConfig
+from repro.harness.results import RunResult
+from repro.system.machine import Machine
+from repro.workloads.base import WorkloadBase
+from repro.workloads.registry import get_workload
+
+
+def run_workload(
+    workload: Union[str, WorkloadBase],
+    policy: Union[str, PolicyConfig] = "baseline",
+    config: Optional[SystemConfig] = None,
+    hyper: Optional[GriffinHyperParams] = None,
+    scale: float = 0.02,
+    seed: int = 7,
+    watch_pages=None,
+    timeline_bucket: int = 10_000,
+    keep_timeline: bool = False,
+    collect_detail: bool = False,
+    dispatch_strategy: str = "round_robin",
+) -> RunResult:
+    """Simulate ``workload`` under ``policy`` and return the results.
+
+    Args:
+        workload: Table III abbreviation or a pre-built workload object.
+        policy: Policy name or config (see :mod:`repro.core.policies`).
+        config: System configuration; defaults to the shrunken
+            :func:`~repro.config.presets.small_system` for tractable runs.
+        hyper: Griffin hyperparameters (Table I defaults if omitted).
+        scale: Footprint scale applied when ``workload`` is a name.
+        seed: Deterministic seed applied when ``workload`` is a name.
+        watch_pages: Pages to keep bucketized access time series for.
+        timeline_bucket: Bucket width (cycles) of the time series.
+        keep_timeline: Attach the timeline tracker to the result.
+        collect_detail: Attach the full component-level statistics report
+            (:func:`repro.metrics.collector.collect_machine_stats`).
+        dispatch_strategy: Workgroup-to-GPU assignment ("round_robin",
+            the paper's policy, or "chunked").
+    """
+    if config is None:
+        config = small_system()
+    if isinstance(workload, str):
+        workload = get_workload(
+            workload, scale=scale, seed=seed, page_size=config.page_size
+        )
+    if workload.page_size != config.page_size:
+        raise ValueError(
+            f"workload page size {workload.page_size} does not match "
+            f"system page size {config.page_size}"
+        )
+    if hyper is None:
+        # Table I values recalibrated to this simulator's access
+        # intensity; see GriffinHyperParams.calibrated.
+        hyper = GriffinHyperParams.calibrated()
+
+    machine = Machine(
+        config,
+        policy=policy,
+        hyper=hyper,
+        timeline_bucket=timeline_bucket,
+        watch_pages=watch_pages,
+        dispatch_strategy=dispatch_strategy,
+    )
+    kernels = workload.build_kernels(config.num_gpus)
+    cycles = machine.run(kernels)
+
+    driver = machine.driver
+    page_table = machine.page_table
+    result = RunResult(
+        workload=workload.spec.abbrev,
+        policy=machine.policy.name,
+        cycles=cycles,
+        transactions=machine.access_path.total_issued,
+        occupancy=machine.occupancy_snapshot(),
+        cpu_shootdowns=machine.shootdowns.cpu_shootdowns,
+        gpu_shootdowns=machine.shootdowns.gpu_shootdowns,
+        cpu_to_gpu_migrations=page_table.cpu_to_gpu_migrations,
+        gpu_to_gpu_migrations=page_table.gpu_to_gpu_migrations,
+        dftm_denials=driver.dftm.denials,
+        kind_counts=dict(machine.access_path.kind_counts),
+        local_fraction=machine.access_path.local_fraction(),
+        migration_events=list(machine.migration_events),
+        seed=workload.seed,
+        scale=workload.scale,
+        timeline=machine.timeline if keep_timeline else None,
+    )
+    if collect_detail:
+        from repro.metrics.collector import collect_machine_stats
+
+        result.detail = collect_machine_stats(machine)
+    return result
+
+
+def compare_policies(
+    workload: str,
+    policies=("baseline", "griffin"),
+    config: Optional[SystemConfig] = None,
+    hyper: Optional[GriffinHyperParams] = None,
+    scale: float = 0.02,
+    seed: int = 7,
+) -> dict[str, RunResult]:
+    """Run the same workload under several policies (same trace, same seed)."""
+    return {
+        str(policy if isinstance(policy, str) else policy.name): run_workload(
+            workload, policy, config=config, hyper=hyper, scale=scale, seed=seed
+        )
+        for policy in policies
+    }

@@ -1,0 +1,184 @@
+"""Declarative parameter sweeps over (workload x policy x config x hyper).
+
+``Sweep`` runs the full cross-product of its axes and returns a
+``SweepResult`` that slices, aggregates, and renders — the formalization
+of what the benchmark files do by hand, available to library users::
+
+    from repro.harness.sweep import Sweep
+
+    sweep = Sweep(
+        workloads=["MT", "SC"],
+        policies=["baseline", "griffin"],
+        configs={"pcie": small_system(), "nvlink": nvlink_system()},
+    )
+    result = sweep.run(scale=0.01, seed=3)
+    print(result.table("cycles"))
+    print(result.speedup_table("baseline", "griffin"))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.config.hyperparams import GriffinHyperParams
+from repro.config.presets import small_system
+from repro.config.system import SystemConfig
+from repro.harness.results import RunResult
+from repro.harness.runner import run_workload
+from repro.metrics.report import format_table, geometric_mean
+
+_METRICS = {
+    "cycles": lambda r: r.cycles,
+    "local_fraction": lambda r: r.local_fraction,
+    "shootdowns": lambda r: r.total_shootdowns,
+    "migrations": lambda r: r.total_migrations,
+    "gpu_to_gpu": lambda r: r.gpu_to_gpu_migrations,
+    "imbalance": lambda r: r.imbalance(),
+}
+
+
+@dataclass(frozen=True)
+class SweepKey:
+    """Coordinates of one point in the sweep grid."""
+
+    workload: str
+    policy: str
+    config: str
+    hyper: str
+
+
+@dataclass
+class SweepResult:
+    """All runs of one sweep, indexed by :class:`SweepKey`."""
+
+    points: dict = field(default_factory=dict)  # SweepKey -> RunResult
+
+    def get(self, workload: str, policy: str, config: str = "default",
+            hyper: str = "default") -> RunResult:
+        return self.points[SweepKey(workload, policy, config, hyper)]
+
+    def metric(self, name: str):
+        """(key, value) pairs for a named metric."""
+        fn = _METRICS.get(name)
+        if fn is None:
+            raise KeyError(
+                f"unknown metric {name!r}; available: {', '.join(_METRICS)}"
+            )
+        return [(key, fn(run)) for key, run in self.points.items()]
+
+    def table(self, metric: str = "cycles") -> str:
+        """Plain-text table of one metric over the whole grid."""
+        rows = [
+            [k.workload, k.policy, k.config, k.hyper,
+             f"{v:,.2f}" if isinstance(v, float) else v]
+            for k, v in self.metric(metric)
+        ]
+        return format_table(
+            ["Workload", "Policy", "Config", "Hyper", metric], rows,
+            f"Sweep: {metric}",
+        )
+
+    def speedups(self, baseline_policy: str, other_policy: str,
+                 config: str = "default", hyper: str = "default") -> dict:
+        """workload -> speedup of ``other`` over ``baseline``."""
+        out = {}
+        for key, run in self.points.items():
+            if (key.policy, key.config, key.hyper) != (
+                baseline_policy, config, hyper
+            ):
+                continue
+            other = self.points.get(
+                SweepKey(key.workload, other_policy, config, hyper)
+            )
+            if other is not None:
+                out[key.workload] = run.cycles / other.cycles
+        return out
+
+    def speedup_table(self, baseline_policy: str, other_policy: str,
+                      config: str = "default", hyper: str = "default") -> str:
+        speedups = self.speedups(baseline_policy, other_policy, config, hyper)
+        rows = [[wl, f"{s:.2f}"] for wl, s in speedups.items()]
+        if speedups:
+            rows.append(["geomean", f"{geometric_mean(speedups.values()):.2f}"])
+        return format_table(
+            ["Workload", f"{other_policy} vs {baseline_policy}"], rows,
+            f"Sweep speedups ({config}, {hyper})",
+        )
+
+
+@dataclass
+class Sweep:
+    """A sweep definition: the cross-product of four axes.
+
+    Attributes:
+        workloads: Table III abbreviations.
+        policies: Policy names.
+        configs: Named system configurations (default: one
+            ``small_system()`` under the name "default").
+        hypers: Named hyperparameter sets (default: the calibrated set
+            under the name "default").
+    """
+
+    workloads: list
+    policies: list
+    configs: Optional[dict] = None
+    hypers: Optional[dict] = None
+
+    def size(self) -> int:
+        configs = self.configs or {"default": None}
+        hypers = self.hypers or {"default": None}
+        return (len(self.workloads) * len(self.policies)
+                * len(configs) * len(hypers))
+
+    def _grid(self, scale: float, seed: int):
+        configs = self.configs or {"default": small_system()}
+        hypers = self.hypers or {"default": GriffinHyperParams.calibrated()}
+        for config_name, config in configs.items():
+            for hyper_name, hyper in hypers.items():
+                for workload in self.workloads:
+                    for policy in self.policies:
+                        key = SweepKey(workload, policy, config_name, hyper_name)
+                        yield key, (workload, policy, config, hyper, scale, seed)
+
+    def run(self, scale: float = 0.015, seed: int = 3,
+            progress=None, workers: int = 1) -> SweepResult:
+        """Execute every grid point; optionally report progress.
+
+        Args:
+            scale / seed: Forwarded to every run.
+            progress: Optional callable ``(done, total, key)`` invoked
+                after each point.
+            workers: Process count.  Grid points are independent
+                simulations, so they parallelize perfectly; results are
+                identical regardless of worker count (every run is
+                deterministic).
+        """
+        result = SweepResult()
+        total = self.size()
+        grid = list(self._grid(scale, seed))
+
+        if workers <= 1:
+            for done, (key, args) in enumerate(grid, start=1):
+                result.points[key] = _run_point(args)
+                if progress is not None:
+                    progress(done, total, key)
+            return result
+
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {key: pool.submit(_run_point, args) for key, args in grid}
+            for done, (key, future) in enumerate(futures.items(), start=1):
+                result.points[key] = future.result()
+                if progress is not None:
+                    progress(done, total, key)
+        return result
+
+
+def _run_point(args) -> RunResult:
+    """Execute one grid point (module-level for multiprocessing pickling)."""
+    workload, policy, config, hyper, scale, seed = args
+    return run_workload(
+        workload, policy, config=config, hyper=hyper, scale=scale, seed=seed
+    )

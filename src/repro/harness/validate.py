@@ -1,0 +1,166 @@
+"""Reproduction validation: the paper's qualitative claims as checks.
+
+``validate_reproduction`` runs the evaluation and grades every shape
+claim of the paper against it — who wins, roughly by what factor, where
+the crossovers fall.  The same checks back the benchmark suite; exposing
+them as data lets downstream users verify a changed environment, config,
+or fork still reproduces the paper (``griffin-sim validate``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config.presets import small_system
+from repro.config.system import SystemConfig
+from repro.harness.runner import run_workload
+from repro.metrics.report import geometric_mean
+from repro.workloads.registry import list_workloads
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One graded claim.
+
+    Attributes:
+        claim: The paper statement being checked.
+        passed: Whether this reproduction satisfies it.
+        measured: What was actually measured (human-readable).
+        reference: The paper's value/statement for comparison.
+    """
+
+    claim: str
+    passed: bool
+    measured: str
+    reference: str
+
+    def render(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        return f"[{mark}] {self.claim}\n       measured: {self.measured}" \
+               f"\n       paper:    {self.reference}"
+
+
+@dataclass
+class ValidationReport:
+    """All checks for one validation run."""
+
+    checks: list
+
+    @property
+    def passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    @property
+    def num_passed(self) -> int:
+        return sum(1 for c in self.checks if c.passed)
+
+    def render(self) -> str:
+        lines = [c.render() for c in self.checks]
+        lines.append(
+            f"\n{self.num_passed}/{len(self.checks)} checks passed"
+            + ("" if self.passed else " — reproduction shape NOT satisfied")
+        )
+        return "\n".join(lines)
+
+
+def validate_reproduction(
+    config: Optional[SystemConfig] = None,
+    scale: float = 0.015,
+    seed: int = 3,
+    workloads=None,
+) -> ValidationReport:
+    """Run the evaluation and grade the paper's shape claims.
+
+    With the default workload list this runs 2 simulations per workload
+    (baseline + Griffin); a subset can be validated for speed, in which
+    case suite-wide claims (geomean, extremes) are graded on the subset.
+    """
+    config = config or small_system()
+    workloads = list(workloads or list_workloads())
+
+    runs = {
+        wl: (
+            run_workload(wl, "baseline", config=config, scale=scale, seed=seed),
+            run_workload(wl, "griffin", config=config, scale=scale, seed=seed),
+        )
+        for wl in workloads
+    }
+    speedups = {wl: b.cycles / g.cycles for wl, (b, g) in runs.items()}
+
+    checks: list[CheckResult] = []
+
+    wins = sum(1 for s in speedups.values() if s > 1.0)
+    checks.append(CheckResult(
+        "Griffin outperforms the baseline on nearly all workloads (Fig. 12)",
+        wins >= len(workloads) - 1,
+        f"{wins}/{len(workloads)} workloads faster",
+        "9/10 workloads faster",
+    ))
+
+    geo = geometric_mean(speedups.values())
+    checks.append(CheckResult(
+        "Geometric-mean speedup is in the paper's ballpark (Fig. 12)",
+        1.10 <= geo <= 1.80,
+        f"geomean {geo:.2f}x",
+        "geomean 1.37x",
+    ))
+
+    if "MT" in speedups:
+        checks.append(CheckResult(
+            "Matrix Transpose is the largest win, by a big factor (Fig. 12)",
+            max(speedups, key=speedups.get) == "MT" and speedups["MT"] >= 1.8,
+            f"MT {speedups['MT']:.2f}x "
+            f"(suite max: {max(speedups, key=speedups.get)})",
+            "MT 2.9x, the suite maximum",
+        ))
+
+    if "PR" in speedups:
+        checks.append(CheckResult(
+            "PageRank is the weakest workload for Griffin (Fig. 12)",
+            min(speedups, key=speedups.get) == "PR" and speedups["PR"] <= 1.10,
+            f"PR {speedups['PR']:.2f}x "
+            f"(suite min: {min(speedups, key=speedups.get)})",
+            "PR ~0.95x, the one slowdown",
+        ))
+
+    imbalanced = sum(
+        1 for b, _ in runs.values() if b.occupancy.max_share() > 0.30
+    )
+    checks.append(CheckResult(
+        "First-touch placement is imbalanced under the baseline (Fig. 2)",
+        imbalanced >= len(workloads) // 2,
+        f"{imbalanced}/{len(workloads)} workloads with a >30% GPU "
+        f"(fair share 25%)",
+        "one GPU holds 40-75% of pages in most workloads",
+    ))
+
+    balanced = sum(
+        1 for _, g in runs.values() if g.occupancy.max_share() <= 0.40
+    )
+    checks.append(CheckResult(
+        "Griffin achieves a near-equal page split (Fig. 8)",
+        balanced == len(workloads),
+        f"{balanced}/{len(workloads)} workloads with max share <= 40%",
+        "near equal split of pages across all the GPUs",
+    ))
+
+    fewer = sum(
+        1 for b, g in runs.values() if g.total_shootdowns < b.total_shootdowns
+    )
+    checks.append(CheckResult(
+        "Griffin performs fewer total TLB shootdowns (Fig. 9)",
+        fewer == len(workloads),
+        f"fewer on {fewer}/{len(workloads)} workloads",
+        "total much lower than the baseline on every workload",
+    ))
+
+    migrates = sum(1 for _, g in runs.values() if g.gpu_to_gpu_migrations > 0)
+    checks.append(CheckResult(
+        "Griffin performs programmer-transparent inter-GPU migration",
+        migrates >= 1,
+        f"inter-GPU migrations on {migrates}/{len(workloads)} workloads",
+        "runtime GPU-to-GPU page migration, programmer transparent",
+    ))
+
+    return ValidationReport(checks)

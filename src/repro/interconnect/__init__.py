@@ -1,0 +1,7 @@
+"""Interconnect substrate: inter-device links, crossbar, arbiter."""
+
+from repro.interconnect.link import DuplexLink, InterconnectFabric
+from repro.interconnect.xbar import Crossbar
+from repro.interconnect.arbiter import BiasedArbiter
+
+__all__ = ["DuplexLink", "InterconnectFabric", "Crossbar", "BiasedArbiter"]

@@ -1,0 +1,77 @@
+"""Inter-device fabric model.
+
+The paper's system connects 4 GPUs and the CPU with PCIe-v4 (32 GB/s per
+direction); Figure 13 re-runs the evaluation with an NVLink-class fabric.
+Each device has one full-duplex port onto the fabric; a transfer pays the
+one-way latency plus serialization on the sender's TX pipe and the
+receiver's RX pipe, so a congested GPU (the imbalance case of Figure 2)
+queues traffic on its own port exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+from repro.config.system import LinkConfig
+from repro.sim.resource import ThroughputResource
+
+CPU_PORT = -1
+
+
+class DuplexLink:
+    """One device's full-duplex port: independent TX and RX pipes."""
+
+    __slots__ = ("name", "tx", "rx", "latency")
+
+    def __init__(self, name: str, bytes_per_cycle: float, latency: int) -> None:
+        self.name = name
+        self.tx = ThroughputResource(f"{name}.tx", bytes_per_cycle)
+        self.rx = ThroughputResource(f"{name}.rx", bytes_per_cycle)
+        self.latency = latency
+
+
+class InterconnectFabric:
+    """Point-to-point fabric between the CPU and all GPUs.
+
+    Port ids: GPUs ``0..num_gpus-1``, CPU ``-1`` (:data:`CPU_PORT`).
+    """
+
+    def __init__(self, config: LinkConfig, num_gpus: int, clock_ghz: float = 1.0) -> None:
+        self.config = config
+        self.num_gpus = num_gpus
+        rate = config.bytes_per_cycle(clock_ghz)
+        self._ports: dict[int, DuplexLink] = {
+            CPU_PORT: DuplexLink("link.cpu", rate, config.latency)
+        }
+        for g in range(num_gpus):
+            self._ports[g] = DuplexLink(f"link.gpu{g}", rate, config.latency)
+        self.transfers = 0
+        self.total_bytes = 0
+
+    def port(self, device: int) -> DuplexLink:
+        return self._ports[device]
+
+    def transfer(self, now: float, src: int, dst: int, size_bytes: int) -> float:
+        """Move ``size_bytes`` from ``src`` to ``dst``; returns arrival time.
+
+        Serialization is charged on the sender's TX pipe and the receiver's
+        RX pipe; the payload then pays the one-way latency.
+        """
+        if src == dst:
+            return now
+        tx_done = self._ports[src].tx.acquire(now, size_bytes)
+        rx_done = self._ports[dst].rx.acquire(tx_done, size_bytes)
+        self.transfers += 1
+        self.total_bytes += size_bytes
+        return rx_done + self.config.latency
+
+    def round_trip(
+        self, now: float, requester: int, responder: int,
+        request_bytes: int, response_bytes: int,
+    ) -> float:
+        """Request/response pair; returns the time the response arrives."""
+        arrive = self.transfer(now, requester, responder, request_bytes)
+        return self.transfer(arrive, responder, requester, response_bytes)
+
+    def port_utilization(self, device: int, elapsed: float) -> tuple[float, float]:
+        """(tx, rx) utilization of a device's port over ``elapsed`` cycles."""
+        port = self._ports[device]
+        return port.tx.utilization(elapsed), port.rx.utilization(elapsed)

@@ -1,0 +1,31 @@
+"""Intra-GPU single-stage crossbar (Table II).
+
+Within a GPU the crossbar connects CUs to L2 slices.  At transaction
+granularity its effect is a fixed traversal latency plus aggregate
+bandwidth; we model the latency as part of the L1-miss path and expose an
+optional bandwidth pipe for stress configurations.
+"""
+
+from __future__ import annotations
+
+from repro.sim.resource import ThroughputResource
+
+
+class Crossbar:
+    """Single-stage crossbar with a fixed traversal latency.
+
+    The aggregate-bandwidth pipe is generous by default (crossbars are not
+    the bottleneck in the paper's system) but participates in accounting so
+    experiments can constrain it.
+    """
+
+    def __init__(self, name: str, latency: int, bytes_per_cycle: float = 1024.0) -> None:
+        self.name = name
+        self.latency = latency
+        self._pipe = ThroughputResource(f"{name}.pipe", bytes_per_cycle)
+        self.traversals = 0
+
+    def traverse(self, now: float, size_bytes: int = 64) -> float:
+        """Cross the switch; returns arrival time at the far side."""
+        self.traversals += 1
+        return self._pipe.acquire(now, size_bytes) + self.latency

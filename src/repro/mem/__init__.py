@@ -1,0 +1,14 @@
+"""Memory substrate: caches, DRAM bandwidth model, transaction types."""
+
+from repro.mem.access import AccessKind, MemoryTransaction
+from repro.mem.cache import Cache
+from repro.mem.dram import DRAM
+from repro.mem.hierarchy import GPUMemoryHierarchy
+
+__all__ = [
+    "AccessKind",
+    "MemoryTransaction",
+    "Cache",
+    "DRAM",
+    "GPUMemoryHierarchy",
+]

@@ -1,0 +1,62 @@
+"""Memory transaction types.
+
+A :class:`MemoryTransaction` is one post-coalescing memory access — the
+granularity at which the paper's DPC access counters operate ("a table that
+records the number of post-coalescing memory transactions that access each
+page").
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+_txn_ids = itertools.count()
+
+
+class AccessKind(enum.Enum):
+    """How a transaction was ultimately serviced."""
+
+    LOCAL = "local"            # page resident on the issuing GPU
+    REMOTE_DCA = "remote_dca"  # direct cache access to another GPU's L2
+    REMOTE_CACHE = "remote_cache"  # hit in the CARVE-style remote cache
+    CPU_DCA = "cpu_dca"        # direct access to CPU memory (DFTM denial)
+    FAULT_MIGRATE = "fault_migrate"  # triggered a CPU->GPU page migration
+
+
+@dataclass
+class MemoryTransaction:
+    """One post-coalescing memory access issued by a CU.
+
+    Attributes:
+        txn_id: Unique id (deterministic issue order).
+        gpu_id / se_id / cu_id: Issuing hardware location.
+        address: Virtual byte address.
+        page: Virtual page number (filled at issue).
+        is_write: Write vs. read.
+        issue_time: Cycle the CU issued the access.
+        complete_time: Cycle the data returned (set on completion).
+        kind: How the access was serviced (set during translation).
+        workgroup_id: Issuing workgroup (for drain bookkeeping/debug).
+    """
+
+    gpu_id: int
+    se_id: int
+    cu_id: int
+    address: int
+    is_write: bool
+    issue_time: float
+    page: int = -1
+    complete_time: Optional[float] = None
+    kind: Optional[AccessKind] = None
+    workgroup_id: int = -1
+    txn_id: int = field(default_factory=lambda: next(_txn_ids))
+
+    @property
+    def latency(self) -> Optional[float]:
+        """End-to-end latency in cycles, if completed."""
+        if self.complete_time is None:
+            return None
+        return self.complete_time - self.issue_time

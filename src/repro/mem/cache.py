@@ -1,0 +1,137 @@
+"""Set-associative cache with LRU replacement and per-page flush.
+
+The simulator tracks cache *presence*, not data: a lookup reports hit or
+miss (installing the line on miss), and page migration flushes the lines of
+the migrating pages, charging the per-line flush latency configured in
+:class:`repro.config.system.TimingConfig`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.config.system import CacheConfig
+
+
+class Cache:
+    """A set-associative cache of line tags.
+
+    Lines are tracked as ``line_id = address >> log2(line_bytes)``.
+    A per-page index (page -> set of line_ids) makes targeted flushes of a
+    migrating page O(lines-of-page), which is what ACUD's selective L2
+    flush needs.
+    """
+
+    __slots__ = (
+        "name", "config", "_sets", "_page_lines", "_line_shift",
+        "_page_shift", "hits", "misses", "evictions", "flushed_lines",
+    )
+
+    def __init__(self, name: str, config: CacheConfig, page_size: int = 4096) -> None:
+        self.name = name
+        self.config = config
+        self._sets: list[OrderedDict[int, bool]] = [
+            OrderedDict() for _ in range(config.num_sets)
+        ]
+        self._page_lines: dict[int, set[int]] = {}
+        self._line_shift = config.line_bytes.bit_length() - 1
+        self._page_shift = page_size.bit_length() - 1
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.flushed_lines = 0
+
+    def line_id(self, address: int) -> int:
+        return address >> self._line_shift
+
+    def _page_of_line(self, line: int) -> int:
+        return line >> (self._page_shift - self._line_shift)
+
+    def _unindex(self, line: int) -> None:
+        page = self._page_of_line(line)
+        lines = self._page_lines.get(page)
+        if lines is not None:
+            lines.discard(line)
+            if not lines:
+                del self._page_lines[page]
+
+    def access(self, address: int, is_write: bool) -> bool:
+        """Probe the cache; on miss, install the line (allocate-on-miss).
+
+        Returns True on hit.  Writes mark the line dirty, which only
+        matters for flush accounting (dirty lines cost a writeback).
+        """
+        line = self.line_id(address)
+        entries = self._sets[line % self.config.num_sets]
+        if line in entries:
+            entries.move_to_end(line)
+            if is_write:
+                entries[line] = True
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(entries) >= self.config.ways:
+            victim, _dirty = entries.popitem(last=False)
+            self._unindex(victim)
+            self.evictions += 1
+        entries[line] = is_write
+        self._page_lines.setdefault(self._page_of_line(line), set()).add(line)
+        return False
+
+    def contains(self, address: int) -> bool:
+        """Non-destructive probe (no LRU update, no stats)."""
+        line = self.line_id(address)
+        return line in self._sets[line % self.config.num_sets]
+
+    def invalidate_address(self, address: int) -> bool:
+        """Drop the single line holding ``address`` if present."""
+        line = self.line_id(address)
+        entries = self._sets[line % self.config.num_sets]
+        if line not in entries:
+            return False
+        del entries[line]
+        self._unindex(line)
+        self.flushed_lines += 1
+        return True
+
+    def flush_pages(self, pages) -> tuple[int, int]:
+        """Invalidate all lines of the given pages.
+
+        Returns ``(lines_flushed, dirty_lines)``; dirty lines require a
+        writeback before the page data can transfer.
+        """
+        flushed = 0
+        dirty = 0
+        for page in pages:
+            lines = self._page_lines.pop(page, None)
+            if not lines:
+                continue
+            for line in lines:
+                entries = self._sets[line % self.config.num_sets]
+                was_dirty = entries.pop(line, False)
+                flushed += 1
+                if was_dirty:
+                    dirty += 1
+        self.flushed_lines += flushed
+        return flushed, dirty
+
+    def flush_all(self) -> int:
+        """Invalidate the whole cache (full pipeline-flush path)."""
+        flushed = sum(len(s) for s in self._sets)
+        for entries in self._sets:
+            entries.clear()
+        self._page_lines.clear()
+        self.flushed_lines += flushed
+        return flushed
+
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses

@@ -1,0 +1,59 @@
+"""HBM DRAM bandwidth/latency model.
+
+Each channel is a :class:`~repro.sim.resource.ThroughputResource`; lines are
+interleaved across channels by line address, matching the eight-channel HBM
+organisation of Table II.  An access pays the fixed access latency plus any
+queuing delay on its channel.
+"""
+
+from __future__ import annotations
+
+from repro.config.system import DRAMConfig
+from repro.sim.resource import ThroughputResource
+
+
+class DRAM:
+    """A multi-channel DRAM stack."""
+
+    def __init__(self, name: str, config: DRAMConfig, line_bytes: int = 64) -> None:
+        self.name = name
+        self.config = config
+        self.line_bytes = line_bytes
+        self._channels = [
+            ThroughputResource(f"{name}.ch{i}", config.bytes_per_cycle)
+            for i in range(config.channels)
+        ]
+        self.accesses = 0
+
+    def channel_for(self, address: int) -> ThroughputResource:
+        line = address // self.line_bytes
+        return self._channels[line % self.config.channels]
+
+    def access(self, now: float, address: int, size_bytes: int) -> float:
+        """Service one access; returns the completion time."""
+        self.accesses += 1
+        channel = self.channel_for(address)
+        finish = channel.acquire(now, size_bytes)
+        return finish + self.config.latency
+
+    def bulk_read(self, now: float, address: int, size_bytes: int) -> float:
+        """Stream a large block (page transfer); returns completion time.
+
+        Spreads the block across all channels, so effective bandwidth is
+        the aggregate — page migration DMA is not limited to one channel.
+        """
+        self.accesses += 1
+        per_channel = size_bytes / self.config.channels
+        finish = now
+        for channel in self._channels:
+            finish = max(finish, channel.acquire(now, per_channel))
+        return finish + self.config.latency
+
+    def total_bytes(self) -> int:
+        return sum(int(c.total_bytes) for c in self._channels)
+
+    def utilization(self, elapsed: float) -> float:
+        if elapsed <= 0:
+            return 0.0
+        per = [c.utilization(elapsed) for c in self._channels]
+        return sum(per) / len(per)

@@ -1,0 +1,157 @@
+"""Per-GPU memory hierarchy: per-CU L1 vector caches, L2 slices, HBM.
+
+The hierarchy exposes three operations the rest of the system composes:
+
+* :meth:`local_access` — a CU accessing its own GPU's memory (L1 -> L2 ->
+  DRAM), the fast path Griffin tries to maximize.
+* :meth:`remote_service` — servicing an incoming RDMA (DCA) request from
+  another device at this GPU's L2, the paper's Figure 4 path.
+* :meth:`flush_pages` / :meth:`flush_all` — targeted (ACUD) versus full
+  (pipeline-flush) cache cleansing before a page migrates out.
+"""
+
+from __future__ import annotations
+
+from repro.config.system import KB, CacheConfig, GPUConfig, TimingConfig
+from repro.mem.cache import Cache
+from repro.mem.dram import DRAM
+
+
+class GPUMemoryHierarchy:
+    """Caches plus DRAM for one GPU."""
+
+    def __init__(
+        self,
+        gpu_id: int,
+        config: GPUConfig,
+        timing: TimingConfig,
+        page_size: int,
+    ) -> None:
+        self.gpu_id = gpu_id
+        self.config = config
+        self.timing = timing
+        self.page_size = page_size
+        self.l1v = [
+            Cache(f"gpu{gpu_id}.cu{c}.l1v", config.l1v, page_size)
+            for c in range(config.num_cus)
+        ]
+        self.l2 = [
+            Cache(f"gpu{gpu_id}.l2s{s}", config.l2, page_size)
+            for s in range(config.l2_slices)
+        ]
+        self.dram = DRAM(f"gpu{gpu_id}.dram", config.dram, config.l2.line_bytes)
+        # CARVE-style remote cache (optional): local DRAM carved out to
+        # hold remote read data; ~DRAM-speed hits instead of fabric trips.
+        self.remote_cache = None
+        if config.remote_cache_kb > 0:
+            self.remote_cache = Cache(
+                f"gpu{gpu_id}.carve",
+                CacheConfig(config.remote_cache_kb * KB, 8, config.l2.line_bytes),
+                page_size,
+            )
+        self._line_bytes = config.l2.line_bytes
+        # MSHR-style miss merging: line -> completion time of the
+        # outstanding fill.  A miss on a line already being fetched
+        # completes with that fill instead of issuing another DRAM access.
+        self._pending_fills: dict[int, float] = {}
+        self.local_accesses = 0
+        self.remote_services = 0
+        self.remote_cache_hits = 0
+        self.mshr_merges = 0
+
+    def _l2_slice(self, address: int) -> Cache:
+        line = address // self._line_bytes
+        return self.l2[line % len(self.l2)]
+
+    def _fill_from_dram(self, t: float, address: int) -> float:
+        """Fetch a line from DRAM and register the outstanding fill."""
+        finish = self.dram.access(t, address, self._line_bytes)
+        self._pending_fills[address // self._line_bytes] = finish
+        if len(self._pending_fills) > 4096:
+            self._pending_fills = {
+                line: f for line, f in self._pending_fills.items() if f > t
+            }
+        return finish
+
+    def _hit_under_fill(self, t: float, address: int) -> float:
+        """MSHR semantics: a hit on a line whose fill is still in flight
+        completes with the fill, not instantly (the tag was installed at
+        miss time, but the data arrives with the DRAM response)."""
+        pending = self._pending_fills.get(address // self._line_bytes)
+        if pending is not None and pending > t:
+            self.mshr_merges += 1
+            return pending
+        return t
+
+    def local_access(self, now: float, cu_index: int, address: int, is_write: bool) -> float:
+        """A CU access to this GPU's own memory; returns completion time."""
+        self.local_accesses += 1
+        t = now + self.config.l1v.latency
+        if self.l1v[cu_index].access(address, is_write):
+            return self._hit_under_fill(t, address)
+        t += self.config.xbar_latency + self.config.l2.latency
+        if self._l2_slice(address).access(address, is_write):
+            return self._hit_under_fill(t, address)
+        return self._fill_from_dram(t, address)
+
+    def remote_service(self, now: float, address: int, is_write: bool) -> float:
+        """Service an incoming DCA request at the L2 (paper Fig. 4 step 3)."""
+        self.remote_services += 1
+        t = now + self.config.l2.latency
+        if self._l2_slice(address).access(address, is_write):
+            return self._hit_under_fill(t, address)
+        return self._fill_from_dram(t, address)
+
+    def remote_cache_lookup(self, now: float, address: int) -> float:
+        """Probe the CARVE carve-out for a remote read.
+
+        Returns the completion time on a hit, or -1.0 on miss/disabled.
+        """
+        if self.remote_cache is None or not self.remote_cache.contains(address):
+            return -1.0
+        self.remote_cache_hits += 1
+        self.remote_cache.access(address, False)
+        return self.dram.access(now, address, self._line_bytes)
+
+    def remote_cache_fill(self, address: int) -> None:
+        """Install a remote read's line in the carve-out."""
+        if self.remote_cache is not None:
+            self.remote_cache.access(address, False)
+
+    def remote_cache_invalidate(self, pages) -> int:
+        """Drop cached remote lines of migrating pages (coherence)."""
+        if self.remote_cache is None:
+            return 0
+        flushed, _ = self.remote_cache.flush_pages(pages)
+        return flushed
+
+    def flush_pages(self, pages) -> tuple[int, int]:
+        """Targeted flush of all lines belonging to ``pages``.
+
+        Returns (lines_flushed, dirty_lines) summed over L1s and L2 slices.
+        Used by ACUD's selective flush and by the shootdown path.
+        """
+        lines = 0
+        dirty = 0
+        for cache in self.l1v:
+            f, d = cache.flush_pages(pages)
+            lines += f
+            dirty += d
+        for cache in self.l2:
+            f, d = cache.flush_pages(pages)
+            lines += f
+            dirty += d
+        return lines, dirty
+
+    def flush_all(self) -> int:
+        """Full cache flush (pipeline-flush migration path)."""
+        flushed = 0
+        for cache in self.l1v:
+            flushed += cache.flush_all()
+        for cache in self.l2:
+            flushed += cache.flush_all()
+        return flushed
+
+    def targeted_flush_cost(self, lines_flushed: int) -> float:
+        """Cycles to flush ``lines_flushed`` lines from the L2."""
+        return lines_flushed * self.timing.l2_flush_per_line

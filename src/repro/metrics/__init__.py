@@ -1,0 +1,22 @@
+"""Metrics: occupancy, timelines, run statistics, report tables."""
+
+from repro.metrics.collector import collect_machine_stats, render_stats
+from repro.metrics.occupancy import OccupancySnapshot, imbalance_index
+from repro.metrics.timeline import MigrationEvent, PageAccessTimeline
+from repro.metrics.report import (
+    format_table,
+    geometric_mean,
+    normalize,
+)
+
+__all__ = [
+    "collect_machine_stats",
+    "render_stats",
+    "OccupancySnapshot",
+    "imbalance_index",
+    "MigrationEvent",
+    "PageAccessTimeline",
+    "format_table",
+    "geometric_mean",
+    "normalize",
+]

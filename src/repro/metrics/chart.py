@@ -1,0 +1,83 @@
+"""ASCII charts for the terminal: bars and grouped bars.
+
+The paper's evaluation figures are bar charts; these renderers let the
+CLI and the benches show the same visual shape without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = 40,
+    reference: Optional[float] = None,
+    fmt: str = "{:.2f}",
+) -> str:
+    """Render labelled horizontal bars.
+
+    Args:
+        values: label -> value (bars are scaled to the maximum).
+        title: Optional heading.
+        width: Character width of the longest bar.
+        reference: Draw a ``|`` marker at this value on every row (e.g.
+            1.0 on a speedup chart).
+        fmt: Number format for the value column.
+    """
+    if not values:
+        return title
+    peak = max(values.values())
+    if peak <= 0:
+        peak = 1.0
+    label_w = max(len(str(k)) for k in values)
+    ref_col = None
+    if reference is not None and 0 < reference <= peak:
+        ref_col = int(round(reference / peak * width))
+
+    lines = [title] if title else []
+    for label, value in values.items():
+        filled = int(round(max(value, 0.0) / peak * width))
+        bar = list("#" * filled + " " * (width - filled))
+        if ref_col is not None and 0 <= ref_col < width and bar[ref_col] == " ":
+            bar[ref_col] = "|"
+        lines.append(
+            f"{str(label).ljust(label_w)}  {''.join(bar)}  {fmt.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    title: str = "",
+    width: int = 30,
+    fmt: str = "{:.2f}",
+) -> str:
+    """Render grouped bars: one block per group, one bar per series.
+
+    ``groups`` maps group label -> {series label -> value}; all bars share
+    one scale so groups are comparable (the paper's per-workload figure
+    layout).
+    """
+    if not groups:
+        return title
+    peak = max(
+        (v for series in groups.values() for v in series.values()), default=1.0
+    )
+    if peak <= 0:
+        peak = 1.0
+    series_w = max(
+        (len(str(s)) for series in groups.values() for s in series), default=0
+    )
+    lines = [title] if title else []
+    for group, series in groups.items():
+        lines.append(f"{group}:")
+        for name, value in series.items():
+            filled = int(round(max(value, 0.0) / peak * width))
+            lines.append(
+                f"  {str(name).ljust(series_w)}  "
+                f"{'#' * filled}{' ' * (width - filled)}  {fmt.format(value)}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,163 @@
+"""Deep statistics harvesting from a simulated machine.
+
+``collect_machine_stats`` walks every component of a :class:`Machine`
+after a run and returns one nested, JSON-serializable dictionary: cache
+and TLB hit rates, DRAM and fabric utilization, IOMMU walker pressure,
+per-CU issue counts, driver decisions, DPC classification counts.  This
+is the "perf counters" view a performance engineer would pull from real
+hardware, and what the CLI's detail mode prints.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.interconnect.link import CPU_PORT
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system.machine import Machine
+
+
+def _cache_stats(cache) -> dict:
+    return {
+        "accesses": cache.accesses,
+        "hits": cache.hits,
+        "misses": cache.misses,
+        "hit_rate": round(cache.hit_rate(), 4),
+        "evictions": cache.evictions,
+        "flushed_lines": cache.flushed_lines,
+    }
+
+
+def _tlb_stats(tlb) -> dict:
+    return {
+        "accesses": tlb.accesses,
+        "hit_rate": round(tlb.hit_rate(), 4),
+        "invalidations": tlb.invalidations,
+        "occupancy": tlb.occupancy(),
+    }
+
+
+def _aggregate_caches(caches) -> dict:
+    accesses = sum(c.accesses for c in caches)
+    hits = sum(c.hits for c in caches)
+    return {
+        "accesses": accesses,
+        "hits": hits,
+        "hit_rate": round(hits / accesses, 4) if accesses else 0.0,
+        "evictions": sum(c.evictions for c in caches),
+        "flushed_lines": sum(c.flushed_lines for c in caches),
+    }
+
+
+def _aggregate_tlbs(tlbs) -> dict:
+    accesses = sum(t.accesses for t in tlbs)
+    hits = sum(t.hits for t in tlbs)
+    return {
+        "accesses": accesses,
+        "hit_rate": round(hits / accesses, 4) if accesses else 0.0,
+        "invalidations": sum(t.invalidations for t in tlbs),
+    }
+
+
+def collect_machine_stats(machine: "Machine") -> dict:
+    """Harvest a nested statistics report from a finished machine."""
+    elapsed = machine.finish_time or machine.engine.now or 1.0
+
+    gpus = {}
+    for gpu in machine.gpus:
+        hierarchy = gpu.hierarchy
+        cus = gpu.all_cus()
+        tx_util, rx_util = machine.fabric.port_utilization(gpu.gpu_id, elapsed)
+        gpus[f"gpu{gpu.gpu_id}"] = {
+            "l1_vector": _aggregate_caches(hierarchy.l1v),
+            "l2": _aggregate_caches(hierarchy.l2),
+            "remote_cache": (
+                _cache_stats(hierarchy.remote_cache)
+                if hierarchy.remote_cache is not None else None
+            ),
+            "remote_cache_hits": hierarchy.remote_cache_hits,
+            "dram": {
+                "accesses": hierarchy.dram.accesses,
+                "bytes": hierarchy.dram.total_bytes(),
+                "utilization": round(hierarchy.dram.utilization(elapsed), 4),
+            },
+            "l1_tlbs": _aggregate_tlbs(gpu.l1_tlbs),
+            "l2_tlb": _tlb_stats(gpu.l2_tlb),
+            "rdma_requests": int(gpu.rdma.stat("requests")),
+            "link": {"tx_utilization": round(tx_util, 4),
+                     "rx_utilization": round(rx_util, 4)},
+            "compute_units": {
+                "transactions_issued": int(sum(c.stat("transactions_issued") for c in cus)),
+                "workgroups_completed": int(sum(c.stat("workgroups_completed") for c in cus)),
+                "drain_requests": int(sum(c.stat("drain_requests") for c in cus)),
+                "flush_requests": int(sum(c.stat("flush_requests") for c in cus)),
+                "flush_discarded_txns": int(sum(c.stat("flush_discarded_txns") for c in cus)),
+                "flush_replayed_accesses": int(sum(c.stat("flush_replayed_accesses") for c in cus)),
+            },
+            "local_accesses": hierarchy.local_accesses,
+            "remote_services": hierarchy.remote_services,
+            "resident_pages": machine.page_table.gpu_page_count(gpu.gpu_id),
+        }
+
+    driver = machine.driver
+    cpu_tx, cpu_rx = machine.fabric.port_utilization(CPU_PORT, elapsed)
+    return {
+        "elapsed_cycles": elapsed,
+        "events_executed": machine.engine.events_executed,
+        "policy": machine.policy.name,
+        "gpus": gpus,
+        "iommu": {
+            "translation_requests": int(machine.iommu.stat("translation_requests")),
+            "walks": machine.iommu.walkers.total_jobs,
+            "walker_wait_cycles": round(machine.iommu.walkers.total_wait, 1),
+        },
+        "cpu_link": {"tx_utilization": round(cpu_tx, 4),
+                     "rx_utilization": round(cpu_rx, 4)},
+        "driver": {
+            "fault_batches": int(driver.stat("fault_batches")),
+            "fault_pages_migrated": int(driver.stat("fault_pages_migrated")),
+            "cpu_dca_redirects": int(driver.stat("cpu_dca_redirects")),
+            "migration_rounds": int(driver.stat("migration_rounds")),
+            "inter_gpu_pages_migrated": int(driver.stat("inter_gpu_pages_migrated")),
+            "rounds_skipped_busy": int(driver.stat("rounds_skipped_busy")),
+            "speculative_candidates": int(driver.stat("speculative_candidates")),
+            "dftm_denials": driver.dftm.denials,
+            "dftm_second_touch": driver.dftm.second_touch_migrations,
+        },
+        "dpc": {
+            "updates": driver.dpc.updates,
+            "tracked_pages": driver.dpc.tracked_pages(),
+            "class_counts": {
+                cls.value: count for cls, count in driver.dpc.class_counts.items()
+            },
+        },
+        "shootdowns": {
+            "cpu": machine.shootdowns.cpu_shootdowns,
+            "gpu": machine.shootdowns.gpu_shootdowns,
+            "gpu_entries_invalidated": machine.shootdowns.gpu_entries_invalidated,
+        },
+        "page_table": {
+            "total_migrations": machine.page_table.total_migrations,
+            "cpu_to_gpu": machine.page_table.cpu_to_gpu_migrations,
+            "gpu_to_gpu": machine.page_table.gpu_to_gpu_migrations,
+            "gpu_resident_pages": machine.page_table.total_gpu_pages(),
+        },
+        "access_kinds": {
+            kind.value: count
+            for kind, count in machine.access_path.kind_counts.items()
+        },
+    }
+
+
+def render_stats(stats: dict, indent: int = 0) -> str:
+    """Render the nested stats dict as indented plain text."""
+    lines = []
+    pad = "  " * indent
+    for key, value in stats.items():
+        if isinstance(value, dict):
+            lines.append(f"{pad}{key}:")
+            lines.append(render_stats(value, indent + 1))
+        else:
+            lines.append(f"{pad}{key}: {value}")
+    return "\n".join(lines)

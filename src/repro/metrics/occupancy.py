@@ -1,0 +1,53 @@
+"""Page-distribution (occupancy) metrics for Figures 2 and 8."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OccupancySnapshot:
+    """The distribution of GPU-resident pages at one point in time.
+
+    Attributes:
+        pages_per_gpu: Resident page count per GPU (index = GPU id).
+        cpu_pages: Pages never migrated off the CPU.
+    """
+
+    pages_per_gpu: tuple
+    cpu_pages: int = 0
+
+    @property
+    def total_gpu_pages(self) -> int:
+        return sum(self.pages_per_gpu)
+
+    def percentages(self) -> list[float]:
+        """Per-GPU share of GPU-resident pages, in percent."""
+        total = self.total_gpu_pages
+        if total == 0:
+            return [0.0] * len(self.pages_per_gpu)
+        return [100.0 * c / total for c in self.pages_per_gpu]
+
+    def max_share(self) -> float:
+        """Largest single GPU share (fraction of GPU-resident pages)."""
+        total = self.total_gpu_pages
+        if total == 0:
+            return 0.0
+        return max(self.pages_per_gpu) / total
+
+
+def imbalance_index(pages_per_gpu) -> float:
+    """How far the distribution is from uniform, in [0, 1].
+
+    0 means perfectly balanced; 1 means all pages on one GPU.  Defined as
+    ``(max_share - 1/n) / (1 - 1/n)`` so it is comparable across GPU
+    counts.
+    """
+    counts = list(pages_per_gpu)
+    n = len(counts)
+    total = sum(counts)
+    if total == 0 or n <= 1:
+        return 0.0
+    uniform = 1.0 / n
+    max_share = max(counts) / total
+    return (max_share - uniform) / (1.0 - uniform)

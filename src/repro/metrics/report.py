@@ -1,0 +1,52 @@
+"""Result math and plain-text table rendering for the benches."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper reports geomean speedups)."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("geometric_mean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric_mean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def normalize(values: Sequence[float], reference: float) -> list[float]:
+    """Divide every value by ``reference`` (e.g. baseline shootdowns)."""
+    if reference == 0:
+        raise ValueError("cannot normalize to a zero reference")
+    return [v / reference for v in values]
+
+
+def speedup(baseline_cycles: float, other_cycles: float) -> float:
+    """Baseline time over other time; >1 means 'other' is faster."""
+    if other_cycles <= 0:
+        raise ValueError("cycles must be positive")
+    return baseline_cycles / other_cycles
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned plain-text table (the benches' output format)."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

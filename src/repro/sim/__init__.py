@@ -1,0 +1,31 @@
+"""Discrete-event simulation engine underpinning the Griffin reproduction.
+
+The engine is deliberately small: an event queue ordered by (time, priority,
+sequence), a handful of shared-resource queuing primitives that model
+bandwidth- and occupancy-limited hardware (links, DRAM channels, page-table
+walkers), and a ``Component`` base class that gives every simulated hardware
+block a name, a pointer to the engine, and a statistics registry.
+
+The paper's evaluation platform, MGPUSim, is a cycle-level simulator.  This
+reproduction operates at memory-transaction granularity instead: every
+post-coalescing memory transaction is an event chain whose completion time is
+computed from cache/TLB lookups plus queuing delays on shared resources.
+That preserves the contention behaviour Griffin exploits (link serialization,
+IOMMU walker occupancy, DRAM bandwidth) at a fidelity Python can execute.
+"""
+
+from repro.sim.engine import Engine
+from repro.sim.event import Event, EventQueue
+from repro.sim.component import Component
+from repro.sim.resource import SlotResource, ThroughputResource
+from repro.sim.rng import make_rng
+
+__all__ = [
+    "Engine",
+    "Event",
+    "EventQueue",
+    "Component",
+    "SlotResource",
+    "ThroughputResource",
+    "make_rng",
+]

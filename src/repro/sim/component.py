@@ -1,0 +1,37 @@
+"""Base class for simulated hardware components."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+
+class Component:
+    """A named hardware block bound to a simulation engine.
+
+    Components keep their statistics in a plain ``stats`` dict of counters so
+    the metrics layer can harvest them uniformly.
+    """
+
+    def __init__(self, engine: "Engine", name: str) -> None:
+        self.engine = engine
+        self.name = name
+        self.stats: dict[str, float] = {}
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (cycles)."""
+        return self.engine.now
+
+    def bump(self, stat: str, amount: float = 1) -> None:
+        """Increment a named statistic counter."""
+        self.stats[stat] = self.stats.get(stat, 0) + amount
+
+    def stat(self, name: str) -> float:
+        """Read a statistic counter (0 if never bumped)."""
+        return self.stats.get(name, 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"

@@ -1,0 +1,105 @@
+"""The simulation engine: clock plus event loop."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.event import Event, EventQueue
+
+
+class SimulationError(RuntimeError):
+    """Raised when the engine is driven into an invalid state."""
+
+
+class Engine:
+    """Owns the simulation clock and runs events in timestamp order.
+
+    Time is measured in cycles of the system clock (1 GHz in the paper's
+    configuration, Table II).  All hardware components hold a reference to
+    the engine and schedule work through :meth:`schedule`.
+    """
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now: float = 0.0
+        self._running = False
+        self._stopped = False
+        self.events_executed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in cycles."""
+        return self._now
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        event = Event(self._now + delay, callback, args, priority)
+        return self._queue.push(event)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run at absolute time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time}, current time is {self._now}"
+            )
+        event = Event(time, callback, args, priority)
+        return self._queue.push(event)
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stopped = True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run events until the queue drains, ``until`` is reached, or stop().
+
+        Args:
+            until: Absolute time bound; events at later times stay queued.
+            max_events: Safety valve on the number of events to execute.
+
+        Returns:
+            The simulation time when the loop exited.
+        """
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while True:
+                if self._stopped:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                event = self._queue.pop()
+                assert event is not None
+                self._now = event.time
+                event.callback(*event.args)
+                self.events_executed += 1
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    break
+        finally:
+            self._running = False
+        return self._now
+
+    def pending_events(self) -> int:
+        """Number of live events still queued."""
+        return len(self._queue)

@@ -1,0 +1,92 @@
+"""Event and event-queue primitives.
+
+Events are ordered by ``(time, priority, seq)``.  ``priority`` breaks ties at
+identical timestamps (lower runs first) and ``seq`` guarantees FIFO order —
+and therefore determinism — among events with equal time and priority.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: Simulation time (cycles) at which the event fires.
+        priority: Tie-breaker at equal times; lower fires first.
+        seq: Monotonic sequence number assigned by the queue.
+        callback: Callable invoked when the event fires.
+        args: Positional arguments passed to the callback.
+        cancelled: When True the event is skipped at fire time.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        priority: int = 0,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = -1
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"Event(t={self.time}, prio={self.priority}, cb={name})"
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, event: Event) -> Event:
+        """Insert ``event`` and stamp its sequence number."""
+        event.seq = next(self._counter)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event, or None."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the timestamp of the earliest live event, or None."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if self._heap:
+            return self._heap[0].time
+        return None
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None

@@ -1,0 +1,117 @@
+"""Shared-resource queuing primitives.
+
+These model hardware blocks whose service capacity is the bottleneck that
+Griffin's mechanisms manipulate:
+
+* :class:`ThroughputResource` — a serializing pipe with a byte/cycle rate
+  (inter-GPU link direction, DRAM channel, RDMA engine).  Transfers queue
+  behind one another; latency is added on top of serialization delay.
+* :class:`SlotResource` — ``k`` identical servers with caller-supplied
+  per-job service time (the IOMMU's eight page-table walkers).
+
+Both use "next-free-time" bookkeeping: an acquisition at time ``t`` for a
+job of duration ``d`` begins at ``max(t, next_free)`` and the resource's
+availability advances accordingly.  This is the classic analytic queuing
+approximation used by transaction-level simulators; it preserves
+serialization and congestion while avoiding per-cycle simulation.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+
+class ThroughputResource:
+    """A serializing resource with finite bandwidth.
+
+    Attributes:
+        bytes_per_cycle: Service rate.
+        busy_until: Time at which the pipe next becomes free.
+        total_bytes: Cumulative bytes serviced (for utilization stats).
+        total_jobs: Number of transfers serviced.
+    """
+
+    __slots__ = ("name", "bytes_per_cycle", "busy_until", "total_bytes", "total_jobs", "total_wait")
+
+    def __init__(self, name: str, bytes_per_cycle: float) -> None:
+        if bytes_per_cycle <= 0:
+            raise ValueError("bytes_per_cycle must be positive")
+        self.name = name
+        self.bytes_per_cycle = bytes_per_cycle
+        self.busy_until = 0.0
+        self.total_bytes = 0
+        self.total_jobs = 0
+        self.total_wait = 0.0
+
+    def acquire(self, now: float, size_bytes: float) -> float:
+        """Serialize a transfer of ``size_bytes`` starting no earlier than now.
+
+        Returns the time at which the last byte leaves the pipe.
+        """
+        start = now if now > self.busy_until else self.busy_until
+        self.total_wait += start - now
+        duration = size_bytes / self.bytes_per_cycle
+        finish = start + duration
+        self.busy_until = finish
+        self.total_bytes += size_bytes
+        self.total_jobs += 1
+        return finish
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` cycles the pipe spent transferring."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, (self.total_bytes / self.bytes_per_cycle) / elapsed)
+
+    def reset(self) -> None:
+        self.busy_until = 0.0
+        self.total_bytes = 0
+        self.total_jobs = 0
+        self.total_wait = 0.0
+
+
+class SlotResource:
+    """``k`` identical servers, each serving one job at a time.
+
+    Models the IOMMU's multithreaded page-table walkers: a translation that
+    arrives when all walkers are busy waits for the earliest walker to free.
+    """
+
+    __slots__ = ("name", "num_slots", "_free_times", "total_jobs", "total_wait")
+
+    def __init__(self, name: str, num_slots: int) -> None:
+        if num_slots <= 0:
+            raise ValueError("num_slots must be positive")
+        self.name = name
+        self.num_slots = num_slots
+        self._free_times = [0.0] * num_slots
+        heapq.heapify(self._free_times)
+        self.total_jobs = 0
+        self.total_wait = 0.0
+
+    def acquire(self, now: float, service_time: float) -> float:
+        """Occupy the earliest-free server for ``service_time`` cycles.
+
+        Returns the completion time of the job.
+        """
+        earliest = heapq.heappop(self._free_times)
+        start = now if now > earliest else earliest
+        self.total_wait += start - now
+        finish = start + service_time
+        heapq.heappush(self._free_times, finish)
+        self.total_jobs += 1
+        return finish
+
+    def earliest_free(self) -> float:
+        """Time at which at least one server is free."""
+        return self._free_times[0]
+
+    def all_free_by(self) -> float:
+        """Time at which every server is free (used by CPMS batching)."""
+        return max(self._free_times)
+
+    def reset(self) -> None:
+        self._free_times = [0.0] * self.num_slots
+        heapq.heapify(self._free_times)
+        self.total_jobs = 0
+        self.total_wait = 0.0

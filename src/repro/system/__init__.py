@@ -1,0 +1,6 @@
+"""System assembly: the complete simulated multi-GPU machine."""
+
+from repro.system.access_path import MemoryAccessPath
+from repro.system.machine import Machine
+
+__all__ = ["Machine", "MemoryAccessPath"]

@@ -1,0 +1,238 @@
+"""The memory access path: what happens to one post-coalescing transaction.
+
+This implements the paper's Figures 3 and 4 end to end:
+
+1. The CU issues; the Shader Engine access counter records the page
+   (pre-translation, as the VIPT L1 requires).
+2. L1 TLB, then L2 TLB.  TLBs only ever hold *local* translations, so any
+   hit is a local access (L1 -> L2 -> HBM).
+3. On an L2 TLB miss the request crosses the fabric to the IOMMU and
+   queues for a page-table walker.
+4. Resolution:
+   * page on the requesting GPU -> translation reply, cached in the TLBs,
+     local access;
+   * page on a remote GPU -> remote physical address returned (never
+     cached), Direct Cache Access through the remote RDMA engine;
+   * page on the CPU -> the driver decides (first-touch migrate, DFTM DCA
+     denial, or CPMS-batched migration);
+   * page data in transfer -> the access waits for the migration.
+
+Every leg of an access is its own engine event fired at the leg's start
+time, so shared resources (link ports, walkers, DRAM channels) are always
+acquired in simulated-time order.  Composing a whole chain analytically at
+issue time would acquire resources at future timestamps out of order and
+manufacture queueing that does not exist.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.interconnect.link import CPU_PORT
+from repro.mem.access import AccessKind, MemoryTransaction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system.machine import Machine
+
+DATA_MSG_BYTES = 64
+
+
+class MemoryAccessPath:
+    """Routes transactions through translation and data access."""
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+        self._page_shift = machine.config.page_size.bit_length() - 1
+        self.kind_counts: dict[AccessKind, int] = {k: 0 for k in AccessKind}
+        self.l1_tlb_hits = 0
+        self.l2_tlb_hits = 0
+        self.iommu_trips = 0
+        self.total_issued = 0
+
+    def _at(self, time: float, callback: Callable, *args) -> None:
+        """Schedule a leg at ``time`` (clamped to the present)."""
+        engine = self.machine.engine
+        engine.schedule_at(max(time, engine.now), callback, *args)
+
+    # ------------------------------------------------------------------
+    # Issue side (called synchronously by CUs)
+    # ------------------------------------------------------------------
+
+    def issue(self, txn: MemoryTransaction, on_complete: Callable) -> None:
+        """Entry point handed to every CU as its ``issue_fn``."""
+        machine = self.machine
+        page = txn.address >> self._page_shift
+        txn.page = page
+        self.total_issued += 1
+
+        gpu = machine.gpus[txn.gpu_id]
+        gpu.record_se_access(txn.cu_id, page)
+        gpu.cu(txn.cu_id).note_translated(txn)
+        machine.timeline.record(machine.engine.now, txn.gpu_id, page)
+
+        now = machine.engine.now
+        l1_tlb = gpu.l1_tlbs[txn.cu_id]
+        t = now + gpu.config.l1_tlb.latency
+        if l1_tlb.lookup(page):
+            self.l1_tlb_hits += 1
+            self._at(t, self._local_leg, txn, on_complete)
+            return
+        t += gpu.config.l2_tlb.latency
+        if gpu.l2_tlb.lookup(page):
+            self.l2_tlb_hits += 1
+            l1_tlb.insert(page, txn.gpu_id)
+            self._at(t, self._local_leg, txn, on_complete)
+            return
+        self.iommu_trips += 1
+        machine.iommu.translate(txn, t, on_complete)
+
+    # ------------------------------------------------------------------
+    # IOMMU resolution (wired as machine.iommu.resolver; fires at
+    # walk-completion time)
+    # ------------------------------------------------------------------
+
+    def resolve(self, txn: MemoryTransaction, walk_done: float, on_complete: Callable) -> None:
+        """Translation walked; route by page residency."""
+        machine = self.machine
+        entry = machine.page_table.entry(txn.page)
+
+        if entry.migrating:
+            machine.driver.wait_for_page(txn.page, txn, on_complete)
+            return
+
+        location = entry.device
+        if location == txn.gpu_id:
+            reply = machine.iommu.reply_time(machine.engine.now, txn.gpu_id)
+            gpu = machine.gpus[txn.gpu_id]
+            gpu.l2_tlb.insert(txn.page, location)
+            gpu.l1_tlbs[txn.cu_id].insert(txn.page, location)
+            self._at(reply, self._local_leg, txn, on_complete)
+            return
+        if location >= 0:
+            # Remote GPU: physical address returned but never cached.
+            reply = machine.iommu.reply_time(machine.engine.now, txn.gpu_id)
+            if txn.kind is None:
+                txn.kind = AccessKind.REMOTE_DCA
+            self._at(reply, self._remote_request_leg, txn, location, on_complete)
+            return
+        machine.driver.handle_cpu_fault(txn, machine.engine.now, on_complete)
+
+    # ------------------------------------------------------------------
+    # Access legs (each fires at its own start time)
+    # ------------------------------------------------------------------
+
+    def _finish(self, txn: MemoryTransaction, finish_time: float, on_complete: Callable) -> None:
+        self._at(finish_time, on_complete, txn, finish_time)
+
+    def _local_leg(self, txn: MemoryTransaction, on_complete: Callable) -> None:
+        if txn.kind is None:
+            txn.kind = AccessKind.LOCAL
+        self.kind_counts[txn.kind] += 1
+        machine = self.machine
+        gpu = machine.gpus[txn.gpu_id]
+        finish = gpu.hierarchy.local_access(
+            machine.engine.now, txn.cu_id, txn.address, txn.is_write
+        )
+        self._finish(txn, finish, on_complete)
+
+    def _remote_request_leg(self, txn: MemoryTransaction, owner: int, on_complete: Callable) -> None:
+        machine = self.machine
+        hierarchy = machine.gpus[txn.gpu_id].hierarchy
+        if not txn.is_write:
+            # CARVE-style remote cache: serve remote reads locally.
+            hit = hierarchy.remote_cache_lookup(machine.engine.now, txn.address)
+            if hit >= 0:
+                txn.kind = AccessKind.REMOTE_CACHE
+                self.kind_counts[AccessKind.REMOTE_CACHE] += 1
+                self._finish(txn, hit, on_complete)
+                return
+        elif hierarchy.remote_cache is not None:
+            # Remote write: any locally cached copy becomes stale.
+            hierarchy.remote_cache.invalidate_address(txn.address)
+        self.kind_counts[AccessKind.REMOTE_DCA] += 1
+        arrive = machine.fabric.transfer(
+            machine.engine.now, txn.gpu_id, owner, DATA_MSG_BYTES
+        )
+        self._at(arrive, self._remote_service_leg, txn, owner, on_complete)
+
+    def _remote_service_leg(self, txn: MemoryTransaction, owner: int, on_complete: Callable) -> None:
+        machine = self.machine
+        served = machine.gpus[owner].rdma.service(
+            machine.engine.now, txn.address, txn.is_write
+        )
+        self._at(served, self._remote_response_leg, txn, owner, on_complete)
+
+    def _remote_response_leg(self, txn: MemoryTransaction, owner: int, on_complete: Callable) -> None:
+        machine = self.machine
+        arrive = machine.fabric.transfer(
+            machine.engine.now, owner, txn.gpu_id, DATA_MSG_BYTES
+        )
+        if not txn.is_write:
+            machine.gpus[txn.gpu_id].hierarchy.remote_cache_fill(txn.address)
+        self._finish(txn, arrive, on_complete)
+
+    # CPU DCA (DFTM denial path) -----------------------------------------
+
+    def cpu_dca_access(self, txn: MemoryTransaction, start: float, on_complete: Callable) -> None:
+        """DCA to CPU memory; ``start`` is when the translation reply lands."""
+        self.kind_counts[AccessKind.CPU_DCA] += 1
+        self._at(start, self._cpu_request_leg, txn, on_complete)
+
+    def _cpu_request_leg(self, txn: MemoryTransaction, on_complete: Callable) -> None:
+        machine = self.machine
+        arrive = machine.fabric.transfer(
+            machine.engine.now, txn.gpu_id, CPU_PORT, DATA_MSG_BYTES
+        )
+        self._at(arrive, self._cpu_service_leg, txn, on_complete)
+
+    def _cpu_service_leg(self, txn: MemoryTransaction, on_complete: Callable) -> None:
+        machine = self.machine
+        served = (
+            machine.cpu_memory.acquire(machine.engine.now, DATA_MSG_BYTES)
+            + machine.config.timing.cpu_mem_latency
+        )
+        self._at(served, self._cpu_response_leg, txn, on_complete)
+
+    def _cpu_response_leg(self, txn: MemoryTransaction, on_complete: Callable) -> None:
+        machine = self.machine
+        arrive = machine.fabric.transfer(
+            machine.engine.now, CPU_PORT, txn.gpu_id, DATA_MSG_BYTES
+        )
+        self._finish(txn, arrive, on_complete)
+
+    # Post-migration routing ----------------------------------------------
+
+    def route_after_migration(self, txn: MemoryTransaction, start: float, on_complete: Callable) -> None:
+        """Resume an access that waited for a page migration."""
+        machine = self.machine
+        location = machine.page_table.location(txn.page)
+        if location == txn.gpu_id:
+            gpu = machine.gpus[txn.gpu_id]
+            gpu.l2_tlb.insert(txn.page, location)
+            gpu.l1_tlbs[txn.cu_id].insert(txn.page, location)
+            if txn.kind is None:
+                txn.kind = AccessKind.FAULT_MIGRATE
+            self._at(start, self._local_leg, txn, on_complete)
+            return
+        if location >= 0:
+            txn.kind = AccessKind.REMOTE_DCA
+            self._at(start, self._remote_request_leg, txn, location, on_complete)
+            return
+        # Still CPU-resident (page bounced back); serve via CPU DCA.
+        txn.kind = AccessKind.CPU_DCA
+        self.kind_counts[AccessKind.CPU_DCA] += 1
+        self._at(start, self._cpu_request_leg, txn, on_complete)
+
+    # ------------------------------------------------------------------
+
+    def local_fraction(self) -> float:
+        """Fraction of transactions serviced from local GPU memory."""
+        total = sum(self.kind_counts.values())
+        if total == 0:
+            return 0.0
+        local = (
+            self.kind_counts[AccessKind.LOCAL]
+            + self.kind_counts[AccessKind.FAULT_MIGRATE]
+            + self.kind_counts[AccessKind.REMOTE_CACHE]
+        )
+        return local / total

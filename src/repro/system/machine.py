@@ -1,0 +1,134 @@
+"""The assembled multi-GPU machine.
+
+``Machine`` wires every substrate together — GPUs, fabric, IOMMU, page
+table, driver, dispatcher — under one engine, runs a workload's kernels to
+completion, and exposes the collectors the harness turns into results.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config.hyperparams import GriffinHyperParams
+from repro.config.system import SystemConfig
+from repro.core.policies import PolicyConfig, get_policy
+from repro.driver.driver import GPUDriver
+from repro.gpu.dispatcher import Dispatcher
+from repro.gpu.gpu import GPU
+from repro.gpu.pmc import PageMigrationController
+from repro.gpu.wavefront import Kernel
+from repro.interconnect.arbiter import BiasedArbiter
+from repro.interconnect.link import InterconnectFabric
+from repro.metrics.timeline import MigrationEvent, PageAccessTimeline
+from repro.sim.engine import Engine
+from repro.sim.resource import ThroughputResource
+from repro.system.access_path import MemoryAccessPath
+from repro.vm.iommu import IOMMU
+from repro.vm.page_table import PageTable
+from repro.vm.shootdown import ShootdownAccounting
+
+
+class Machine:
+    """A complete simulated NUMA multi-GPU system."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        policy: PolicyConfig | str = "baseline",
+        hyper: Optional[GriffinHyperParams] = None,
+        timeline_bucket: int = 10_000,
+        watch_pages=None,
+        dispatch_strategy: str = "round_robin",
+    ) -> None:
+        if isinstance(policy, str):
+            policy = get_policy(policy)
+        self.config = config
+        self.policy = policy
+        self.hyper = hyper or GriffinHyperParams()
+        self.num_gpus = config.num_gpus
+
+        self.engine = Engine()
+        self.page_table = PageTable(config.num_gpus, config.page_size)
+        self.fabric = InterconnectFabric(
+            config.link, config.num_gpus, config.gpu.clock_ghz
+        )
+        self.arbiter = BiasedArbiter(config.num_gpus, bias=config.arbiter_bias)
+        self.iommu = IOMMU(self.engine, config.iommu, self.fabric, self.arbiter)
+        # CPU DRAM serving GPU DCA traffic (DDR-class bandwidth).
+        self.cpu_memory = ThroughputResource("cpu.dram", 16.0)
+        self.shootdowns = ShootdownAccounting()
+        self.timeline = PageAccessTimeline(
+            config.num_gpus, timeline_bucket, watch_pages
+        )
+        self.migration_events: list[MigrationEvent] = []
+
+        self.access_path = MemoryAccessPath(self)
+        self.iommu.resolver = self.access_path.resolve
+
+        self.gpus: list[GPU] = []
+        self.dispatcher = Dispatcher(
+            self.engine,
+            self.gpus,
+            config.dispatch_skew_cycles,
+            on_all_done=self._on_all_done,
+            strategy=dispatch_strategy,
+        )
+        for gpu_id in range(config.num_gpus):
+            self.gpus.append(
+                GPU(
+                    self.engine,
+                    gpu_id,
+                    config.gpu,
+                    config.timing,
+                    self.hyper,
+                    config.page_size,
+                    self.access_path.issue,
+                    self.dispatcher.workgroup_complete,
+                )
+            )
+        self.pmc = PageMigrationController(
+            self.engine, self.fabric, config.page_size
+        )
+        self.driver = GPUDriver(self, policy)
+
+        self.finish_time: Optional[float] = None
+
+    # ------------------------------------------------------------------
+
+    def record_migration(self, now: float, page: int, src: int, dst: int) -> None:
+        """Log one completed page migration (Figure 10 overlay data)."""
+        self.migration_events.append(MigrationEvent(now, page, src, dst))
+
+    def _on_all_done(self, now: float) -> None:
+        self.finish_time = now
+        self.driver.stop()
+        self.engine.stop()
+
+    def run(self, kernels: list[Kernel], max_events: Optional[int] = None) -> float:
+        """Execute the kernel sequence to completion.
+
+        Returns the makespan in cycles.
+        """
+        self.driver.start()
+        self.dispatcher.run_kernels(kernels)
+        self.engine.run(max_events=max_events)
+        if self.finish_time is None:
+            raise RuntimeError(
+                "simulation ended without completing all workgroups "
+                f"(events executed: {self.engine.events_executed}, "
+                f"pending: {self.engine.pending_events()})"
+            )
+        return self.finish_time
+
+    # ------------------------------------------------------------------
+    # Collected results
+    # ------------------------------------------------------------------
+
+    def occupancy_snapshot(self):
+        from repro.metrics.occupancy import OccupancySnapshot
+
+        counts = self.page_table.gpu_page_counts()
+        cpu_pages = sum(
+            1 for _ in self.page_table.known_pages()
+        ) - sum(counts)
+        return OccupancySnapshot(tuple(counts), cpu_pages)

@@ -1,0 +1,20 @@
+"""Virtual-memory substrate: pages, page table, TLBs, IOMMU, shootdowns."""
+
+from repro.vm.address import CPU_DEVICE, Translation, page_base, page_id
+from repro.vm.page_table import PageEntry, PageTable
+from repro.vm.tlb import TLB
+from repro.vm.iommu import IOMMU, TranslationRequest
+from repro.vm.shootdown import ShootdownAccounting
+
+__all__ = [
+    "CPU_DEVICE",
+    "Translation",
+    "page_base",
+    "page_id",
+    "PageEntry",
+    "PageTable",
+    "TLB",
+    "IOMMU",
+    "TranslationRequest",
+    "ShootdownAccounting",
+]

@@ -1,0 +1,52 @@
+"""Address-space conventions.
+
+Devices are numbered: GPUs are ``0 .. num_gpus-1`` and the CPU is
+:data:`CPU_DEVICE` (-1).  Virtual addresses are plain integers; a page is
+identified by ``virtual_address >> page_shift``.  Because the simulator
+never stores data, "physical address" reduces to *which device's memory
+holds the page* — exactly the property page migration manipulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+CPU_DEVICE = -1
+"""Device ID of the CPU (pages start CPU-resident under Unified Memory)."""
+
+
+def page_shift(page_size: int) -> int:
+    """log2 of the page size."""
+    return page_size.bit_length() - 1
+
+
+def page_id(address: int, page_size: int) -> int:
+    """The page number containing ``address``."""
+    return address >> page_shift(page_size)
+
+
+def page_base(page: int, page_size: int) -> int:
+    """The first byte address of page ``page``."""
+    return page << page_shift(page_size)
+
+
+@dataclass(frozen=True)
+class Translation:
+    """The result of an address translation.
+
+    Attributes:
+        page: Virtual page number.
+        device: Device whose memory holds the page (GPU id or CPU_DEVICE).
+        cacheable: Whether the translation may be inserted into the
+            requesting GPU's TLBs.  Per the paper, translations to pages on
+            *remote* devices are not cached because GPU TLBs are not kept
+            hardware-coherent; only local translations are cached.
+    """
+
+    page: int
+    device: int
+    cacheable: bool
+
+    def is_local_to(self, gpu_id: int) -> bool:
+        """True when the page resides in ``gpu_id``'s own memory."""
+        return self.device == gpu_id

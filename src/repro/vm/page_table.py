@@ -1,0 +1,120 @@
+"""The system-wide page table.
+
+Under Unified Memory every page starts CPU-resident; migrations move pages
+between devices.  The table also stores Griffin's one extra bit per entry:
+the *delayed first-touch* bit DFTM sets when it denies a first-touch
+migration ("Griffin's DFTM requires an extra bit in the page table for each
+page to mark that it has been accessed once").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.vm.address import CPU_DEVICE
+
+
+@dataclass
+class PageEntry:
+    """Residency and bookkeeping for one virtual page.
+
+    Attributes:
+        page: Virtual page number.
+        device: Device currently holding the page.
+        delayed_bit: DFTM's accessed-once bit (set when the first touch was
+            served by DCA instead of migration).
+        migrating: True while a migration of this page is in flight;
+            accesses arriving mid-migration must wait for completion.
+        migrations: Number of times the page has migrated (any direction).
+        first_touch_gpu: GPU that triggered the first CPU fault, or None.
+    """
+
+    page: int
+    device: int = CPU_DEVICE
+    delayed_bit: bool = False
+    migrating: bool = False
+    migrations: int = 0
+    first_touch_gpu: Optional[int] = None
+
+
+class PageTable:
+    """Maps virtual pages to their resident device.
+
+    Also maintains the per-GPU resident-page counts DFTM's occupancy test
+    needs, so occupancy queries are O(1).
+    """
+
+    def __init__(self, num_gpus: int, page_size: int) -> None:
+        self.num_gpus = num_gpus
+        self.page_size = page_size
+        self._entries: dict[int, PageEntry] = {}
+        self._gpu_page_counts = [0] * num_gpus
+        self.total_migrations = 0
+        self.cpu_to_gpu_migrations = 0
+        self.gpu_to_gpu_migrations = 0
+
+    def entry(self, page: int) -> PageEntry:
+        """Look up (creating on first reference) the entry for ``page``."""
+        existing = self._entries.get(page)
+        if existing is not None:
+            return existing
+        created = PageEntry(page=page)
+        self._entries[page] = created
+        return created
+
+    def known_pages(self) -> Iterator[int]:
+        """All pages ever referenced."""
+        return iter(self._entries)
+
+    def location(self, page: int) -> int:
+        """Device currently holding ``page`` (CPU_DEVICE if untouched)."""
+        return self.entry(page).device
+
+    def migrate(self, page: int, dst_device: int) -> PageEntry:
+        """Move ``page`` to ``dst_device``, maintaining occupancy counts."""
+        entry = self.entry(page)
+        src = entry.device
+        if src == dst_device:
+            return entry
+        if src >= 0:
+            self._gpu_page_counts[src] -= 1
+        if dst_device >= 0:
+            self._gpu_page_counts[dst_device] += 1
+        entry.device = dst_device
+        entry.migrations += 1
+        entry.migrating = False
+        self.total_migrations += 1
+        if src == CPU_DEVICE and dst_device >= 0:
+            self.cpu_to_gpu_migrations += 1
+        elif src >= 0 and dst_device >= 0:
+            self.gpu_to_gpu_migrations += 1
+        return entry
+
+    def gpu_page_count(self, gpu_id: int) -> int:
+        """Number of pages resident on GPU ``gpu_id``."""
+        return self._gpu_page_counts[gpu_id]
+
+    def gpu_page_counts(self) -> list[int]:
+        """Resident-page count per GPU (index = GPU id)."""
+        return list(self._gpu_page_counts)
+
+    def total_gpu_pages(self) -> int:
+        """Total pages resident on any GPU."""
+        return sum(self._gpu_page_counts)
+
+    def occupancy(self, gpu_id: int) -> float:
+        """DFTM occupancy: this GPU's share of all GPU-resident pages."""
+        total = self.total_gpu_pages()
+        if total == 0:
+            return 0.0
+        return self._gpu_page_counts[gpu_id] / total
+
+    def highest_occupancy_gpus(self) -> list[int]:
+        """GPU ids tied for the highest resident-page count."""
+        peak = max(self._gpu_page_counts)
+        return [g for g, c in enumerate(self._gpu_page_counts) if c == peak]
+
+    def pages_on(self, device: int) -> list[int]:
+        """All pages currently resident on ``device`` (O(n); stats only)."""
+        return [p for p, e in self._entries.items() if e.device == device]

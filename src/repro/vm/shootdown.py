@@ -1,0 +1,46 @@
+"""TLB shootdown accounting.
+
+Figure 9 of the paper compares the *number* of TLB shootdowns under the
+baseline (one CPU-side shootdown per individually serviced first-touch
+fault) against Griffin (one per CPMS fault batch plus one per inter-GPU
+migration round).  This module centralizes that accounting so both policies
+report through the same counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ShootdownAccounting:
+    """Counts shootdown events per device class.
+
+    Attributes:
+        cpu_shootdowns: Shootdown + flush rounds performed on the CPU
+            (page migrating out of CPU memory).
+        gpu_shootdowns: Targeted shootdown rounds performed on GPUs
+            (page migrating out of GPU memory).
+        gpu_entries_invalidated: Total TLB entries dropped on GPUs.
+        per_gpu: Shootdown rounds per GPU id.
+    """
+
+    cpu_shootdowns: int = 0
+    gpu_shootdowns: int = 0
+    gpu_entries_invalidated: int = 0
+    per_gpu: dict[int, int] = field(default_factory=dict)
+
+    def record_cpu(self, batch_size: int = 1) -> None:
+        """One CPU flush/shootdown round covering ``batch_size`` pages."""
+        self.cpu_shootdowns += 1
+
+    def record_gpu(self, gpu_id: int, entries_invalidated: int) -> None:
+        """One targeted GPU shootdown round."""
+        self.gpu_shootdowns += 1
+        self.gpu_entries_invalidated += entries_invalidated
+        self.per_gpu[gpu_id] = self.per_gpu.get(gpu_id, 0) + 1
+
+    @property
+    def total(self) -> int:
+        """All shootdown rounds, CPU + GPU (the Figure 9 metric)."""
+        return self.cpu_shootdowns + self.gpu_shootdowns

@@ -1,0 +1,90 @@
+"""Set-associative TLB with LRU replacement and targeted invalidation.
+
+Griffin's shootdowns invalidate only the entries of migrating pages
+("Our TLB shootdown invalidates only the entries for pages involved in the
+current migration process as opposed to invalidating the entire TLB"),
+so the TLB exposes both :meth:`invalidate_pages` and :meth:`flush_all`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.config.system import TLBConfig
+
+
+class TLB:
+    """A set-associative translation lookaside buffer.
+
+    Entries map page number -> device id of a *local* translation.  Remote
+    translations are never inserted (the paper's GPUs do not keep TLBs
+    hardware-coherent across devices).
+    """
+
+    __slots__ = ("name", "config", "_sets", "hits", "misses", "invalidations")
+
+    def __init__(self, name: str, config: TLBConfig) -> None:
+        self.name = name
+        self.config = config
+        self._sets: list[OrderedDict[int, int]] = [
+            OrderedDict() for _ in range(config.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def _set_for(self, page: int) -> OrderedDict:
+        return self._sets[page % self.config.num_sets]
+
+    def lookup(self, page: int) -> bool:
+        """Probe for ``page``; updates LRU order and hit/miss counters."""
+        entries = self._set_for(page)
+        if page in entries:
+            entries.move_to_end(page)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, page: int, device: int) -> None:
+        """Install a translation, evicting LRU on overflow."""
+        entries = self._set_for(page)
+        if page in entries:
+            entries.move_to_end(page)
+            entries[page] = device
+            return
+        if len(entries) >= self.config.ways:
+            entries.popitem(last=False)
+        entries[page] = device
+
+    def invalidate_pages(self, pages) -> int:
+        """Drop entries for the given pages; returns how many were present."""
+        dropped = 0
+        for page in pages:
+            entries = self._set_for(page)
+            if page in entries:
+                del entries[page]
+                dropped += 1
+        self.invalidations += dropped
+        return dropped
+
+    def flush_all(self) -> int:
+        """Drop every entry (full shootdown); returns entries dropped."""
+        dropped = sum(len(s) for s in self._sets)
+        for entries in self._sets:
+            entries.clear()
+        self.invalidations += dropped
+        return dropped
+
+    def occupancy(self) -> int:
+        """Number of valid entries currently held."""
+        return sum(len(s) for s in self._sets)
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses

@@ -1,0 +1,27 @@
+"""Workload generators reproducing Table III's ten benchmarks.
+
+Each generator emits the kernels/workgroups/wavefront traces of one
+benchmark with its published access pattern (Random / Adjacent /
+Distributed / Partition / Scatter-Gather), scaled by a ``scale`` factor so
+tests run in milliseconds and benches in seconds.
+"""
+
+from repro.workloads.base import AddressSpace, WorkloadBase, WorkloadSpec
+from repro.workloads.tracefile import TraceFileWorkload, load_trace, save_trace
+from repro.workloads.registry import (
+    WORKLOAD_SPECS,
+    get_workload,
+    list_workloads,
+)
+
+__all__ = [
+    "AddressSpace",
+    "WorkloadBase",
+    "WorkloadSpec",
+    "WORKLOAD_SPECS",
+    "get_workload",
+    "list_workloads",
+    "TraceFileWorkload",
+    "save_trace",
+    "load_trace",
+]

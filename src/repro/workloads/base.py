@@ -1,0 +1,200 @@
+"""Workload framework: specs, address spaces, trace-building helpers."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu.wavefront import Kernel, WavefrontTrace, Workgroup
+from repro.sim.rng import make_rng
+
+PAGES_PER_MB = 256  # 4 KB pages
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One row of paper Table III.
+
+    Attributes:
+        abbrev: Paper abbreviation (BFS, BS, ...).
+        name: Full application name.
+        suite: Source benchmark suite.
+        pattern: Published access-pattern class.
+        memory_mb: Published memory footprint in MB.
+    """
+
+    abbrev: str
+    name: str
+    suite: str
+    pattern: str
+    memory_mb: int
+
+    def pages_at_scale(self, scale: float) -> int:
+        """Footprint in pages after applying the reproduction scale."""
+        return max(16, int(self.memory_mb * PAGES_PER_MB * scale))
+
+
+class AddressSpace:
+    """Sequential region allocator over the virtual page space.
+
+    Workloads allocate one region per logical array (input signal, matrix,
+    rank vector, ...) so distinct arrays never share pages.
+    """
+
+    def __init__(self, page_size: int = 4096, base_page: int = 256) -> None:
+        self.page_size = page_size
+        self._next_page = base_page
+        self.regions: dict[str, range] = {}
+
+    def alloc(self, name: str, pages: int) -> range:
+        """Reserve ``pages`` contiguous pages under ``name``."""
+        if name in self.regions:
+            raise ValueError(f"region {name!r} already allocated")
+        if pages < 1:
+            raise ValueError("pages must be >= 1")
+        region = range(self._next_page, self._next_page + pages)
+        self._next_page += pages
+        self.regions[name] = region
+        return region
+
+    def total_pages(self) -> int:
+        return sum(len(r) for r in self.regions.values())
+
+
+class WorkloadBase(abc.ABC):
+    """Base class for benchmark generators."""
+
+    spec: WorkloadSpec
+
+    def __init__(
+        self,
+        scale: float = 0.02,
+        seed: int = 7,
+        page_size: int = 4096,
+        wavefronts_per_wg: int = 2,
+        compute_scale: float = 80.0,
+    ) -> None:
+        self.scale = scale
+        self.seed = seed
+        self.page_size = page_size
+        self.wavefronts_per_wg = wavefronts_per_wg
+        self.compute_scale = compute_scale
+        self._wg_counter = 0
+
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def build_kernels(self, num_gpus: int) -> list[Kernel]:
+        """Generate the kernel sequence for a ``num_gpus`` system."""
+
+    def rng(self, *labels) -> np.random.Generator:
+        return make_rng(self.seed, self.spec.abbrev, *labels)
+
+    def footprint_pages(self) -> int:
+        """Footprint in pages at this workload's page size and scale."""
+        bytes_at_scale = self.spec.memory_mb * (1 << 20) * self.scale
+        return max(16, int(bytes_at_scale / self.page_size))
+
+    # ------------------------------------------------------------------
+    # Trace-building helpers
+    # ------------------------------------------------------------------
+
+    def page_accesses(
+        self,
+        pages,
+        rng: np.random.Generator,
+        touches_per_page: int = 4,
+        write_prob: float = 0.2,
+        min_delay: int = 4,
+        max_delay: int = 24,
+        interleave: bool = False,
+        compute_scale: float = None,
+    ) -> list:
+        """Build an access list touching each page ``touches_per_page`` times.
+
+        Accesses go to distinct line offsets within each page.  With
+        ``interleave`` the page order is shuffled per touch round (random
+        patterns); otherwise pages are streamed in order (adjacent
+        patterns).
+        """
+        page_list = list(pages)
+        if not page_list:
+            return []
+        lines_per_page = self.page_size // 64
+        order = []
+        if interleave:
+            for _ in range(touches_per_page):
+                round_pages = list(page_list)
+                rng.shuffle(round_pages)
+                order.extend(round_pages)
+        else:
+            for page in page_list:
+                order.extend([page] * touches_per_page)
+        count = len(order)
+        offsets = rng.integers(0, lines_per_page, size=count)
+        # compute_scale models the arithmetic between memory accesses; a
+        # purely latency-bound chain would overstate locality gains.
+        scale = self.compute_scale if compute_scale is None else compute_scale
+        delays = (
+            rng.integers(min_delay, max_delay + 1, size=count) * scale
+        ).astype(int)
+        writes = rng.random(count) < write_prob
+        accesses = []
+        for i, page in enumerate(order):
+            address = page * self.page_size + int(offsets[i]) * 64
+            accesses.append((int(delays[i]), address, bool(writes[i])))
+        return accesses
+
+    def make_workgroup(self, kernel_id: int, accesses: list, lanes: int = 0) -> Workgroup:
+        """Split an access list round-robin into this WG's wavefronts.
+
+        ``lanes`` overrides the workload's default wavefront count; sweeper
+        workgroups use more lanes so their cold-start faults flood the
+        IOMMU concurrently (the paper's fault-storm race at kernel start).
+        """
+        wg = Workgroup(wg_id=self._wg_counter, kernel_id=kernel_id)
+        self._wg_counter += 1
+        n = lanes or self.wavefronts_per_wg
+        lanes_lists: list[list] = [[] for _ in range(n)]
+        for i, access in enumerate(accesses):
+            lanes_lists[i % n].append(access)
+        wg.wavefronts = [WavefrontTrace(lane) for lane in lanes_lists if lane]
+        return wg
+
+    def contended_sweep(
+        self,
+        region,
+        rng: np.random.Generator,
+        fraction: float = 0.5,
+        touches: int = 1,
+    ) -> list:
+        """A first-touch contention phase: every workgroup reads the same
+        ordered sample of a region.
+
+        Real first kernels read their inputs broadly (loading, reformatting,
+        histogramming) before work partitions, and all GPUs race to
+        first-touch the same pages in the same order — the race the paper
+        blames for first-touch imbalance (GPU 1's dispatch head start plus
+        the network-arbiter feedback loop decide the winner).
+        """
+        pages = list(region)
+        count = max(1, int(len(pages) * fraction))
+        step = max(1, len(pages) // count)
+        sweep = pages[::step][:count]
+        # Loader phases are memory-bound: no compute dilution, so the
+        # first-touch race (and its positive feedback) stays sharp.
+        return self.page_accesses(
+            sweep, rng, touches_per_page=touches, write_prob=0.0,
+            min_delay=2, max_delay=8, compute_scale=1.0,
+        )
+
+    @staticmethod
+    def chunk(region, num_chunks: int, index: int) -> list:
+        """The ``index``-th of ``num_chunks`` near-equal slices of a region."""
+        pages = list(region)
+        size, extra = divmod(len(pages), num_chunks)
+        start = index * size + min(index, extra)
+        end = start + size + (1 if index < extra else 0)
+        return pages[start:end]

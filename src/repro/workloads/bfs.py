@@ -1,0 +1,57 @@
+"""BFS — Breadth First Search (SHOC, Random, 32 MB).
+
+Level-synchronous BFS: one kernel per frontier level.  Workgroups touch
+random adjacency pages (neighbour lists of frontier vertices) and random
+visited-bitmap pages; the frontier grows then shrinks across levels.  The
+random pattern gives pages no stable owner.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.wavefront import Kernel
+from repro.workloads.base import AddressSpace, WorkloadBase, WorkloadSpec
+
+SPEC = WorkloadSpec("BFS", "Breadth First Search", "SHOC", "Random", 32)
+
+# Relative frontier size per level (grow, peak, shrink).
+_LEVEL_PROFILE = [0.1, 0.3, 0.6, 1.0, 1.0, 1.0, 0.8, 0.6, 0.4, 0.25, 0.15, 0.1]
+
+
+class BfsWorkload(WorkloadBase):
+    spec = SPEC
+
+    def build_kernels(self, num_gpus: int) -> list[Kernel]:
+        pages = self.footprint_pages()
+        space = AddressSpace(self.page_size)
+        adjacency = space.alloc("adjacency", max(8, int(pages * 0.7)))
+        visited = space.alloc("visited", max(4, int(pages * 0.2)))
+        frontier = space.alloc("frontier", max(2, int(pages * 0.1)))
+
+        adj_pages = list(adjacency)
+        vis_pages = list(visited)
+        fr_pages = list(frontier)
+        wgs_per_kernel = 4 * num_gpus
+
+        kernels = []
+        for level, fraction in enumerate(_LEVEL_PROFILE):
+            kernel = Kernel(kernel_id=level)
+            pages_per_wg = max(2, int(len(adj_pages) * fraction / wgs_per_kernel))
+            for i in range(wgs_per_kernel):
+                rng = self.rng("wg", level, i)
+                neighbours = [
+                    adj_pages[int(j)]
+                    for j in rng.choice(len(adj_pages), size=pages_per_wg, replace=False)
+                ]
+                marks = [
+                    vis_pages[int(j)]
+                    for j in rng.choice(len(vis_pages), size=max(1, pages_per_wg // 3), replace=False)
+                ]
+                own_frontier = self.chunk(fr_pages, wgs_per_kernel, i)
+                sweeping = level == 0 and i < num_gpus
+                accesses = self.contended_sweep(adjacency, rng, 0.6) if sweeping else []
+                accesses += self.page_accesses(own_frontier, rng, touches_per_page=2, write_prob=0.5)
+                accesses += self.page_accesses(neighbours, rng, touches_per_page=2, write_prob=0.0, interleave=True)
+                accesses += self.page_accesses(marks, rng, touches_per_page=2, write_prob=0.7, interleave=True)
+                kernel.workgroups.append(self.make_workgroup(level, accesses, lanes=8 if sweeping else 0))
+            kernels.append(kernel)
+        return kernels

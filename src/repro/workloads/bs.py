@@ -1,0 +1,54 @@
+"""BS — Bitonic Sort (AMDAPPSDK, Random, 36 MB).
+
+Sorting-network stages: each kernel compares/swaps each chunk with a
+partner chunk whose stride changes per stage, so pages are revisited by
+different GPUs across the run; a random sub-sample of far pages adds the
+published Random flavour.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.wavefront import Kernel
+from repro.workloads.base import AddressSpace, WorkloadBase, WorkloadSpec
+
+SPEC = WorkloadSpec("BS", "Bitonic Sort", "AMDAPPSDK", "Random", 36)
+
+
+class BitonicSortWorkload(WorkloadBase):
+    spec = SPEC
+
+    def __init__(self, num_stages: int = 16, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.num_stages = num_stages
+
+    def build_kernels(self, num_gpus: int) -> list[Kernel]:
+        pages = self.footprint_pages()
+        space = AddressSpace(self.page_size)
+        data = space.alloc("data", pages)
+        data_pages = list(data)
+
+        wgs_per_kernel = 4 * num_gpus
+        stride_bits = max(1, wgs_per_kernel.bit_length() - 1)
+        kernels = []
+        for s in range(self.num_stages):
+            kernel = Kernel(kernel_id=s)
+            stride = 1 << (stride_bits - 1 - (s % stride_bits))
+            for i in range(wgs_per_kernel):
+                rng = self.rng("wg", s, i)
+                partner = i ^ stride
+                if partner >= wgs_per_kernel:
+                    partner = i
+                own = self.chunk(data, wgs_per_kernel, i)
+                other = self.chunk(data, wgs_per_kernel, partner)
+                sample = [
+                    data_pages[int(j)]
+                    for j in rng.choice(len(data_pages), size=max(1, len(own) // 4), replace=False)
+                ]
+                sweeping = s == 0 and i < num_gpus
+                accesses = self.contended_sweep(data, rng, 0.5) if sweeping else []
+                accesses += self.page_accesses(own, rng, touches_per_page=2, write_prob=0.5)
+                accesses += self.page_accesses(other, rng, touches_per_page=2, write_prob=0.5)
+                accesses += self.page_accesses(sample, rng, touches_per_page=1, write_prob=0.2, interleave=True)
+                kernel.workgroups.append(self.make_workgroup(s, accesses, lanes=8 if sweeping else 0))
+            kernels.append(kernel)
+        return kernels

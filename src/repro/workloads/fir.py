@@ -1,0 +1,48 @@
+"""FIR — Finite Impulse Response filter (Hetero-Mark, Adjacent, 64 MB).
+
+The signal is streamed in batches (one kernel per batch); each workgroup
+filters a contiguous chunk of the batch, re-reading a small set of
+coefficient pages.  Chunk boundaries overlap by one halo page, giving the
+adjacent-sharing pattern.  Signal pages are touched in only one kernel —
+the streaming behaviour DFTM exploits.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.wavefront import Kernel
+from repro.workloads.base import AddressSpace, WorkloadBase, WorkloadSpec
+
+SPEC = WorkloadSpec("FIR", "Finite Impulse Resp.", "Hetero-Mark", "Adjacent", 64)
+
+
+class FirWorkload(WorkloadBase):
+    spec = SPEC
+
+    def __init__(self, num_kernels: int = 5, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.num_kernels = num_kernels
+
+    def build_kernels(self, num_gpus: int) -> list[Kernel]:
+        pages = self.footprint_pages()
+        space = AddressSpace(self.page_size)
+        coeff_pages = max(1, pages // 128)
+        signal = space.alloc("signal", pages - coeff_pages)
+        coeff = space.alloc("coeff", coeff_pages)
+
+        wgs_per_kernel = 4 * num_gpus
+        kernels = []
+        for k in range(self.num_kernels):
+            kernel = Kernel(kernel_id=k)
+            batch = self.chunk(signal, self.num_kernels, k)
+            for i in range(wgs_per_kernel):
+                rng = self.rng("wg", k, i)
+                own = self.chunk(batch, wgs_per_kernel, i)
+                halo = self.chunk(batch, wgs_per_kernel, (i + 1) % wgs_per_kernel)[:1]
+                sweeping = k == 0 and i < num_gpus
+                accesses = self.contended_sweep(signal, rng, 0.3) if sweeping else []
+                accesses += self.page_accesses(own, rng, touches_per_page=5, write_prob=0.3)
+                accesses += self.page_accesses(halo, rng, touches_per_page=2, write_prob=0.0)
+                accesses += self.page_accesses(coeff, rng, touches_per_page=3, write_prob=0.0)
+                kernel.workgroups.append(self.make_workgroup(k, accesses, lanes=8 if sweeping else 0))
+            kernels.append(kernel)
+        return kernels

@@ -1,0 +1,45 @@
+"""FLW — Floyd-Warshall (AMDAPPSDK, Distributed, 44 MB).
+
+All-pairs shortest paths: iteration ``k`` reads the pivot row/column ``k``
+from every workgroup while each workgroup updates its own block of the
+distance matrix.  The pivot slice rotates every kernel, so the system's
+hottest shared pages keep moving — the Distributed pattern that rewards
+runtime migration.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.wavefront import Kernel
+from repro.workloads.base import AddressSpace, WorkloadBase, WorkloadSpec
+
+SPEC = WorkloadSpec("FLW", "Floyd Warshall", "AMDAPPSDK", "Distributed", 44)
+
+
+class FloydWarshallWorkload(WorkloadBase):
+    spec = SPEC
+
+    def __init__(self, num_iterations: int = 10, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.num_iterations = num_iterations
+
+    def build_kernels(self, num_gpus: int) -> list[Kernel]:
+        pages = self.footprint_pages()
+        space = AddressSpace(self.page_size)
+        matrix = space.alloc("matrix", pages)
+
+        wgs_per_kernel = 4 * num_gpus
+        pivot_slices = self.num_iterations
+        kernels = []
+        for k in range(self.num_iterations):
+            kernel = Kernel(kernel_id=k)
+            pivot = self.chunk(matrix, pivot_slices * 4, (k * 4) % (pivot_slices * 4))
+            for i in range(wgs_per_kernel):
+                rng = self.rng("wg", k, i)
+                own = self.chunk(matrix, wgs_per_kernel, i)
+                sweeping = k == 0 and i < num_gpus
+                accesses = self.contended_sweep(matrix, rng, 0.6) if sweeping else []
+                accesses += self.page_accesses(own, rng, touches_per_page=3, write_prob=0.4)
+                accesses += self.page_accesses(pivot, rng, touches_per_page=4, write_prob=0.0, interleave=True)
+                kernel.workgroups.append(self.make_workgroup(k, accesses, lanes=8 if sweeping else 0))
+            kernels.append(kernel)
+        return kernels

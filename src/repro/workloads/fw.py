@@ -1,0 +1,48 @@
+"""FW — Fast Walsh Transform (AMDAPPSDK, Adjacent, 40 MB).
+
+Butterfly stages: in stage ``s`` each workgroup combines its own chunk
+with a partner chunk at stride ``2^s``.  The partner changes every stage,
+so a page's accessor set shifts across kernels — the owner-shifting
+behaviour DPC migrates on.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.wavefront import Kernel
+from repro.workloads.base import AddressSpace, WorkloadBase, WorkloadSpec
+
+SPEC = WorkloadSpec("FW", "Fast Walsh Trans.", "AMDAPPSDK", "Adjacent", 40)
+
+
+class FastWalshWorkload(WorkloadBase):
+    spec = SPEC
+
+    def __init__(self, num_stages: int = 10, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.num_stages = num_stages
+
+    def build_kernels(self, num_gpus: int) -> list[Kernel]:
+        pages = self.footprint_pages()
+        space = AddressSpace(self.page_size)
+        data = space.alloc("data", pages)
+
+        wgs_per_kernel = 4 * num_gpus
+        stride_bits = max(1, wgs_per_kernel.bit_length() - 1)
+        kernels = []
+        for s in range(self.num_stages):
+            kernel = Kernel(kernel_id=s)
+            stride = 1 << (s % stride_bits)
+            for i in range(wgs_per_kernel):
+                rng = self.rng("wg", s, i)
+                partner = i ^ stride
+                if partner >= wgs_per_kernel:
+                    partner = i
+                own = self.chunk(data, wgs_per_kernel, i)
+                other = self.chunk(data, wgs_per_kernel, partner)
+                sweeping = s == 0 and i < num_gpus
+                accesses = self.contended_sweep(data, rng, 0.5) if sweeping else []
+                accesses += self.page_accesses(own, rng, touches_per_page=3, write_prob=0.5)
+                accesses += self.page_accesses(other, rng, touches_per_page=3, write_prob=0.1)
+                kernel.workgroups.append(self.make_workgroup(s, accesses, lanes=8 if sweeping else 0))
+            kernels.append(kernel)
+        return kernels

@@ -1,0 +1,45 @@
+"""KM — KMeans Clustering (Hetero-Mark, Partition, 51 MB).
+
+Points are partitioned: each workgroup processes the same point chunk in
+every iteration (stable, mostly-dedicated pages), while the small centroid
+region is read by every workgroup every iteration (hot shared pages).
+Under the baseline the centroid pages land on whichever GPU faults first
+and stay pinned — the congestion case Griffin's balancing addresses.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.wavefront import Kernel
+from repro.workloads.base import AddressSpace, WorkloadBase, WorkloadSpec
+
+SPEC = WorkloadSpec("KM", "KMeans Clustering", "Hetero-Mark", "Partition", 51)
+
+
+class KMeansWorkload(WorkloadBase):
+    spec = SPEC
+
+    def __init__(self, num_iterations: int = 12, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.num_iterations = num_iterations
+
+    def build_kernels(self, num_gpus: int) -> list[Kernel]:
+        pages = self.footprint_pages()
+        space = AddressSpace(self.page_size)
+        centroid_pages = max(2, pages // 50)
+        points = space.alloc("points", pages - centroid_pages)
+        centroids = space.alloc("centroids", centroid_pages)
+
+        wgs_per_kernel = 4 * num_gpus
+        kernels = []
+        for it in range(self.num_iterations):
+            kernel = Kernel(kernel_id=it)
+            for i in range(wgs_per_kernel):
+                rng = self.rng("wg", it, i)
+                own = self.chunk(points, wgs_per_kernel, i)
+                sweeping = it == 0 and i < num_gpus
+                accesses = self.contended_sweep(points, rng, 0.4) if sweeping else []
+                accesses += self.page_accesses(own, rng, touches_per_page=3, write_prob=0.1)
+                accesses += self.page_accesses(centroids, rng, touches_per_page=5, write_prob=0.05, interleave=True)
+                kernel.workgroups.append(self.make_workgroup(it, accesses, lanes=8 if sweeping else 0))
+            kernels.append(kernel)
+        return kernels

@@ -1,0 +1,56 @@
+"""MT — Matrix Transpose (AMDAPPSDK, Scatter-Gather, 44 MB).
+
+Row-major transpose: the workgroup that produces output row band ``i``
+writes its own contiguous output pages exactly once and *gathers* its
+input from pages scattered across the whole input matrix (one touch per
+input page per workgroup).  Pages are touched once (output) or once per
+gathering workgroup (input) and never revisited — the paper notes MT's
+2.9x speedup comes largely from DFTM preventing "costly page migrations
+that lack locality from occurring in the first place".
+"""
+
+from __future__ import annotations
+
+from repro.gpu.wavefront import Kernel
+from repro.workloads.base import AddressSpace, WorkloadBase, WorkloadSpec
+
+SPEC = WorkloadSpec("MT", "Matrix Transpose", "AMDAPPSDK", "Scatter-Gather", 44)
+
+
+class MatrixTransposeWorkload(WorkloadBase):
+    spec = SPEC
+
+    def __init__(self, gather_pages_per_wg: int = 14, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.gather_pages_per_wg = gather_pages_per_wg
+
+    def build_kernels(self, num_gpus: int) -> list[Kernel]:
+        pages = self.footprint_pages()
+        space = AddressSpace(self.page_size)
+        half = max(8, pages // 2)
+        matrix_in = space.alloc("in", half)
+        matrix_out = space.alloc("out", half)
+
+        wgs = 8 * num_gpus
+        in_pages = list(matrix_in)
+        kernel = Kernel(kernel_id=0)
+        for i in range(wgs):
+            rng = self.rng("wg", i)
+            # A short contended read of the input header region seeds the
+            # first-touch race (Figure 2); one sweeper per GPU.
+            sweeping = i < num_gpus
+            accesses = self.contended_sweep(matrix_in, rng, 0.3) if sweeping else []
+            # Gather: one touch per sampled input page, scattered across
+            # the whole matrix (different GPUs hit the same input pages).
+            n_gather = min(self.gather_pages_per_wg, len(in_pages))
+            gather = [
+                in_pages[int(j)]
+                for j in rng.choice(len(in_pages), size=n_gather, replace=False)
+            ]
+            accesses += self.page_accesses(gather, rng, touches_per_page=1, write_prob=0.0, interleave=True)
+            # Scatter side collapses to a sequential write of this WG's own
+            # output band: each output page is written exactly once, ever.
+            own_out = self.chunk(matrix_out, wgs, i)
+            accesses += self.page_accesses(own_out, rng, touches_per_page=1, write_prob=1.0)
+            kernel.workgroups.append(self.make_workgroup(0, accesses, lanes=8 if sweeping else 0))
+        return [kernel]

@@ -1,0 +1,58 @@
+"""PR — PageRank (Hetero-Mark, Random, 38 MB).
+
+Each iteration streams the workgroup's own adjacency chunk once and
+gathers neighbour ranks from random pages across the whole rank vector —
+a different random set every iteration.  The paper reports PR as the one
+workload where Griffin slows down slightly: "the access patterns to
+sparse matrices can be very random and irregular, which makes it
+difficult to exploit inter-GPU migration effectively."
+"""
+
+from __future__ import annotations
+
+from repro.gpu.wavefront import Kernel
+from repro.workloads.base import AddressSpace, WorkloadBase, WorkloadSpec
+
+SPEC = WorkloadSpec("PR", "PageRank Algorithm", "Hetero-Mark", "Random", 38)
+
+
+class PageRankWorkload(WorkloadBase):
+    spec = SPEC
+
+    def __init__(self, num_iterations: int = 18, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.num_iterations = num_iterations
+
+    def build_kernels(self, num_gpus: int) -> list[Kernel]:
+        pages = self.footprint_pages()
+        space = AddressSpace(self.page_size)
+        ranks = space.alloc("ranks", max(8, int(pages * 0.25)))
+        adjacency = space.alloc("adjacency", max(8, int(pages * 0.75)))
+        rank_pages = list(ranks)
+
+        wgs_per_kernel = 4 * num_gpus
+        kernels = []
+        for it in range(self.num_iterations):
+            kernel = Kernel(kernel_id=it)
+            for i in range(wgs_per_kernel):
+                rng = self.rng("wg", it, i)
+                own_adj = self.chunk(adjacency, wgs_per_kernel, i)
+                # Bursty, non-recurring gathers: each rank chunk is
+                # bursted by a different workgroup (and therefore GPU)
+                # every iteration.  To DPC the counts look Mostly
+                # Dedicated for one period, but the accessor has already
+                # moved on by the time a migration lands -- the paper's
+                # "random and irregular" pattern that defeats inter-GPU
+                # migration.
+                gather = self.chunk(
+                    ranks, wgs_per_kernel, (i + 5 * it) % wgs_per_kernel
+                )
+                own_ranks = self.chunk(ranks, wgs_per_kernel, i)
+                sweeping = it == 0 and i < num_gpus
+                accesses = self.contended_sweep(adjacency, rng, 0.6) if sweeping else []
+                accesses += self.page_accesses(own_adj, rng, touches_per_page=1, write_prob=0.0)
+                accesses += self.page_accesses(gather, rng, touches_per_page=6, write_prob=0.0, interleave=True)
+                accesses += self.page_accesses(own_ranks, rng, touches_per_page=2, write_prob=0.8)
+                kernel.workgroups.append(self.make_workgroup(it, accesses, lanes=8 if sweeping else 0))
+            kernels.append(kernel)
+        return kernels

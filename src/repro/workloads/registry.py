@@ -1,0 +1,53 @@
+"""Workload registry — Table III of the paper as code."""
+
+from __future__ import annotations
+
+from repro.workloads.base import WorkloadBase, WorkloadSpec
+from repro.workloads.bfs import BfsWorkload
+from repro.workloads.bs import BitonicSortWorkload
+from repro.workloads.fir import FirWorkload
+from repro.workloads.floyd_warshall import FloydWarshallWorkload
+from repro.workloads.fw import FastWalshWorkload
+from repro.workloads.kmeans import KMeansWorkload
+from repro.workloads.matrix_transpose import MatrixTransposeWorkload
+from repro.workloads.pagerank import PageRankWorkload
+from repro.workloads.simple_convolution import SimpleConvolutionWorkload
+from repro.workloads.stencil import StencilWorkload
+
+_WORKLOADS: dict[str, type] = {
+    "BFS": BfsWorkload,
+    "BS": BitonicSortWorkload,
+    "FIR": FirWorkload,
+    "FLW": FloydWarshallWorkload,
+    "FW": FastWalshWorkload,
+    "KM": KMeansWorkload,
+    "MT": MatrixTransposeWorkload,
+    "PR": PageRankWorkload,
+    "SC": SimpleConvolutionWorkload,
+    "ST": StencilWorkload,
+}
+
+WORKLOAD_SPECS: dict[str, WorkloadSpec] = {
+    abbrev: cls.spec for abbrev, cls in _WORKLOADS.items()
+}
+"""Table III: abbreviation -> (name, suite, access pattern, memory MB)."""
+
+
+def get_workload(abbrev: str, **kwargs) -> WorkloadBase:
+    """Instantiate a workload by its Table III abbreviation.
+
+    Keyword arguments (``scale``, ``seed``, ...) are forwarded to the
+    workload constructor.
+    """
+    try:
+        cls = _WORKLOADS[abbrev.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {abbrev!r}; available: {', '.join(sorted(_WORKLOADS))}"
+        ) from None
+    return cls(**kwargs)
+
+
+def list_workloads() -> list[str]:
+    """All Table III abbreviations, sorted as the paper's figures order them."""
+    return ["BFS", "BS", "FIR", "FLW", "FW", "KM", "MT", "PR", "SC", "ST"]

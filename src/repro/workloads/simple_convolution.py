@@ -1,0 +1,54 @@
+"""SC — Simple Convolution (AMDAPPSDK, Adjacent, 41 MB).
+
+The image is tiled into row bands; each convolution pass is one kernel.
+Band-to-workgroup assignment shifts by one every ``rotate_every`` passes,
+so the GPU that touches a band most changes a few times over the run —
+reproducing the paper's Figure 1 observation that the dominant accessor
+of a page holds for an epoch and then moves to another GPU.  Adjacent
+bands share one halo page per boundary.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.wavefront import Kernel
+from repro.workloads.base import AddressSpace, WorkloadBase, WorkloadSpec
+
+SPEC = WorkloadSpec("SC", "Simple Convolution", "AMDAPPSDK", "Adjacent", 41)
+
+
+class SimpleConvolutionWorkload(WorkloadBase):
+    spec = SPEC
+
+    def __init__(self, num_passes: int = 9, rotate_every: int = 3, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.num_passes = num_passes
+        self.rotate_every = rotate_every
+
+    def build_kernels(self, num_gpus: int) -> list[Kernel]:
+        pages = self.footprint_pages()
+        space = AddressSpace(self.page_size)
+        filt_pages = max(1, pages // 200)
+        image = space.alloc("image", pages - filt_pages)
+        filt = space.alloc("filter", filt_pages)
+
+        wgs_per_kernel = 4 * num_gpus
+        kernels = []
+        for k in range(self.num_passes):
+            kernel = Kernel(kernel_id=k)
+            for i in range(wgs_per_kernel):
+                rng = self.rng("wg", k, i)
+                # Band assignment rotates by one workgroup every
+                # rotate_every passes, so a band's accessor GPU holds for
+                # an epoch and then shifts (round-robin dispatch).
+                band = (i + k // self.rotate_every) % wgs_per_kernel
+                own = self.chunk(image, wgs_per_kernel, band)
+                halo_lo = self.chunk(image, wgs_per_kernel, (band - 1) % wgs_per_kernel)[-1:]
+                halo_hi = self.chunk(image, wgs_per_kernel, (band + 1) % wgs_per_kernel)[:1]
+                sweeping = k == 0 and i < num_gpus
+                accesses = self.contended_sweep(image, rng, 0.5) if sweeping else []
+                accesses += self.page_accesses(own, rng, touches_per_page=7, write_prob=0.25)
+                accesses += self.page_accesses(halo_lo + halo_hi, rng, touches_per_page=3, write_prob=0.0)
+                accesses += self.page_accesses(filt, rng, touches_per_page=2, write_prob=0.0)
+                kernel.workgroups.append(self.make_workgroup(k, accesses, lanes=8 if sweeping else 0))
+            kernels.append(kernel)
+        return kernels

@@ -1,0 +1,44 @@
+"""ST — Stencil 2D (SHOC, Adjacent, 33 MB).
+
+Iterative 5-point stencil over a grid of row bands with a stable
+band-to-workgroup assignment: interior pages are dedicated to one GPU for
+the whole run while the halo page at each band boundary is shared with
+the neighbouring band's GPU every iteration.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.wavefront import Kernel
+from repro.workloads.base import AddressSpace, WorkloadBase, WorkloadSpec
+
+SPEC = WorkloadSpec("ST", "Stencil 2D", "SHOC", "Adjacent", 33)
+
+
+class StencilWorkload(WorkloadBase):
+    spec = SPEC
+
+    def __init__(self, num_iterations: int = 14, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.num_iterations = num_iterations
+
+    def build_kernels(self, num_gpus: int) -> list[Kernel]:
+        pages = self.footprint_pages()
+        space = AddressSpace(self.page_size)
+        grid = space.alloc("grid", pages)
+
+        wgs_per_kernel = 4 * num_gpus
+        kernels = []
+        for it in range(self.num_iterations):
+            kernel = Kernel(kernel_id=it)
+            for i in range(wgs_per_kernel):
+                rng = self.rng("wg", it, i)
+                own = self.chunk(grid, wgs_per_kernel, i)
+                halo_lo = self.chunk(grid, wgs_per_kernel, (i - 1) % wgs_per_kernel)[-1:]
+                halo_hi = self.chunk(grid, wgs_per_kernel, (i + 1) % wgs_per_kernel)[:1]
+                sweeping = it == 0 and i < num_gpus
+                accesses = self.contended_sweep(grid, rng, 0.4) if sweeping else []
+                accesses += self.page_accesses(own, rng, touches_per_page=4, write_prob=0.3)
+                accesses += self.page_accesses(halo_lo + halo_hi, rng, touches_per_page=2, write_prob=0.0)
+                kernel.workgroups.append(self.make_workgroup(it, accesses, lanes=8 if sweeping else 0))
+            kernels.append(kernel)
+        return kernels

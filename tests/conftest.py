@@ -1,0 +1,47 @@
+"""Shared fixtures for the Griffin reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.hyperparams import GriffinHyperParams
+from repro.config.presets import small_system, tiny_system
+from repro.harness.runner import run_workload
+from repro.sim.engine import Engine
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine()
+
+
+@pytest.fixture
+def tiny_config():
+    return tiny_system()
+
+
+@pytest.fixture
+def small_config():
+    return small_system()
+
+
+@pytest.fixture
+def hyper() -> GriffinHyperParams:
+    return GriffinHyperParams()
+
+
+@pytest.fixture
+def calibrated() -> GriffinHyperParams:
+    return GriffinHyperParams.calibrated()
+
+
+@pytest.fixture(scope="session")
+def sc_baseline_tiny():
+    """One cached baseline run of SC on the tiny system (read-only)."""
+    return run_workload("SC", "baseline", config=tiny_system(), scale=0.008, seed=5)
+
+
+@pytest.fixture(scope="session")
+def sc_griffin_tiny():
+    """One cached Griffin run of SC on the tiny system (read-only)."""
+    return run_workload("SC", "griffin", config=tiny_system(), scale=0.008, seed=5)

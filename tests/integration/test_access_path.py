@@ -1,0 +1,102 @@
+"""Integration tests for the memory access path through a real machine."""
+
+import pytest
+
+from repro.config.presets import tiny_system
+from repro.gpu.wavefront import Kernel, WavefrontTrace, Workgroup
+from repro.mem.access import AccessKind
+from repro.system.machine import Machine
+
+
+def single_access_kernel(address, gpu_count=1, is_write=False, wg_id=0):
+    wg = Workgroup(wg_id, 0, [WavefrontTrace([(0, address, is_write)])])
+    return Kernel(0, [wg])
+
+
+def two_wg_kernel(addr_a, addr_b):
+    return Kernel(0, [
+        Workgroup(0, 0, [WavefrontTrace([(0, addr_a, False)])]),
+        Workgroup(1, 0, [WavefrontTrace([(0, addr_b, False)])]),
+    ])
+
+
+@pytest.fixture
+def machine():
+    return Machine(tiny_system(), "baseline")
+
+
+def test_first_touch_triggers_fault_and_migration(machine):
+    machine.run([single_access_kernel(0x100000)])
+    page = 0x100000 // 4096
+    assert machine.page_table.location(page) == 0
+    assert machine.access_path.kind_counts[AccessKind.FAULT_MIGRATE] == 1
+    assert machine.shootdowns.cpu_shootdowns == 1
+
+
+def test_translation_cached_after_migration():
+    machine = Machine(tiny_system(), "baseline")
+    addr = 0x100000
+    wg = Workgroup(0, 0, [WavefrontTrace([(0, addr, False), (10, addr + 64, False)])])
+    machine.run([Kernel(0, [wg])])
+    # Second access to the same page hits the L1 TLB.
+    assert machine.access_path.l1_tlb_hits == 1
+    assert machine.access_path.iommu_trips == 1
+
+
+def test_second_gpu_uses_remote_dca():
+    machine = Machine(tiny_system(), "baseline")
+    addr = 0x100000
+    # WG0 -> GPU0 first-touches the page; WG1 -> GPU1 must use DCA.
+    k0 = Kernel(0, [Workgroup(0, 0, [WavefrontTrace([(0, addr, False)])]),
+                    Workgroup(1, 0, [WavefrontTrace([(0, 0x900000, False)])])])
+    k1 = Kernel(1, [Workgroup(2, 1, [WavefrontTrace([(0, 0x900000, False)])]),
+                    Workgroup(3, 1, [WavefrontTrace([(0, addr, False)])])])
+    machine.run([k0, k1])
+    assert machine.access_path.kind_counts[AccessKind.REMOTE_DCA] >= 1
+    # Page stays pinned where first touch put it.
+    assert machine.page_table.location(addr // 4096) == 0
+
+
+def test_remote_translations_are_not_cached():
+    machine = Machine(tiny_system(), "baseline")
+    addr = 0x100000
+    k0 = Kernel(0, [Workgroup(0, 0, [WavefrontTrace([(0, addr, False)])]),
+                    Workgroup(1, 0, [WavefrontTrace([(0, 0x900000, False)])])])
+    # GPU1 accesses GPU0's page twice; both must walk the IOMMU.
+    k1 = Kernel(1, [Workgroup(2, 1, [WavefrontTrace([(0, 0x900000 + 64, False)])]),
+                    Workgroup(3, 1, [WavefrontTrace([(0, addr, False), (10, addr + 64, False)])])])
+    machine.run([k0, k1])
+    gpu1 = machine.gpus[1]
+    remote_page = addr // 4096
+    assert not gpu1.l2_tlb.lookup(remote_page)
+
+
+def test_concurrent_faults_on_same_page_share_one_migration():
+    machine = Machine(tiny_system(), "baseline")
+    addr = 0x100000
+    kernel = two_wg_kernel(addr, addr + 64)  # both WGs fault the same page
+    machine.run([kernel])
+    assert machine.page_table.cpu_to_gpu_migrations == 1
+
+
+def test_dftm_denial_serves_cpu_dca():
+    machine = Machine(tiny_system(), "griffin")
+    machine.run([single_access_kernel(0x100000)])
+    page = 0x100000 // 4096
+    # All GPUs tied at zero occupancy -> denied -> page stays on CPU.
+    assert machine.page_table.location(page) == -1
+    assert machine.page_table.entry(page).delayed_bit
+    assert machine.access_path.kind_counts[AccessKind.CPU_DCA] == 1
+
+
+def test_dftm_second_touch_migrates():
+    machine = Machine(tiny_system(), "griffin")
+    addr = 0x100000
+    wg = Workgroup(0, 0, [WavefrontTrace([(0, addr, False), (10, addr + 64, False)])])
+    machine.run([Kernel(0, [wg])])
+    assert machine.page_table.location(addr // 4096) == 0
+
+
+def test_kind_counts_total(machine):
+    machine.run([two_wg_kernel(0x100000, 0x200000)])
+    assert sum(machine.access_path.kind_counts.values()) == 2

@@ -1,0 +1,121 @@
+"""Integration tests for the post-run analysis package."""
+
+import pytest
+
+from repro.analysis import (
+    MigrationVerdict,
+    audit_migrations,
+    detect_phases,
+    profile_sharing,
+)
+from repro.config.presets import tiny_system
+from repro.harness.runner import run_workload
+
+
+@pytest.fixture(scope="module")
+def sc_run():
+    return run_workload("SC", "griffin", config=tiny_system(), scale=0.008,
+                        seed=5, keep_timeline=True, watch_pages="all")
+
+
+@pytest.fixture(scope="module")
+def mt_run():
+    return run_workload("MT", "griffin", config=tiny_system(), scale=0.008,
+                        seed=5, keep_timeline=True, watch_pages="all")
+
+
+class TestMigrationAudit:
+    def test_requires_timeline(self):
+        r = run_workload("ST", "griffin", config=tiny_system(), scale=0.004, seed=5)
+        with pytest.raises(ValueError, match="keep_timeline"):
+            audit_migrations(r)
+
+    def test_counts_only_inter_gpu_moves(self, sc_run):
+        audit = audit_migrations(sc_run)
+        inter = sum(1 for e in sc_run.migration_events if e.src >= 0 and e.dst >= 0)
+        assert audit.total == inter
+
+    def test_verdicts_partition_the_total(self, sc_run):
+        audit = audit_migrations(sc_run)
+        assert sum(audit.verdicts.values()) == audit.total
+
+    def test_sc_migrations_mostly_justified(self, sc_run):
+        # SC's ownership epochs make its migrations pay off: the windowed
+        # audit grades the clear majority as landing on the page's
+        # post-move dominant accessor.
+        audit = audit_migrations(sc_run)
+        if audit.total:
+            assert audit.justified_fraction >= 0.5
+
+    def test_pr_migrations_mostly_not_justified(self):
+        # PR's bursts do not recur; migrations chase them fruitlessly
+        # (the paper's explanation of the PR slowdown).
+        run = run_workload("PR", "griffin", config=tiny_system(),
+                           scale=0.008, seed=5, keep_timeline=True,
+                           watch_pages="all")
+        audit = audit_migrations(run)
+        if audit.total >= 10:
+            assert audit.justified_fraction <= 0.5
+
+    def test_render(self, sc_run):
+        out = audit_migrations(sc_run).render()
+        assert "migrations audited" in out
+        assert "justified" in out
+
+    def test_per_page_moves_sum(self, sc_run):
+        audit = audit_migrations(sc_run)
+        assert sum(audit.per_page_moves.values()) == audit.total
+
+
+class TestSharingProfile:
+    def test_requires_timeline(self):
+        r = run_workload("ST", "griffin", config=tiny_system(), scale=0.004, seed=5)
+        with pytest.raises(ValueError, match="keep_timeline"):
+            profile_sharing(r)
+
+    def test_fractions_are_consistent(self, sc_run):
+        profile = profile_sharing(sc_run)
+        assert profile.total_pages > 0
+        assert sum(profile.pages_by_degree.values()) == profile.total_pages
+        assert 0.0 <= profile.private_fraction <= 1.0
+        assert 0.0 <= profile.fully_shared_fraction <= 1.0
+        assert 0.0 <= profile.gini <= 1.0
+
+    def test_mt_has_high_touch_once_fraction(self, mt_run):
+        profile = profile_sharing(mt_run)
+        assert profile.touch_once_fraction >= 0.2
+
+    def test_render(self, sc_run):
+        out = profile_sharing(sc_run).render()
+        assert "Pages touched" in out
+        assert "gini" in out
+
+
+class TestPhaseDetection:
+    def test_no_migrations_is_all_quiet(self):
+        r = run_workload("FIR", "griffin_no_dpc", config=tiny_system(),
+                         scale=0.004, seed=5)
+        r2 = r
+        # Remove CPU->GPU placements to simulate a migration-free run.
+        r2.migration_events = []
+        report = detect_phases(r2)
+        assert report.num_bursts == 0
+        assert report.quiet_fraction == 1.0
+
+    def test_bursts_cover_all_events(self, sc_run):
+        report = detect_phases(sc_run)
+        covered = sum(count for _, _, count in report.bursts)
+        assert covered == len(sc_run.migration_events)
+
+    def test_bursts_are_time_ordered_and_disjoint(self, sc_run):
+        report = detect_phases(sc_run)
+        for (s1, e1, _), (s2, e2, _) in zip(report.bursts, report.bursts[1:]):
+            assert e1 <= s2
+
+    def test_small_gap_merges_everything(self, sc_run):
+        report = detect_phases(sc_run, gap_cycles=float("inf"))
+        assert report.num_bursts == 1
+
+    def test_render(self, sc_run):
+        out = detect_phases(sc_run).render()
+        assert "burst" in out

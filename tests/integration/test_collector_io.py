@@ -1,0 +1,101 @@
+"""Integration tests for the stats collector and result serialization."""
+
+import json
+
+import pytest
+
+from repro.config.presets import tiny_system
+from repro.harness.io import load_result, result_from_dict, result_to_dict, save_result
+from repro.harness.runner import run_workload
+from repro.metrics.collector import render_stats
+
+
+@pytest.fixture(scope="module")
+def detailed_run():
+    return run_workload(
+        "KM", "griffin", config=tiny_system(), scale=0.006, seed=5,
+        collect_detail=True,
+    )
+
+
+class TestCollector:
+    def test_detail_attached_when_requested(self, detailed_run):
+        assert detailed_run.detail is not None
+
+    def test_detail_off_by_default(self):
+        r = run_workload("ST", "baseline", config=tiny_system(), scale=0.004, seed=5)
+        assert r.detail is None
+
+    def test_per_gpu_sections_present(self, detailed_run):
+        gpus = detailed_run.detail["gpus"]
+        assert set(gpus) == {"gpu0", "gpu1"}
+        for section in gpus.values():
+            assert 0.0 <= section["l1_vector"]["hit_rate"] <= 1.0
+            assert 0.0 <= section["l2_tlb"]["hit_rate"] <= 1.0
+            assert section["dram"]["accesses"] >= 0
+
+    def test_resident_pages_match_occupancy(self, detailed_run):
+        gpus = detailed_run.detail["gpus"]
+        resident = [gpus[f"gpu{g}"]["resident_pages"] for g in range(2)]
+        assert tuple(resident) == detailed_run.occupancy.pages_per_gpu
+
+    def test_driver_section_consistent(self, detailed_run):
+        driver = detailed_run.detail["driver"]
+        assert driver["dftm_denials"] == detailed_run.dftm_denials
+        assert driver["fault_pages_migrated"] >= detailed_run.cpu_to_gpu_migrations
+
+    def test_access_kinds_match_result(self, detailed_run):
+        kinds = detailed_run.detail["access_kinds"]
+        assert sum(kinds.values()) == detailed_run.transactions
+
+    def test_shootdown_section(self, detailed_run):
+        s = detailed_run.detail["shootdowns"]
+        assert s["cpu"] == detailed_run.cpu_shootdowns
+        assert s["gpu"] == detailed_run.gpu_shootdowns
+
+    def test_detail_is_json_serializable(self, detailed_run):
+        text = json.dumps(detailed_run.detail)
+        assert "gpu0" in text
+
+    def test_render_stats_nested_text(self, detailed_run):
+        text = render_stats(detailed_run.detail)
+        assert "gpus:" in text
+        assert "hit_rate" in text
+
+
+class TestResultIO:
+    def test_round_trip_dict(self, detailed_run):
+        rebuilt = result_from_dict(result_to_dict(detailed_run))
+        assert rebuilt.cycles == detailed_run.cycles
+        assert rebuilt.kind_counts == detailed_run.kind_counts
+        assert rebuilt.occupancy.pages_per_gpu == detailed_run.occupancy.pages_per_gpu
+        assert len(rebuilt.migration_events) == len(detailed_run.migration_events)
+
+    def test_save_and_load_file(self, detailed_run, tmp_path):
+        path = save_result(detailed_run, tmp_path / "run.json")
+        loaded = load_result(path)
+        assert loaded.workload == "KM"
+        assert loaded.policy == "griffin"
+        assert loaded.total_shootdowns == detailed_run.total_shootdowns
+
+    def test_unknown_schema_rejected(self, detailed_run):
+        data = result_to_dict(detailed_run)
+        data["schema"] = 999
+        with pytest.raises(ValueError, match="schema"):
+            result_from_dict(data)
+
+
+class TestCliDetail:
+    def test_run_with_detail_and_save(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_file = tmp_path / "mt.json"
+        code = main(["run", "ST", "--policy", "baseline", "--detail",
+                     "--save", str(out_file),
+                     "--scale", "0.004", "--gpus", "2", "--seed", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gpus:" in out
+        assert out_file.exists()
+        loaded = load_result(out_file)
+        assert loaded.workload == "ST"

@@ -1,0 +1,36 @@
+"""Determinism: identical inputs must give identical simulations."""
+
+import pytest
+
+from repro.config.presets import tiny_system
+from repro.harness.runner import run_workload
+
+
+def run_once(policy="griffin", seed=11):
+    return run_workload("KM", policy, config=tiny_system(), scale=0.005, seed=seed)
+
+
+@pytest.mark.parametrize("policy", ["baseline", "griffin", "griffin_flush"])
+def test_repeat_runs_are_bit_identical(policy):
+    a = run_workload("FW", policy, config=tiny_system(), scale=0.005, seed=7)
+    b = run_workload("FW", policy, config=tiny_system(), scale=0.005, seed=7)
+    assert a.cycles == b.cycles
+    assert a.kind_counts == b.kind_counts
+    assert a.total_shootdowns == b.total_shootdowns
+    assert a.occupancy.pages_per_gpu == b.occupancy.pages_per_gpu
+    assert [(e.time, e.page, e.src, e.dst) for e in a.migration_events] == [
+        (e.time, e.page, e.src, e.dst) for e in b.migration_events
+    ]
+
+
+def test_different_seeds_differ():
+    a = run_once(seed=1)
+    b = run_once(seed=2)
+    assert a.cycles != b.cycles
+
+
+def test_policy_changes_outcome_not_trace():
+    a = run_once("baseline")
+    b = run_once("griffin")
+    assert a.transactions == b.transactions
+    assert a.cycles != b.cycles

@@ -1,0 +1,98 @@
+"""Corner cases of the driver's fault handling and migration rounds."""
+
+import pytest
+
+from repro.config.hyperparams import GriffinHyperParams
+from repro.config.presets import tiny_system
+from repro.gpu.wavefront import Kernel, WavefrontTrace, Workgroup
+from repro.mem.access import AccessKind
+from repro.system.machine import Machine
+
+
+def kernel_of(accesses_by_wg, kernel_id=0):
+    """accesses_by_wg: list of access lists, one per workgroup."""
+    wgs = [
+        Workgroup(kernel_id * 100 + i, kernel_id, [WavefrontTrace(acc)])
+        for i, acc in enumerate(accesses_by_wg)
+    ]
+    return Kernel(kernel_id, wgs)
+
+
+def test_partial_fault_batch_released_by_timeout():
+    # Griffin batches 8 faults; a single fault must still be serviced.
+    machine = Machine(tiny_system(), "griffin_no_dftm")
+    machine.run([kernel_of([[(0, 0x100000, False)]])])
+    assert machine.page_table.location(0x100000 // 4096) == 0
+    assert machine.driver.batcher.batches_flushed == 1
+
+
+def test_fcfs_services_each_fault_with_its_own_flush():
+    machine = Machine(tiny_system(), "baseline")
+    # Two WGs on the two CUs of GPU0 fault two different pages.
+    machine.run([kernel_of([[(0, 0x100000, False)], [(0, 0x200000, False)],
+                            [(0, 0x900000, False)], [(0, 0xA00000, False)]])])
+    assert machine.shootdowns.cpu_shootdowns == 4
+
+
+def test_waiters_state_clean_after_run():
+    machine = Machine(tiny_system(), "griffin")
+    accesses = [[(0, 0x100000 + 64 * i, False), (20, 0x100000, False)]
+                for i in range(4)]
+    machine.run([kernel_of(accesses)])
+    assert machine.driver._waiters == {}
+    assert machine.driver.batcher.pending() == 0
+
+
+def test_round_active_guard_prevents_overlapping_rounds():
+    hyper = GriffinHyperParams.calibrated().with_overrides(
+        t_ac=200, migration_period=400, min_pages_per_source=1
+    )
+    # griffin_no_dftm so GPU0's first touch owns the page; GPU1's
+    # hammering then makes it a migration candidate every phase.
+    machine = Machine(tiny_system(), "griffin_no_dftm", hyper=hyper)
+    k0 = kernel_of([[(0, 0x100000, False)], [(0, 0x900000, False)]], 0)
+    hammer = [(30, 0x100000 + 64 * (i % 16), False) for i in range(150)]
+    k1 = kernel_of([[(0, 0x900040, False)], hammer], 1)
+    machine.run([k0, k1])
+    assert machine.driver.stat("migration_rounds") >= 1
+    assert machine.page_table.gpu_to_gpu_migrations >= 1
+
+
+def test_cpu_fault_from_two_gpus_first_wins_second_goes_remote():
+    machine = Machine(tiny_system(), "baseline")
+    addr = 0x100000
+    # WG0 -> GPU0 and WG1 -> GPU1 both touch the same page in kernel 0.
+    machine.run([kernel_of([[(0, addr, False)], [(0, addr + 64, False)]])])
+    page = addr // 4096
+    owner = machine.page_table.location(page)
+    assert owner in (0, 1)
+    assert machine.page_table.cpu_to_gpu_migrations == 1
+    kinds = machine.access_path.kind_counts
+    assert kinds[AccessKind.FAULT_MIGRATE] >= 1
+    # The loser either waited on the same migration or went remote.
+    assert kinds[AccessKind.REMOTE_DCA] + kinds[AccessKind.FAULT_MIGRATE] == 2
+
+
+def test_dftm_only_policy_never_batches():
+    machine = Machine(tiny_system(), "dftm_only")
+    assert machine.driver.batcher.batch_size == 1
+    assert machine.driver.dftm.enabled
+
+
+def test_second_kernel_reuses_translations():
+    machine = Machine(tiny_system(), "baseline")
+    addr = 0x100000
+    k0 = kernel_of([[(0, addr, False)]], 0)
+    k1 = kernel_of([[(0, addr + 128, False)]], 1)
+    machine.run([k0, k1])
+    # Same CU, same page: the second kernel's access hits the TLB.
+    assert machine.access_path.iommu_trips == 1
+
+
+def test_writes_reach_remote_pages():
+    machine = Machine(tiny_system(), "baseline")
+    addr = 0x100000
+    k0 = kernel_of([[(0, addr, True)], [(0, 0x900000, False)]], 0)
+    k1 = kernel_of([[(0, 0x900040, False)], [(0, addr + 64, True)]], 1)
+    machine.run([k0, k1])
+    assert machine.access_path.kind_counts[AccessKind.REMOTE_DCA] >= 1

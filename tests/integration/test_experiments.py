@@ -1,0 +1,76 @@
+"""Integration tests for the experiment harness (tables and figures)."""
+
+import pytest
+
+from repro.config.presets import tiny_system
+from repro.harness import experiments as ex
+
+FAST = dict(config=tiny_system(), scale=0.006, seed=5)
+
+
+class TestTables:
+    def test_table1_renders_paper_values(self):
+        out = ex.table1_hyperparameters().render()
+        assert "N_PTW" in out and "8" in out
+        assert "lambda_d" in out and "2" in out
+
+    def test_table2_renders_components(self):
+        out = ex.table2_system_config().render()
+        assert "L2 Cache" in out
+        assert "PCIe" in out
+
+    def test_table3_lists_ten_workloads(self):
+        out = ex.table3_workloads().render()
+        for abbrev in ["BFS", "MT", "SC", "ST"]:
+            assert abbrev in out
+        assert "Scatter-Gather" in out
+
+
+class TestFigures:
+    def test_fig2_renders_distribution(self):
+        res = ex.fig2_first_touch_imbalance(workloads=["FIR"], **FAST)
+        out = ex.render_fig2(res)
+        assert "FIR" in out and "GPU0" in out
+
+    def test_fig8_shows_balancing(self):
+        res = ex.fig8_occupancy_balance(workloads=["FIR"], **FAST)
+        runs = res.runs["FIR"]
+        assert runs["griffin"].imbalance() <= runs["baseline"].imbalance() + 0.05
+        assert "imb" in ex.render_fig8(res)
+
+    def test_fig9_shootdowns_normalized(self):
+        res = ex.fig9_tlb_shootdowns(workloads=["FIR"], **FAST)
+        runs = res.runs["FIR"]
+        assert runs["griffin"].total_shootdowns < runs["baseline"].total_shootdowns
+        assert "Normalized" in ex.render_fig9(res)
+
+    def test_fig12_speedup_table(self):
+        res = ex.fig12_overall_speedup(workloads=["MT"], **FAST)
+        assert res.speedups("baseline", "griffin")["MT"] > 1.0
+        assert "geomean" in ex.render_fig12(res)
+
+    def test_fig11_acud_column(self):
+        res = ex.fig11_acud_vs_flush(workloads=["SC"], **FAST)
+        out = ex.render_fig11(res)
+        assert "ACUD" in out
+
+    def test_fig13_uses_faster_fabric(self):
+        res = ex.fig13_high_bandwidth(workloads=["MT"], scale=0.006, seed=5)
+        assert res.speedups("baseline", "griffin")["MT"] > 1.0
+
+    def test_fig1_timeline(self):
+        res = ex.fig1_page_access_timeline("SC", **FAST)
+        assert res.series
+        out = res.render()
+        assert "GPU0 %" in out
+
+    def test_fig10_records_migrations(self):
+        res = ex.fig10_dpc_migration("SC", **FAST)
+        assert res.migrations  # at least the CPU->GPU move
+        assert "location changes" in res.render()
+
+
+class TestHardwareCost:
+    def test_report(self):
+        report = ex.hardware_cost_report()
+        assert report.dpc_bytes_per_gpu == 2200

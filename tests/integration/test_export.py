@@ -1,0 +1,68 @@
+"""Integration tests for CSV figure export."""
+
+import csv
+
+import pytest
+
+from repro.config.presets import tiny_system
+from repro.harness import experiments as ex
+from repro.harness.export import (
+    export_occupancy,
+    export_shootdowns,
+    export_speedups,
+    export_timeline,
+)
+
+FAST = dict(config=tiny_system(), scale=0.006, seed=5)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return ex.fig12_overall_speedup(workloads=["ST", "MT"], **FAST)
+
+
+def read_csv(path):
+    with open(path, newline="") as handle:
+        return list(csv.reader(handle))
+
+
+def test_export_speedups(comparison, tmp_path):
+    path = export_speedups(comparison, tmp_path / "sp.csv")
+    rows = read_csv(path)
+    assert rows[0] == ["workload", "baseline_cycles", "griffin_cycles", "speedup"]
+    assert {r[0] for r in rows[1:]} == {"ST", "MT"}
+    for row in rows[1:]:
+        assert float(row[3]) == pytest.approx(float(row[1]) / float(row[2]), rel=1e-3)
+
+
+def test_export_occupancy(comparison, tmp_path):
+    path = export_occupancy(comparison, tmp_path / "occ.csv")
+    rows = read_csv(path)
+    assert rows[0][:2] == ["workload", "policy"]
+    data = [r for r in rows[1:] if r]
+    # 2 workloads x 2 policies.
+    assert len(data) == 4
+    for row in data:
+        shares = [float(x) for x in row[2:]]
+        assert sum(shares) == pytest.approx(100.0, abs=0.1) or sum(shares) == 0.0
+
+
+def test_export_shootdowns(comparison, tmp_path):
+    path = export_shootdowns(comparison, tmp_path / "sd.csv")
+    rows = read_csv(path)
+    assert rows[0][-1] == "total"
+    for row in rows[1:]:
+        assert int(row[4]) == int(row[2]) + int(row[3])
+
+
+def test_export_timeline(tmp_path):
+    result = ex.fig10_dpc_migration("SC", **FAST)
+    path = export_timeline(result, tmp_path / "tl.csv")
+    rows = read_csv(path)
+    assert rows[0][0] == "cycle"
+    assert any(r and r[0] == "migration_time" for r in rows)
+
+
+def test_export_creates_parent_dirs(comparison, tmp_path):
+    path = export_speedups(comparison, tmp_path / "nested" / "dir" / "sp.csv")
+    assert path.exists()

@@ -1,0 +1,75 @@
+"""Integration tests for the paper's future-work extensions."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config.presets import tiny_system
+from repro.harness.runner import run_workload
+from repro.mem.access import AccessKind
+from repro.workloads.simple_convolution import SimpleConvolutionWorkload
+
+
+class TestPredictivePolicy:
+    def test_predictive_policy_runs(self):
+        r = run_workload("SC", "griffin_predictive", config=tiny_system(),
+                         scale=0.006, seed=5)
+        assert r.policy == "griffin_predictive"
+        assert r.cycles > 0
+
+    def test_predictive_not_worse_on_regular_rotation(self):
+        w = lambda: SimpleConvolutionWorkload(
+            num_passes=15, rotate_every=3, scale=0.006, seed=5
+        )
+        reactive = run_workload(w(), "griffin", config=tiny_system())
+        predictive = run_workload(w(), "griffin_predictive", config=tiny_system())
+        assert predictive.cycles <= reactive.cycles * 1.05
+
+
+class TestCarveIntegration:
+    def test_remote_cache_hits_count_as_local(self):
+        cfg = tiny_system()
+        carve = replace(cfg, gpu=cfg.gpu.with_remote_cache(64))
+        plain_r = run_workload("KM", "baseline", config=cfg, scale=0.006, seed=5)
+        carve_r = run_workload("KM", "baseline", config=carve, scale=0.006, seed=5)
+        assert carve_r.kind_counts[AccessKind.REMOTE_CACHE] > 0
+        assert carve_r.local_fraction > plain_r.local_fraction
+
+    def test_remote_cache_never_slows_the_run(self):
+        cfg = tiny_system()
+        carve = replace(cfg, gpu=cfg.gpu.with_remote_cache(64))
+        plain_r = run_workload("FLW", "griffin", config=cfg, scale=0.006, seed=5)
+        carve_r = run_workload("FLW", "griffin", config=carve, scale=0.006, seed=5)
+        assert carve_r.cycles <= plain_r.cycles * 1.02
+
+    def test_transaction_count_unchanged_by_carve(self):
+        cfg = tiny_system()
+        carve = replace(cfg, gpu=cfg.gpu.with_remote_cache(64))
+        a = run_workload("KM", "baseline", config=cfg, scale=0.006, seed=5)
+        b = run_workload("KM", "baseline", config=carve, scale=0.006, seed=5)
+        assert a.transactions == b.transactions
+
+
+class TestPageSizes:
+    @pytest.mark.parametrize("page_size", [4096, 8192, 16384])
+    def test_runs_at_multiple_page_sizes(self, page_size):
+        cfg = tiny_system().with_overrides(page_size=page_size)
+        r = run_workload("ST", "griffin", config=cfg, scale=0.006, seed=5)
+        assert r.cycles > 0
+
+    def test_larger_pages_mean_fewer_pages(self):
+        small = tiny_system()
+        large = tiny_system().with_overrides(page_size=16384)
+        a = run_workload("ST", "baseline", config=small, scale=0.006, seed=5)
+        b = run_workload("ST", "baseline", config=large, scale=0.006, seed=5)
+        pages_a = a.occupancy.total_gpu_pages + a.occupancy.cpu_pages
+        pages_b = b.occupancy.total_gpu_pages + b.occupancy.cpu_pages
+        assert pages_b < pages_a
+
+    def test_mismatched_workload_page_size_rejected(self):
+        from repro.workloads.registry import get_workload
+
+        cfg = tiny_system().with_overrides(page_size=16384)
+        workload = get_workload("ST", scale=0.006, seed=5, page_size=4096)
+        with pytest.raises(ValueError, match="page size"):
+            run_workload(workload, "baseline", config=cfg)

@@ -1,0 +1,71 @@
+"""Golden-run regression: the simulator's numbers must not drift silently.
+
+Every simulation is deterministic, so a fixed (config, workload, policy,
+scale, seed) tuple has exactly one correct output.  ``golden_runs.json``
+pins the canonical results; any change to timing models, workload
+generators, or policy logic that moves a number must regenerate the file
+*deliberately* (and re-justify the calibration in docs/calibration.md)::
+
+    python -c "exec(open('tests/integration/test_golden.py').read()); regenerate()"
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.config.presets import tiny_system
+from repro.harness.runner import run_workload
+from repro.workloads.registry import list_workloads
+
+GOLDEN_PATH = Path(__file__).parent.parent / "golden_runs.json"
+SCALE = 0.005
+SEED = 9
+
+
+def current_results() -> dict:
+    out = {}
+    for wl in list_workloads():
+        for policy in ["baseline", "griffin"]:
+            r = run_workload(wl, policy, config=tiny_system(),
+                             scale=SCALE, seed=SEED)
+            out[f"{wl}/{policy}"] = {
+                "cycles": r.cycles,
+                "transactions": r.transactions,
+                "total_shootdowns": r.total_shootdowns,
+                "cpu_to_gpu": r.cpu_to_gpu_migrations,
+                "gpu_to_gpu": r.gpu_to_gpu_migrations,
+                "pages_per_gpu": list(r.occupancy.pages_per_gpu),
+            }
+    return out
+
+
+def regenerate() -> None:  # pragma: no cover - maintenance helper
+    GOLDEN_PATH.write_text(json.dumps(current_results(), indent=1, sort_keys=True))
+    print(f"regenerated {GOLDEN_PATH}")
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def current():
+    return current_results()
+
+
+def test_golden_file_covers_all_workloads(golden):
+    assert len(golden) == 20
+
+
+@pytest.mark.parametrize("workload", list_workloads())
+@pytest.mark.parametrize("policy", ["baseline", "griffin"])
+def test_run_matches_golden(golden, current, workload, policy):
+    key = f"{workload}/{policy}"
+    expected = golden[key]
+    actual = current[key]
+    assert actual == expected, (
+        f"{key} drifted from the golden run; if the change is deliberate, "
+        "regenerate tests/golden_runs.json and update docs/calibration.md"
+    )

@@ -1,0 +1,102 @@
+"""Integration tests: the assembled machine running whole workloads."""
+
+import pytest
+
+from repro.config.presets import tiny_system
+from repro.harness.runner import run_workload
+from repro.mem.access import AccessKind
+from repro.system.machine import Machine
+from repro.workloads.registry import get_workload, list_workloads
+
+
+def test_baseline_run_completes(sc_baseline_tiny):
+    r = sc_baseline_tiny
+    assert r.cycles > 0
+    assert r.transactions > 0
+    assert r.policy == "baseline"
+
+
+def test_griffin_run_completes(sc_griffin_tiny):
+    r = sc_griffin_tiny
+    assert r.cycles > 0
+    assert r.policy == "griffin"
+
+
+def test_same_trace_same_transaction_count(sc_baseline_tiny, sc_griffin_tiny):
+    assert sc_baseline_tiny.transactions == sc_griffin_tiny.transactions
+
+
+def test_every_transaction_is_serviced(sc_baseline_tiny):
+    assert sum(sc_baseline_tiny.kind_counts.values()) == sc_baseline_tiny.transactions
+
+
+def test_baseline_never_uses_cpu_dca(sc_baseline_tiny):
+    # Without DFTM there are no denials, hence no CPU DCA accesses.
+    assert sc_baseline_tiny.kind_counts[AccessKind.CPU_DCA] == 0
+    assert sc_baseline_tiny.dftm_denials == 0
+
+
+def test_baseline_never_migrates_between_gpus(sc_baseline_tiny):
+    assert sc_baseline_tiny.gpu_to_gpu_migrations == 0
+
+
+def test_griffin_uses_dftm(sc_griffin_tiny):
+    assert sc_griffin_tiny.dftm_denials > 0
+    assert sc_griffin_tiny.kind_counts[AccessKind.CPU_DCA] > 0
+
+
+def test_pages_end_up_gpu_resident(sc_baseline_tiny):
+    # The baseline migrates every touched page on first touch.
+    assert sc_baseline_tiny.occupancy.total_gpu_pages > 0
+    assert sc_baseline_tiny.occupancy.cpu_pages == 0
+
+
+def test_shootdown_accounting_consistent(sc_baseline_tiny):
+    # FCFS: one CPU shootdown round per migrated page.
+    assert sc_baseline_tiny.cpu_shootdowns == sc_baseline_tiny.cpu_to_gpu_migrations
+    assert sc_baseline_tiny.gpu_shootdowns == 0
+
+
+def test_griffin_batches_cpu_shootdowns(sc_griffin_tiny):
+    assert sc_griffin_tiny.cpu_shootdowns < sc_griffin_tiny.cpu_to_gpu_migrations
+
+
+def test_migration_events_match_page_table_counts(sc_griffin_tiny):
+    g2g = sum(1 for e in sc_griffin_tiny.migration_events if e.src >= 0)
+    assert g2g == sc_griffin_tiny.gpu_to_gpu_migrations
+
+
+@pytest.mark.parametrize("workload", list_workloads())
+def test_all_workloads_run_under_both_policies(workload):
+    cfg = tiny_system()
+    base = run_workload(workload, "baseline", config=cfg, scale=0.004, seed=2)
+    grif = run_workload(workload, "griffin", config=cfg, scale=0.004, seed=2)
+    assert base.cycles > 0 and grif.cycles > 0
+    assert base.transactions == grif.transactions
+
+
+def test_machine_rejects_incomplete_run():
+    cfg = tiny_system()
+    machine = Machine(cfg, "baseline")
+    w = get_workload("SC", scale=0.004, seed=2)
+    with pytest.raises(RuntimeError, match="without completing"):
+        machine.run(w.build_kernels(cfg.num_gpus), max_events=10)
+
+
+def test_local_fraction_in_unit_range(sc_baseline_tiny, sc_griffin_tiny):
+    for r in (sc_baseline_tiny, sc_griffin_tiny):
+        assert 0.0 <= r.local_fraction <= 1.0
+
+
+def test_three_gpu_system_works():
+    cfg = tiny_system(num_gpus=3)
+    r = run_workload("ST", "griffin", config=cfg, scale=0.004, seed=2)
+    assert len(r.occupancy.pages_per_gpu) == 3
+    assert r.cycles > 0
+
+
+def test_single_gpu_system_works():
+    # Degenerate NUMA: everything is local after first touch.
+    cfg = tiny_system(num_gpus=1)
+    r = run_workload("FIR", "baseline", config=cfg, scale=0.004, seed=2)
+    assert r.kind_counts[AccessKind.REMOTE_DCA] == 0

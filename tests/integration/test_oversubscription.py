@@ -1,0 +1,55 @@
+"""Integration tests for capacity eviction (UM oversubscription)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config.presets import tiny_system
+from repro.harness.runner import run_workload
+
+
+def capped(config, pages):
+    return replace(config, gpu=replace(config.gpu, capacity_pages=pages))
+
+
+def test_capacity_is_never_exceeded_at_end():
+    cfg = capped(tiny_system(), 12)
+    r = run_workload("KM", "baseline", config=cfg, scale=0.006, seed=5)
+    assert max(r.occupancy.pages_per_gpu) <= 12
+
+
+def test_evictions_send_pages_back_to_cpu():
+    cfg = capped(tiny_system(), 12)
+    r = run_workload("KM", "baseline", config=cfg, scale=0.006, seed=5)
+    assert r.occupancy.cpu_pages > 0
+    evictions = sum(1 for e in r.migration_events if e.dst < 0)
+    assert evictions > 0
+
+
+def test_oversubscription_increases_migration_traffic():
+    free = run_workload("KM", "baseline", config=tiny_system(), scale=0.006, seed=5)
+    tight = run_workload("KM", "baseline", config=capped(tiny_system(), 12),
+                         scale=0.006, seed=5)
+    assert tight.cpu_to_gpu_migrations > free.cpu_to_gpu_migrations
+    assert tight.cycles > free.cycles
+
+
+def test_unlimited_capacity_never_evicts():
+    r = run_workload("KM", "baseline", config=tiny_system(), scale=0.006, seed=5)
+    assert all(e.dst >= 0 for e in r.migration_events)
+
+
+def test_runs_complete_under_pressure_for_all_policies():
+    cfg = capped(tiny_system(), 10)
+    for policy in ["baseline", "griffin", "griffin_flush"]:
+        r = run_workload("ST", policy, config=cfg, scale=0.006, seed=5)
+        assert r.cycles > 0
+        assert max(r.occupancy.pages_per_gpu) <= 10
+
+
+def test_deterministic_under_eviction():
+    cfg = capped(tiny_system(), 12)
+    a = run_workload("KM", "griffin", config=cfg, scale=0.006, seed=5)
+    b = run_workload("KM", "griffin", config=cfg, scale=0.006, seed=5)
+    assert a.cycles == b.cycles
+    assert a.cpu_to_gpu_migrations == b.cpu_to_gpu_migrations

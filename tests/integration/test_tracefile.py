@@ -1,0 +1,73 @@
+"""Integration tests for trace-file save/replay."""
+
+import pytest
+
+from repro.config.presets import tiny_system
+from repro.harness.runner import run_workload
+from repro.workloads.registry import get_workload
+from repro.workloads.tracefile import TraceFileWorkload, load_trace, save_trace
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    workload = get_workload("ST", scale=0.005, seed=5)
+    kernels = workload.build_kernels(2)
+    return save_trace(kernels, tmp_path / "st.trace.json", name="ST-recorded")
+
+
+def test_round_trip_preserves_accesses(trace_path):
+    original = get_workload("ST", scale=0.005, seed=5).build_kernels(2)
+    loaded, name, page_size = load_trace(trace_path)
+    assert name == "ST-recorded"
+    assert page_size == 4096
+    flat = lambda ks: [
+        list(wf.accesses) for k in ks for wg in k.workgroups for wf in wg.wavefronts
+    ]
+    assert flat(loaded) == flat(original)
+
+
+def test_replay_matches_generated_run(trace_path):
+    generated = run_workload(
+        get_workload("ST", scale=0.005, seed=5), "griffin", config=tiny_system()
+    )
+    replayed = run_workload(
+        TraceFileWorkload(trace_path), "griffin", config=tiny_system()
+    )
+    assert replayed.cycles == generated.cycles
+    assert replayed.total_shootdowns == generated.total_shootdowns
+    assert replayed.kind_counts == generated.kind_counts
+
+
+def test_trace_workload_spec_is_derived(trace_path):
+    workload = TraceFileWorkload(trace_path)
+    assert workload.spec.suite == "trace-file"
+    assert workload.spec.pattern == "Recorded"
+    assert workload.spec.memory_mb >= 1
+
+
+def test_bad_format_rejected(tmp_path):
+    path = tmp_path / "bogus.json"
+    path.write_text('{"format": "something-else"}')
+    with pytest.raises(ValueError, match="griffin-trace"):
+        load_trace(path)
+
+
+def test_bad_version_rejected(tmp_path):
+    path = tmp_path / "bogus.json"
+    path.write_text('{"format": "griffin-trace", "version": 99}')
+    with pytest.raises(ValueError, match="version"):
+        load_trace(path)
+
+
+def test_custom_trace_runs_end_to_end(tmp_path):
+    # Hand-author a minimal two-GPU trace and run it.
+    from repro.gpu.wavefront import Kernel, WavefrontTrace, Workgroup
+
+    kernels = [Kernel(0, [
+        Workgroup(0, 0, [WavefrontTrace([(0, 0x100000, False), (50, 0x100040, True)])]),
+        Workgroup(1, 0, [WavefrontTrace([(0, 0x200000, False)])]),
+    ])]
+    path = save_trace(kernels, tmp_path / "mini.json", name="mini")
+    result = run_workload(TraceFileWorkload(path), "baseline", config=tiny_system())
+    assert result.transactions == 3
+    assert result.cycles > 0

@@ -1,0 +1,76 @@
+"""Property-based tests for the cache's structural invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.system import CacheConfig
+from repro.mem.cache import Cache
+
+addresses = st.integers(min_value=0, max_value=1 << 20)
+ops = st.lists(st.tuples(addresses, st.booleans()), max_size=200)
+
+
+def make_cache():
+    return Cache("c", CacheConfig(1024, 2, 64), 4096)
+
+
+@given(ops)
+@settings(max_examples=60)
+def test_occupancy_never_exceeds_capacity(operations):
+    cache = make_cache()
+    capacity = cache.config.num_sets * cache.config.ways
+    for addr, is_write in operations:
+        cache.access(addr, is_write)
+        assert cache.occupancy() <= capacity
+
+
+@given(ops)
+@settings(max_examples=60)
+def test_hits_plus_misses_equals_accesses(operations):
+    cache = make_cache()
+    for addr, is_write in operations:
+        cache.access(addr, is_write)
+    assert cache.hits + cache.misses == len(operations)
+
+
+@given(ops)
+@settings(max_examples=60)
+def test_immediate_reaccess_always_hits(operations):
+    cache = make_cache()
+    for addr, is_write in operations:
+        cache.access(addr, is_write)
+        assert cache.access(addr, False)
+
+
+@given(ops)
+@settings(max_examples=60)
+def test_flush_all_empties_exactly_occupancy(operations):
+    cache = make_cache()
+    for addr, is_write in operations:
+        cache.access(addr, is_write)
+    occ = cache.occupancy()
+    assert cache.flush_all() == occ
+    assert cache.occupancy() == 0
+
+
+@given(ops, st.integers(min_value=0, max_value=255))
+@settings(max_examples=60)
+def test_page_flush_removes_all_and_only_that_page(operations, page):
+    cache = make_cache()
+    for addr, is_write in operations:
+        cache.access(addr, is_write)
+    cache.flush_pages([page])
+    for addr, _ in operations:
+        if addr // 4096 == page:
+            assert not cache.contains(addr)
+
+
+@given(ops)
+@settings(max_examples=60)
+def test_page_index_matches_set_contents(operations):
+    cache = make_cache()
+    for addr, is_write in operations:
+        cache.access(addr, is_write)
+    indexed = {line for lines in cache._page_lines.values() for line in lines}
+    resident = {line for s in cache._sets for line in s}
+    assert indexed == resident

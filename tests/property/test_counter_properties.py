@@ -1,0 +1,55 @@
+"""Property-based tests for the access counter table and report math."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.access_counter import AccessCounterTable
+from repro.metrics.occupancy import imbalance_index
+from repro.metrics.report import geometric_mean
+
+
+@given(st.lists(st.integers(min_value=0, max_value=30), max_size=300),
+       st.integers(min_value=1, max_value=16))
+@settings(max_examples=60)
+def test_table_never_exceeds_capacity(pages, capacity):
+    table = AccessCounterTable(capacity=capacity)
+    for p in pages:
+        table.record(p)
+        assert len(table) <= capacity
+
+
+@given(st.lists(st.integers(min_value=0, max_value=30), max_size=300))
+@settings(max_examples=60)
+def test_counts_never_exceed_saturation(pages):
+    table = AccessCounterTable(capacity=8, max_count=15)
+    for p in pages:
+        table.record(p)
+    assert all(1 <= c <= 15 for c in table.snapshot().values())
+
+
+@given(st.lists(st.integers(min_value=0, max_value=5), max_size=100))
+@settings(max_examples=60)
+def test_unbounded_table_counts_exactly(pages):
+    table = AccessCounterTable(capacity=100, max_count=10_000)
+    for p in pages:
+        table.record(p)
+    snapshot = table.collect_and_reset()
+    for p in set(pages):
+        assert snapshot[p] == pages.count(p)
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=100, allow_nan=False),
+                min_size=1, max_size=20))
+@settings(max_examples=60)
+def test_geomean_between_min_and_max(values):
+    g = geometric_mean(values)
+    assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1000), min_size=2, max_size=8))
+@settings(max_examples=60)
+def test_imbalance_index_in_unit_interval(counts):
+    idx = imbalance_index(counts)
+    assert -1e-9 <= idx <= 1.0 + 1e-9

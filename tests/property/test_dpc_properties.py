@@ -1,0 +1,87 @@
+"""Property-based tests for DPC filter and classifier invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.hyperparams import GriffinHyperParams
+from repro.core.classification import PageClass
+from repro.core.dpc import DynamicPageClassifier
+
+NUM_GPUS = 4
+
+count_rounds = st.lists(
+    st.lists(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=8),       # page
+            st.integers(min_value=0, max_value=255),     # raw count
+            max_size=5,
+        ),
+        min_size=NUM_GPUS,
+        max_size=NUM_GPUS,
+    ),
+    max_size=25,
+)
+
+
+def make_dpc():
+    return DynamicPageClassifier(GriffinHyperParams.calibrated(), NUM_GPUS)
+
+
+@given(count_rounds)
+@settings(max_examples=60)
+def test_filtered_counts_are_nonnegative_and_bounded(rounds):
+    dpc = make_dpc()
+    for r in rounds:
+        dpc.update(r)
+    for page in range(9):
+        for c in dpc.filtered_counts(page):
+            assert 0.0 <= c <= 255.0
+
+
+@given(count_rounds)
+@settings(max_examples=60)
+def test_filtered_never_exceeds_running_max_raw(rounds):
+    dpc = make_dpc()
+    max_raw = {}
+    for r in rounds:
+        dpc.update(r)
+        for g in range(NUM_GPUS):
+            for page, raw in r[g].items():
+                key = (page, g)
+                max_raw[key] = max(max_raw.get(key, 0), raw)
+    for (page, g), peak in max_raw.items():
+        assert dpc.filtered_counts(page)[g] <= peak + 1e-9
+
+
+@given(count_rounds, st.integers(min_value=0, max_value=8),
+       st.integers(min_value=-1, max_value=NUM_GPUS - 1))
+@settings(max_examples=60)
+def test_classification_is_total(rounds, page, location):
+    dpc = make_dpc()
+    for r in rounds:
+        dpc.update(r)
+    assert dpc.classify(page, location) in PageClass
+
+
+@given(count_rounds)
+@settings(max_examples=60)
+def test_candidates_are_gpu_to_gpu_with_positive_benefit(rounds):
+    dpc = make_dpc()
+    for r in rounds:
+        dpc.update(r)
+    candidates = dpc.select_candidates(lambda p: p % NUM_GPUS)
+    for cand in candidates:
+        assert 0 <= cand.src < NUM_GPUS
+        assert 0 <= cand.dst < NUM_GPUS
+        assert cand.src != cand.dst
+        assert cand.benefit > 0
+
+
+@given(count_rounds)
+@settings(max_examples=60)
+def test_candidates_sorted_descending(rounds):
+    dpc = make_dpc()
+    for r in rounds:
+        dpc.update(r)
+    benefits = [c.benefit for c in dpc.select_candidates(lambda p: p % NUM_GPUS)]
+    assert benefits == sorted(benefits, reverse=True)

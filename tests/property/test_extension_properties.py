@@ -1,0 +1,98 @@
+"""Property-based tests for the predictive and adaptive extensions."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.hyperparams import GriffinHyperParams
+from repro.core.adaptive import AdaptiveMigrationController
+from repro.core.classification import MigrationCandidate, PageClass
+from repro.core.dpc import DynamicPageClassifier
+from repro.core.predictive import PredictiveMigration
+
+NUM_GPUS = 4
+
+
+def make_dpc():
+    return DynamicPageClassifier(GriffinHyperParams.calibrated(), NUM_GPUS)
+
+
+count_rounds = st.lists(
+    st.lists(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=6),
+            st.integers(min_value=0, max_value=255),
+            max_size=4,
+        ),
+        min_size=NUM_GPUS, max_size=NUM_GPUS,
+    ),
+    max_size=20,
+)
+
+
+@given(count_rounds)
+@settings(max_examples=50)
+def test_predictor_candidates_are_well_formed(rounds):
+    dpc = make_dpc()
+    predictor = PredictiveMigration(GriffinHyperParams.calibrated(), NUM_GPUS)
+    for r in rounds:
+        dpc.update(r)
+        predictor.observe(dpc)
+    for cand in predictor.speculative_candidates(lambda p: p % NUM_GPUS):
+        assert 0 <= cand.dst < NUM_GPUS
+        assert cand.src == cand.page % NUM_GPUS
+        assert cand.src != cand.dst
+
+
+@given(count_rounds)
+@settings(max_examples=50)
+def test_predictor_history_is_change_compressed(rounds):
+    dpc = make_dpc()
+    predictor = PredictiveMigration(GriffinHyperParams.calibrated(), NUM_GPUS)
+    for r in rounds:
+        dpc.update(r)
+        predictor.observe(dpc)
+    for history in predictor._history.values():
+        owners = history.owners
+        # No two consecutive identical owners, bounded length.
+        assert all(a != b for a, b in zip(owners, owners[1:]))
+        assert len(owners) <= 6
+        assert len(owners) == len(history.change_periods)
+
+
+adaptive_rounds = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=5),          # page
+        st.integers(min_value=0, max_value=NUM_GPUS - 1),  # dst
+        st.integers(min_value=0, max_value=NUM_GPUS - 1),  # actual accessor
+        st.integers(min_value=0, max_value=100),         # access count
+    ),
+    min_size=1, max_size=12,
+)
+
+
+@given(adaptive_rounds)
+@settings(max_examples=50)
+def test_adaptive_backoff_stays_in_bounds(entries):
+    dpc = make_dpc()
+    ctl = AdaptiveMigrationController(accumulate_periods=1, max_backoff=8)
+    for page, dst, accessor, count in entries:
+        plan = {0: [MigrationCandidate(page, 0, dst,
+                                       PageClass.MOSTLY_DEDICATED, 1.0)]}
+        ctl.note_round(plan)
+        counts = [{} for _ in range(NUM_GPUS)]
+        if count:
+            counts[accessor][page] = count
+        dpc.update(counts)
+        ctl.audit(dpc)
+        assert 1 <= ctl.backoff <= 8
+    assert ctl.hits + ctl.misses <= len(entries)
+
+
+@given(st.integers(min_value=1, max_value=16), st.integers(min_value=1, max_value=60))
+@settings(max_examples=50)
+def test_adaptive_skip_pattern_matches_backoff(backoff, rounds):
+    ctl = AdaptiveMigrationController()
+    ctl.backoff = backoff
+    decisions = [ctl.should_run_round() for _ in range(rounds)]
+    for i, decision in enumerate(decisions):
+        assert decision == (i % backoff == 0)

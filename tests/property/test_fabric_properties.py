@@ -1,0 +1,60 @@
+"""Property-based tests for fabric timing invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.system import LinkConfig
+from repro.interconnect.link import CPU_PORT, InterconnectFabric
+
+transfers = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=1e5, allow_nan=False),  # now
+        st.integers(min_value=-1, max_value=3),                   # src
+        st.integers(min_value=-1, max_value=3),                   # dst
+        st.integers(min_value=1, max_value=8192),                 # bytes
+    ),
+    max_size=60,
+)
+
+
+@given(transfers)
+@settings(max_examples=60)
+def test_arrival_never_before_latency(jobs):
+    fabric = InterconnectFabric(LinkConfig(bandwidth_gbps=32.0, latency=500), 4)
+    for now, src, dst, size in sorted(jobs):
+        arrival = fabric.transfer(now, src, dst, size)
+        if src == dst:
+            assert arrival == now
+        else:
+            assert arrival >= now + 500
+
+
+@given(transfers)
+@settings(max_examples=60)
+def test_bytes_conserved(jobs):
+    fabric = InterconnectFabric(LinkConfig(bandwidth_gbps=32.0, latency=500), 4)
+    expected = 0
+    for now, src, dst, size in sorted(jobs):
+        fabric.transfer(now, src, dst, size)
+        if src != dst:
+            expected += size
+    assert fabric.total_bytes == expected
+
+
+@given(st.integers(min_value=1, max_value=1 << 20))
+@settings(max_examples=40)
+def test_faster_fabric_never_slower(size):
+    slow = InterconnectFabric(LinkConfig(bandwidth_gbps=16.0, latency=500), 2)
+    fast = InterconnectFabric(LinkConfig(bandwidth_gbps=128.0, latency=500), 2)
+    assert fast.transfer(0, 0, 1, size) <= slow.transfer(0, 0, 1, size)
+
+
+@given(transfers)
+@settings(max_examples=60)
+def test_round_trip_at_least_two_latencies(jobs):
+    fabric = InterconnectFabric(LinkConfig(bandwidth_gbps=32.0, latency=500), 4)
+    for now, src, dst, size in sorted(jobs):
+        if src == dst:
+            continue
+        arrival = fabric.round_trip(now, src, dst, size, size)
+        assert arrival >= now + 1000

@@ -1,0 +1,130 @@
+"""End-to-end property fuzzing: random workloads through the full machine.
+
+Hypothesis generates arbitrary small kernel structures (any mix of page
+sharing, reuse, writes, and timing) and runs them under each policy; the
+machine must terminate and keep its global invariants regardless of the
+access pattern.  This is the strongest guard against policy-logic
+deadlocks (drain vs. waiter cycles) and accounting drift.
+"""
+
+from dataclasses import replace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.hyperparams import GriffinHyperParams
+from repro.config.presets import tiny_system
+from repro.gpu.wavefront import Kernel, WavefrontTrace, Workgroup
+from repro.system.machine import Machine
+
+# An access: page in a small range, line offset, delay, read/write.
+accesses = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=15),   # page
+        st.integers(min_value=0, max_value=63),   # line offset
+        st.integers(min_value=0, max_value=50),   # delay
+        st.booleans(),                            # is_write
+    ),
+    min_size=1, max_size=12,
+)
+
+workgroups = st.lists(accesses, min_size=1, max_size=6)
+kernels_strategy = st.lists(workgroups, min_size=1, max_size=3)
+
+
+def build_kernels(structure):
+    kernels = []
+    wg_id = 0
+    for k, wgs in enumerate(structure):
+        kernel = Kernel(k)
+        for wf in wgs:
+            trace = [
+                (delay, page * 4096 + offset * 64, is_write)
+                for page, offset, delay, is_write in wf
+            ]
+            kernel.workgroups.append(Workgroup(wg_id, k, [WavefrontTrace(trace)]))
+            wg_id += 1
+        kernels.append(kernel)
+    return kernels
+
+
+def fast_hyper():
+    # Aggressive periods so migration machinery actually fires on tiny runs.
+    return GriffinHyperParams.calibrated().with_overrides(
+        t_ac=300, migration_period=900, min_pages_per_source=1,
+        fault_batch_timeout=200,
+    )
+
+
+def check_invariants(machine, total_accesses, exact_issue=True):
+    assert machine.finish_time is not None
+    ap = machine.access_path
+    if exact_issue:
+        assert ap.total_issued == total_accesses
+    else:
+        # Pipeline flushes rewind wavefronts; rewound accesses re-issue.
+        assert ap.total_issued >= total_accesses
+    assert sum(ap.kind_counts.values()) == ap.total_issued
+    # No access left waiting; no partial fault batch.
+    assert machine.driver._waiters == {}
+    assert machine.driver.batcher.pending() == 0
+    # Page-table occupancy counters match actual entries.
+    pt = machine.page_table
+    for g in range(machine.num_gpus):
+        actual = sum(1 for p in pt.known_pages() if pt.location(p) == g)
+        assert pt.gpu_page_count(g) == actual
+    # Shootdown accounting is self-consistent with migrations.
+    assert machine.shootdowns.cpu_shootdowns <= pt.cpu_to_gpu_migrations
+
+
+@given(kernels_strategy)
+@settings(max_examples=40, deadline=None)
+def test_baseline_machine_invariants(structure):
+    kernels = build_kernels(structure)
+    total = sum(k.total_accesses() for k in kernels)
+    machine = Machine(tiny_system(), "baseline")
+    machine.run(kernels)
+    check_invariants(machine, total)
+
+
+@given(kernels_strategy)
+@settings(max_examples=40, deadline=None)
+def test_griffin_machine_invariants(structure):
+    kernels = build_kernels(structure)
+    total = sum(k.total_accesses() for k in kernels)
+    machine = Machine(tiny_system(), "griffin", hyper=fast_hyper())
+    machine.run(kernels)
+    check_invariants(machine, total)
+
+
+@given(kernels_strategy)
+@settings(max_examples=25, deadline=None)
+def test_griffin_flush_machine_invariants(structure):
+    kernels = build_kernels(structure)
+    total = sum(k.total_accesses() for k in kernels)
+    machine = Machine(tiny_system(), "griffin_flush", hyper=fast_hyper())
+    machine.run(kernels)
+    check_invariants(machine, total, exact_issue=False)
+
+
+@given(kernels_strategy)
+@settings(max_examples=25, deadline=None)
+def test_oversubscribed_machine_invariants(structure):
+    kernels = build_kernels(structure)
+    total = sum(k.total_accesses() for k in kernels)
+    cfg = tiny_system()
+    cfg = replace(cfg, gpu=replace(cfg.gpu, capacity_pages=3))
+    machine = Machine(cfg, "griffin", hyper=fast_hyper())
+    machine.run(kernels)
+    check_invariants(machine, total)
+    assert max(machine.page_table.gpu_page_counts()) <= 3
+
+
+@given(kernels_strategy)
+@settings(max_examples=25, deadline=None)
+def test_predictive_machine_invariants(structure):
+    kernels = build_kernels(structure)
+    total = sum(k.total_accesses() for k in kernels)
+    machine = Machine(tiny_system(), "griffin_predictive", hyper=fast_hyper())
+    machine.run(kernels)
+    check_invariants(machine, total)

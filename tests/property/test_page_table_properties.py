@@ -1,0 +1,68 @@
+"""Property-based tests for page-table occupancy invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vm.page_table import PageTable
+
+NUM_GPUS = 4
+moves = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=50),            # page
+        st.integers(min_value=-1, max_value=NUM_GPUS - 1),  # destination
+    ),
+    max_size=200,
+)
+
+
+@given(moves)
+@settings(max_examples=80)
+def test_counts_match_actual_locations(sequence):
+    pt = PageTable(NUM_GPUS, 4096)
+    for page, dst in sequence:
+        pt.migrate(page, dst)
+    for g in range(NUM_GPUS):
+        actual = sum(1 for p in pt.known_pages() if pt.location(p) == g)
+        assert pt.gpu_page_count(g) == actual
+
+
+@given(moves)
+@settings(max_examples=80)
+def test_occupancies_sum_to_one_or_zero(sequence):
+    pt = PageTable(NUM_GPUS, 4096)
+    for page, dst in sequence:
+        pt.migrate(page, dst)
+    total = sum(pt.occupancy(g) for g in range(NUM_GPUS))
+    assert total == 0.0 or abs(total - 1.0) < 1e-9
+
+
+@given(moves)
+@settings(max_examples=80)
+def test_migration_counters_are_consistent(sequence):
+    pt = PageTable(NUM_GPUS, 4096)
+    for page, dst in sequence:
+        pt.migrate(page, dst)
+    # CPU->GPU plus GPU->GPU never exceeds total (GPU->CPU makes up the rest).
+    assert pt.cpu_to_gpu_migrations + pt.gpu_to_gpu_migrations <= pt.total_migrations
+    per_page = sum(pt.entry(p).migrations for p in pt.known_pages())
+    assert per_page == pt.total_migrations
+
+
+@given(moves)
+@settings(max_examples=80)
+def test_highest_occupancy_is_argmax(sequence):
+    pt = PageTable(NUM_GPUS, 4096)
+    for page, dst in sequence:
+        pt.migrate(page, dst)
+    counts = pt.gpu_page_counts()
+    peak = max(counts)
+    assert pt.highest_occupancy_gpus() == [g for g in range(NUM_GPUS) if counts[g] == peak]
+
+
+@given(moves)
+@settings(max_examples=80)
+def test_per_page_migration_count_never_negative(sequence):
+    pt = PageTable(NUM_GPUS, 4096)
+    for page, dst in sequence:
+        entry = pt.migrate(page, dst)
+        assert entry.migrations >= 0

@@ -1,0 +1,51 @@
+"""Property-based tests for TLB invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.system import TLBConfig
+from repro.vm.tlb import TLB
+
+pages = st.integers(min_value=0, max_value=500)
+
+
+@given(st.lists(pages, max_size=200))
+@settings(max_examples=60)
+def test_occupancy_bounded_by_capacity(inserts):
+    tlb = TLB("t", TLBConfig(4, 4))
+    for p in inserts:
+        tlb.insert(p, 0)
+    assert tlb.occupancy() <= tlb.config.capacity
+
+
+@given(st.lists(pages, max_size=100))
+@settings(max_examples=60)
+def test_insert_then_lookup_hits(inserts):
+    tlb = TLB("t", TLBConfig(4, 4))
+    for p in inserts:
+        tlb.insert(p, 0)
+        assert tlb.lookup(p)
+
+
+@given(st.lists(pages, max_size=100), st.sets(pages, max_size=20))
+@settings(max_examples=60)
+def test_invalidated_pages_never_hit(inserts, to_invalidate):
+    tlb = TLB("t", TLBConfig(4, 4))
+    for p in inserts:
+        tlb.insert(p, 0)
+    tlb.invalidate_pages(to_invalidate)
+    hits_before = tlb.hits
+    for p in to_invalidate:
+        assert not tlb.lookup(p)
+    assert tlb.hits == hits_before
+
+
+@given(st.lists(pages, max_size=100))
+@settings(max_examples=60)
+def test_flush_all_then_nothing_hits(inserts):
+    tlb = TLB("t", TLBConfig(4, 4))
+    for p in inserts:
+        tlb.insert(p, 0)
+    tlb.flush_all()
+    for p in set(inserts):
+        assert not tlb.lookup(p)

@@ -1,0 +1,77 @@
+"""Unit tests for the DPC per-Shader-Engine access counter table."""
+
+import pytest
+
+from repro.gpu.access_counter import AccessCounterTable
+
+
+def test_records_and_counts():
+    t = AccessCounterTable(capacity=10)
+    t.record(5)
+    t.record(5)
+    t.record(6)
+    assert t.snapshot() == {5: 2, 6: 1}
+
+
+def test_counter_saturates_at_max():
+    t = AccessCounterTable(capacity=4, max_count=3)
+    for _ in range(10):
+        t.record(1)
+    assert t.snapshot()[1] == 3
+
+
+def test_paper_saturation_value():
+    t = AccessCounterTable()
+    assert t.max_count == 255
+    assert t.capacity == 100
+
+
+def test_collect_and_reset_clears_table():
+    t = AccessCounterTable(capacity=4)
+    t.record(1)
+    counts = t.collect_and_reset()
+    assert counts == {1: 1}
+    assert len(t) == 0
+    assert t.snapshot() == {}
+
+
+def test_full_table_evicts_coldest_singleton():
+    t = AccessCounterTable(capacity=2)
+    t.record(1)
+    t.record(1)
+    t.record(2)  # count 1 -> eviction candidate
+    t.record(3)  # evicts page 2 (count 1)
+    assert 1 in t.snapshot()
+    assert 3 in t.snapshot()
+    assert 2 not in t.snapshot()
+    assert t.evicted == 1
+
+
+def test_full_table_drops_newcomer_when_victims_are_hot():
+    t = AccessCounterTable(capacity=2)
+    for _ in range(3):
+        t.record(1)
+        t.record(2)
+    t.record(3)  # both entries have count 3 > 1 -> newcomer dropped
+    assert 3 not in t.snapshot()
+    assert t.dropped == 1
+
+
+def test_recorded_counter_includes_drops():
+    t = AccessCounterTable(capacity=1)
+    t.record(1)
+    t.record(1)
+    t.record(2)
+    assert t.recorded == 3
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        AccessCounterTable(capacity=0)
+
+
+def test_len_tracks_entries():
+    t = AccessCounterTable(capacity=10)
+    t.record(1)
+    t.record(2)
+    assert len(t) == 2

@@ -1,0 +1,117 @@
+"""Direct unit tests of MemoryAccessPath behaviors on a tiny machine."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config.presets import tiny_system
+from repro.gpu.wavefront import Kernel, WavefrontTrace, Workgroup
+from repro.mem.access import AccessKind
+from repro.system.machine import Machine
+
+
+def run_kernels(machine, accesses_by_wg, kernels=1):
+    ks = []
+    wg_id = 0
+    for k in range(kernels):
+        wgs = []
+        for acc in accesses_by_wg[k] if kernels > 1 else accesses_by_wg:
+            wgs.append(Workgroup(wg_id, k, [WavefrontTrace(acc)]))
+            wg_id += 1
+        ks.append(Kernel(k, wgs))
+    machine.run(ks)
+    return machine
+
+
+def test_kind_counts_partition_transactions():
+    machine = Machine(tiny_system(), "griffin")
+    run_kernels(machine, [[(0, 0x100000, False), (10, 0x100040, False)],
+                          [(0, 0x200000, True)]])
+    counts = machine.access_path.kind_counts
+    assert sum(counts.values()) == machine.access_path.total_issued == 3
+
+
+def test_l1_tlb_hit_counter():
+    machine = Machine(tiny_system(), "baseline")
+    run_kernels(machine, [[(0, 0x100000, False), (5, 0x100040, False),
+                           (5, 0x100080, False)]])
+    assert machine.access_path.l1_tlb_hits == 2
+    assert machine.access_path.iommu_trips == 1
+
+
+def test_l2_tlb_hit_after_cu_switch():
+    machine = Machine(tiny_system(), "baseline")
+    # WG0 on GPU0/CU0 faults the page in kernel 0.
+    k0 = Kernel(0, [Workgroup(0, 0, [WavefrontTrace([(0, 0x100000, False)])])])
+    # Kernel 1's first workgroup also lands on GPU0, but the dispatcher's
+    # CU rotation puts it on the *other* CU: L1 TLB cold, L2 TLB warm.
+    k1 = Kernel(1, [Workgroup(1, 1, [WavefrontTrace([(0, 0x100040, False)])])])
+    machine.run([k0, k1])
+    assert machine.access_path.l2_tlb_hits >= 1
+
+
+def test_remote_cache_write_invalidates_local_copy():
+    cfg = tiny_system()
+    cfg = replace(cfg, gpu=cfg.gpu.with_remote_cache(16))
+    machine = Machine(cfg, "baseline")
+    addr = 0x100000
+    k0 = Kernel(0, [Workgroup(0, 0, [WavefrontTrace([(0, addr, False)])]),
+                    Workgroup(1, 0, [WavefrontTrace([(0, 0x900000, False)])])])
+    # GPU1: read (fills carve), write (invalidates), read (refills remotely).
+    k1 = Kernel(1, [Workgroup(2, 1, [WavefrontTrace([(0, 0x900040, False)])]),
+                    Workgroup(3, 1, [WavefrontTrace([
+                        (0, addr, False), (10, addr, True), (10, addr, False),
+                    ])])])
+    machine.run([k0, k1])
+    counts = machine.access_path.kind_counts
+    # GPU1's read/write/read of GPU0's page all go remote (the write
+    # dropped the cached copy), plus GPU0's one access to GPU1's page.
+    assert counts[AccessKind.REMOTE_DCA] == 4
+    assert counts[AccessKind.REMOTE_CACHE] == 0
+
+
+def test_remote_cache_read_hit_counts_once():
+    cfg = tiny_system()
+    cfg = replace(cfg, gpu=cfg.gpu.with_remote_cache(16))
+    machine = Machine(cfg, "baseline")
+    addr = 0x100000
+    k0 = Kernel(0, [Workgroup(0, 0, [WavefrontTrace([(0, addr, False)])]),
+                    Workgroup(1, 0, [WavefrontTrace([(0, 0x900000, False)])])])
+    k1 = Kernel(1, [Workgroup(2, 1, [WavefrontTrace([(0, 0x900040, False)])]),
+                    Workgroup(3, 1, [WavefrontTrace([
+                        (0, addr, False), (10, addr, False),
+                    ])])])
+    machine.run([k0, k1])
+    counts = machine.access_path.kind_counts
+    # GPU1's first read goes remote and fills the carve-out; its second
+    # read hits it.  GPU0's access to GPU1's page is the other remote.
+    assert counts[AccessKind.REMOTE_DCA] == 2
+    assert counts[AccessKind.REMOTE_CACHE] == 1
+
+
+def test_local_fraction_counts_remote_cache_as_local():
+    cfg = tiny_system()
+    cfg = replace(cfg, gpu=cfg.gpu.with_remote_cache(16))
+    machine = Machine(cfg, "baseline")
+    addr = 0x100000
+    k0 = Kernel(0, [Workgroup(0, 0, [WavefrontTrace([(0, addr, False)])]),
+                    Workgroup(1, 0, [WavefrontTrace([(0, 0x900000, False)])])])
+    k1 = Kernel(1, [Workgroup(2, 1, [WavefrontTrace([(0, 0x900040, False)])]),
+                    Workgroup(3, 1, [WavefrontTrace([
+                        (0, addr, False), (10, addr, False),
+                    ])])])
+    machine.run([k0, k1])
+    ap = machine.access_path
+    counted_local = (
+        ap.kind_counts[AccessKind.LOCAL]
+        + ap.kind_counts[AccessKind.FAULT_MIGRATE]
+        + ap.kind_counts[AccessKind.REMOTE_CACHE]
+    )
+    assert ap.local_fraction() == pytest.approx(counted_local / ap.total_issued)
+
+
+def test_timeline_records_every_issue():
+    machine = Machine(tiny_system(), "baseline")
+    run_kernels(machine, [[(0, 0x100000, False), (5, 0x100040, True)]])
+    page = 0x100000 // 4096
+    assert machine.timeline.total_accesses(page) == 2

@@ -1,0 +1,119 @@
+"""Unit tests for the adaptive migration throttle."""
+
+from repro.config.hyperparams import GriffinHyperParams
+from repro.core.adaptive import AdaptiveMigrationController
+from repro.core.classification import MigrationCandidate, PageClass
+from repro.core.dpc import DynamicPageClassifier
+
+NUM_GPUS = 4
+
+
+def make():
+    dpc = DynamicPageClassifier(GriffinHyperParams.calibrated(), NUM_GPUS)
+    ctl = AdaptiveMigrationController(accumulate_periods=2)
+    return dpc, ctl
+
+
+def plan_for(pages_dsts):
+    return {
+        0: [MigrationCandidate(p, 0, d, PageClass.MOSTLY_DEDICATED, 1.0)
+            for p, d in pages_dsts]
+    }
+
+
+def feed(dpc, page_counts):
+    """page_counts: {page: {gpu: count}}."""
+    rounds = [{} for _ in range(NUM_GPUS)]
+    for page, per_gpu in page_counts.items():
+        for g, c in per_gpu.items():
+            rounds[g][page] = c
+    dpc.update(rounds)
+
+
+def test_starts_at_full_cadence():
+    _, ctl = make()
+    assert ctl.backoff == 1
+    assert ctl.should_run_round()
+
+
+def test_probation_budget_until_first_audit():
+    _, ctl = make()
+    assert ctl.page_budget() is not None
+    ctl.rounds_audited = 1
+    assert ctl.page_budget() is None
+
+
+def test_hits_keep_full_cadence():
+    dpc, ctl = make()
+    ctl.note_round(plan_for([(1, 2)]))
+    # The destination GPU keeps accessing the page.
+    feed(dpc, {1: {2: 50}})
+    ctl.audit(dpc)
+    feed(dpc, {1: {2: 50}})
+    ctl.audit(dpc)
+    assert ctl.rounds_audited == 1
+    assert ctl.hit_rate == 1.0
+    assert ctl.backoff == 1
+    assert ctl.corrections == []
+
+
+def test_misses_double_backoff_and_issue_corrections():
+    dpc, ctl = make()
+    ctl.note_round(plan_for([(1, 2)]))
+    # A different GPU dominates the page after the move.
+    feed(dpc, {1: {0: 50}})
+    ctl.audit(dpc)
+    feed(dpc, {1: {0: 50}})
+    ctl.audit(dpc)
+    assert ctl.backoff == 2
+    assert ctl.take_corrections() == [(1, 0)]
+    assert ctl.take_corrections() == []  # drained
+
+
+def test_untouched_pages_are_ungraded():
+    dpc, ctl = make()
+    ctl.note_round(plan_for([(1, 2)]))
+    feed(dpc, {})
+    ctl.audit(dpc)
+    feed(dpc, {})
+    ctl.audit(dpc)
+    assert ctl.rounds_audited == 0
+    assert ctl.backoff == 1
+
+
+def test_backoff_skips_rounds():
+    _, ctl = make()
+    ctl.backoff = 4
+    decisions = [ctl.should_run_round() for _ in range(8)]
+    assert decisions == [True, False, False, False, True, False, False, False]
+    assert ctl.rounds_skipped == 6
+
+
+def test_recovery_halves_backoff():
+    dpc, ctl = make()
+    ctl.backoff = 4
+    ctl.note_round(plan_for([(1, 2)]))
+    feed(dpc, {1: {2: 50}})
+    ctl.audit(dpc)
+    feed(dpc, {1: {2: 50}})
+    ctl.audit(dpc)
+    assert ctl.backoff == 2
+
+
+def test_backoff_capped():
+    dpc, ctl = make()
+    ctl.max_backoff = 4
+    for _ in range(5):
+        ctl.note_round(plan_for([(1, 2)]))
+        feed(dpc, {1: {0: 50}})
+        ctl.audit(dpc)
+        feed(dpc, {1: {0: 50}})
+        ctl.audit(dpc)
+    assert ctl.backoff == 4
+
+
+def test_backed_off_controller_keeps_probation_budget():
+    _, ctl = make()
+    ctl.rounds_audited = 3
+    ctl.backoff = 4
+    assert ctl.page_budget() is not None

@@ -1,0 +1,34 @@
+"""Unit tests for address-space conventions."""
+
+from repro.vm.address import CPU_DEVICE, Translation, page_base, page_id, page_shift
+
+
+def test_cpu_device_is_negative():
+    assert CPU_DEVICE == -1
+
+
+def test_page_shift_4kb():
+    assert page_shift(4096) == 12
+
+
+def test_page_id_and_base_roundtrip():
+    addr = 5 * 4096 + 123
+    page = page_id(addr, 4096)
+    assert page == 5
+    assert page_base(page, 4096) == 5 * 4096
+
+
+def test_page_id_2mb_pages():
+    two_mb = 2 * 1024 * 1024
+    assert page_id(3 * two_mb + 1, two_mb) == 3
+
+
+def test_translation_locality():
+    t = Translation(page=10, device=2, cacheable=True)
+    assert t.is_local_to(2)
+    assert not t.is_local_to(1)
+
+
+def test_cpu_translation_not_local_to_any_gpu():
+    t = Translation(page=10, device=CPU_DEVICE, cacheable=False)
+    assert not t.is_local_to(0)

@@ -1,0 +1,87 @@
+"""Unit tests for analysis internals (gini, phase clustering, verdicts)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.migration import MigrationVerdict
+from repro.analysis.phases import PhaseReport, detect_phases
+from repro.analysis.sharing import SharingProfile, _gini
+from repro.harness.results import RunResult
+from repro.mem.access import AccessKind
+from repro.metrics.occupancy import OccupancySnapshot
+from repro.metrics.timeline import MigrationEvent
+
+
+class TestGini:
+    def test_empty_is_zero(self):
+        assert _gini([]) == 0.0
+
+    def test_uniform_is_zero(self):
+        assert _gini([5, 5, 5, 5]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentration_raises_gini(self):
+        assert _gini([1, 1, 1, 100]) > _gini([10, 10, 10, 10])
+
+    def test_single_value_is_zero(self):
+        assert _gini([42]) == pytest.approx(0.0, abs=1e-9)
+
+    @given(st.lists(st.integers(min_value=1, max_value=1000),
+                    min_size=1, max_size=50))
+    @settings(max_examples=60)
+    def test_gini_in_unit_interval(self, values):
+        g = _gini(values)
+        assert -1e-9 <= g <= 1.0
+
+    @given(st.lists(st.integers(min_value=1, max_value=1000),
+                    min_size=1, max_size=50),
+           st.integers(min_value=2, max_value=5))
+    @settings(max_examples=60)
+    def test_gini_is_scale_invariant(self, values, factor):
+        assert _gini(values) == pytest.approx(_gini([v * factor for v in values]))
+
+
+def make_result(events, cycles=100_000):
+    return RunResult(
+        workload="X", policy="griffin", cycles=cycles, transactions=1,
+        occupancy=OccupancySnapshot((1, 1)), cpu_shootdowns=0,
+        gpu_shootdowns=0, cpu_to_gpu_migrations=0, gpu_to_gpu_migrations=0,
+        dftm_denials=0, kind_counts={k: 0 for k in AccessKind},
+        local_fraction=0.0,
+        migration_events=[MigrationEvent(t, 1, 0, 1) for t in events],
+    )
+
+
+class TestPhaseClustering:
+    def test_single_event_single_burst(self):
+        report = detect_phases(make_result([500.0]))
+        assert report.bursts == [(500.0, 500.0, 1)]
+
+    def test_gap_splits_bursts(self):
+        report = detect_phases(make_result([0, 10, 20, 90_000]), gap_cycles=1000)
+        assert report.num_bursts == 2
+        assert report.bursts[0][2] == 3
+        assert report.bursts[1][2] == 1
+
+    def test_events_within_gap_merge(self):
+        report = detect_phases(make_result([0, 500, 1000]), gap_cycles=1000)
+        assert report.num_bursts == 1
+
+    def test_quiet_fraction_bounds(self):
+        report = detect_phases(make_result([0, 50_000]), gap_cycles=1000)
+        assert 0.0 <= report.quiet_fraction <= 1.0
+
+    def test_unsorted_events_are_handled(self):
+        report = detect_phases(make_result([50_000, 0, 25_000]),
+                               gap_cycles=1000)
+        covered = sum(c for _, _, c in report.bursts)
+        assert covered == 3
+        starts = [s for s, _, _ in report.bursts]
+        assert starts == sorted(starts)
+
+
+class TestVerdictEnum:
+    def test_three_verdicts(self):
+        assert {v.value for v in MigrationVerdict} == {
+            "justified", "neutral", "wasted"
+        }

@@ -1,0 +1,114 @@
+"""Unit tests for the set-associative cache."""
+
+from repro.config.system import CacheConfig
+from repro.mem.cache import Cache
+
+
+def make_cache(size=1024, ways=2, line=64, page=4096):
+    return Cache("c", CacheConfig(size, ways, line), page)
+
+
+def test_miss_installs_line():
+    c = make_cache()
+    assert not c.access(0, False)
+    assert c.access(0, False)
+    assert c.hits == 1
+    assert c.misses == 1
+
+
+def test_same_line_different_offsets_hit():
+    c = make_cache()
+    c.access(0, False)
+    assert c.access(63, False)
+    assert not c.access(64, False)
+
+
+def test_lru_eviction_within_set():
+    c = make_cache(size=256, ways=2, line=64)  # 2 sets
+    set_stride = 2 * 64  # same set every 2 lines
+    c.access(0 * set_stride, False)
+    c.access(1 * set_stride, False)
+    c.access(2 * set_stride, False)  # evicts first
+    assert not c.contains(0)
+    assert c.evictions == 1
+
+
+def test_contains_does_not_update_stats():
+    c = make_cache()
+    c.access(0, False)
+    hits, misses = c.hits, c.misses
+    assert c.contains(0)
+    assert not c.contains(4096)
+    assert (c.hits, c.misses) == (hits, misses)
+
+
+def test_flush_pages_targeted():
+    c = make_cache()
+    c.access(0, False)            # page 0
+    c.access(4096, False)         # page 1
+    flushed, dirty = c.flush_pages([0])
+    assert flushed == 1
+    assert dirty == 0
+    assert not c.contains(0)
+    assert c.contains(4096)
+
+
+def test_flush_reports_dirty_lines():
+    c = make_cache()
+    c.access(0, True)             # write -> dirty
+    c.access(64, False)
+    flushed, dirty = c.flush_pages([0])
+    assert flushed == 2
+    assert dirty == 1
+
+
+def test_write_marks_existing_line_dirty():
+    c = make_cache()
+    c.access(0, False)
+    c.access(0, True)
+    _, dirty = c.flush_pages([0])
+    assert dirty == 1
+
+
+def test_flush_missing_page_is_noop():
+    c = make_cache()
+    c.access(0, False)
+    flushed, dirty = c.flush_pages([99])
+    assert flushed == 0 and dirty == 0
+
+
+def test_flush_all():
+    c = make_cache()
+    for i in range(4):
+        c.access(i * 64, False)
+    assert c.flush_all() == 4
+    assert c.occupancy() == 0
+
+
+def test_page_index_consistent_after_eviction():
+    c = make_cache(size=128, ways=1, line=64)  # 2 sets, direct-mapped
+    c.access(0, False)          # set 0, page 0
+    c.access(128, False)        # set 0 again, evicts line 0
+    flushed, _ = c.flush_pages([0])
+    assert flushed == 1  # only line 128's entry remains for page 0
+
+
+def test_hit_rate():
+    c = make_cache()
+    c.access(0, False)
+    c.access(0, False)
+    c.access(64, False)
+    assert c.hit_rate() == 1 / 3
+
+
+def test_hit_rate_empty():
+    assert make_cache().hit_rate() == 0.0
+
+
+def test_flushed_lines_counter():
+    c = make_cache()
+    c.access(0, False)
+    c.flush_pages([0])
+    c.access(64, False)
+    c.flush_all()
+    assert c.flushed_lines == 2

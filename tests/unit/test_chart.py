@@ -1,0 +1,57 @@
+"""Unit tests for the ASCII chart renderers."""
+
+from repro.metrics.chart import bar_chart, grouped_bar_chart
+
+
+class TestBarChart:
+    def test_empty_returns_title(self):
+        assert bar_chart({}, "T") == "T"
+
+    def test_bars_scale_to_max(self):
+        out = bar_chart({"a": 1.0, "b": 2.0}, width=10)
+        lines = out.split("\n")
+        assert lines[1].count("#") == 10  # b is the max
+        assert lines[0].count("#") == 5
+
+    def test_values_printed(self):
+        out = bar_chart({"x": 1.234}, fmt="{:.1f}")
+        assert "1.2" in out
+
+    def test_labels_aligned(self):
+        out = bar_chart({"a": 1.0, "long": 1.0})
+        lines = out.split("\n")
+        assert lines[0].index("#") == lines[1].index("#")
+
+    def test_reference_marker_in_empty_region(self):
+        out = bar_chart({"a": 0.5, "b": 2.0}, width=10, reference=1.0)
+        a_line = out.split("\n")[0]
+        assert "|" in a_line
+
+    def test_zero_values_are_safe(self):
+        out = bar_chart({"a": 0.0, "b": 0.0})
+        assert "a" in out and "b" in out
+
+    def test_title_included(self):
+        assert bar_chart({"a": 1.0}, title="Speedup").startswith("Speedup")
+
+
+class TestGroupedBarChart:
+    def test_empty(self):
+        assert grouped_bar_chart({}, "T") == "T"
+
+    def test_groups_and_series_rendered(self):
+        out = grouped_bar_chart(
+            {"MT": {"base": 1.0, "griffin": 2.5},
+             "PR": {"base": 1.0, "griffin": 0.9}},
+            width=10,
+        )
+        assert "MT:" in out and "PR:" in out
+        assert "griffin" in out
+
+    def test_shared_scale_across_groups(self):
+        out = grouped_bar_chart(
+            {"g1": {"s": 2.0}, "g2": {"s": 1.0}}, width=10
+        )
+        lines = [l for l in out.split("\n") if "#" in l]
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5

@@ -1,0 +1,192 @@
+"""Unit tests for the Compute Unit: issue chains, in-flight buffer, drain."""
+
+import pytest
+
+from repro.config.presets import tiny_system
+from repro.gpu.compute_unit import ComputeUnit
+from repro.gpu.wavefront import WavefrontTrace, Workgroup
+from repro.sim.engine import Engine
+
+
+class FakeMemory:
+    """Completes every transaction a fixed latency after issue."""
+
+    def __init__(self, engine, latency=10, page_size=4096):
+        self.engine = engine
+        self.latency = latency
+        self.page_size = page_size
+        self.issued = []
+        self.cu = None
+
+    def issue(self, txn, on_complete):
+        txn.page = txn.address // self.page_size
+        self.cu.note_translated(txn)
+        self.issued.append(txn)
+        self.engine.schedule(self.latency, on_complete, txn, self.engine.now + self.latency)
+
+
+@pytest.fixture
+def setup():
+    engine = Engine()
+    cfg = tiny_system()
+    mem = FakeMemory(engine)
+    completed = []
+    cu = ComputeUnit(
+        engine, 0, 0, 0, cfg.gpu, cfg.timing, mem.issue, completed.append
+    )
+    mem.cu = cu
+    return engine, cu, mem, completed
+
+
+def make_wg(wg_id, accesses_per_wf, wavefronts=1, delay=5, base=0):
+    wfs = [
+        WavefrontTrace([(delay, base + (w * 100 + i) * 64, False) for i in range(accesses_per_wf)])
+        for w in range(wavefronts)
+    ]
+    return Workgroup(wg_id, 0, wfs)
+
+
+def test_workgroup_runs_to_completion(setup):
+    engine, cu, mem, completed = setup
+    cu.enqueue_workgroup(make_wg(0, 3), 0)
+    engine.run()
+    assert len(completed) == 1
+    assert len(mem.issued) == 3
+    assert cu.idle()
+
+
+def test_accesses_issue_sequentially_per_wavefront(setup):
+    engine, cu, mem, completed = setup
+    cu.enqueue_workgroup(make_wg(0, 2, delay=5), 0)
+    engine.run()
+    first, second = mem.issued
+    # Second access issues after the first completes (+10) plus delay (5).
+    assert second.issue_time == first.issue_time + 15
+
+
+def test_wavefronts_interleave(setup):
+    engine, cu, mem, completed = setup
+    cu.enqueue_workgroup(make_wg(0, 1, wavefronts=3), 0)
+    engine.run()
+    issue_times = {t.issue_time for t in mem.issued}
+    assert len(issue_times) == 1  # all three issue concurrently
+
+
+def test_concurrent_workgroup_limit(setup):
+    engine, cu, mem, completed = setup
+    limit = cu.config.concurrent_workgroups_per_cu
+    for i in range(limit + 2):
+        cu.enqueue_workgroup(make_wg(i, 1), 0)
+    engine.run(until=1)
+    assert len(cu._running_wgs) <= limit
+    engine.run()
+    assert len(completed) == limit + 2
+
+
+def test_inflight_buffer_bounds_outstanding(setup):
+    engine, cu, mem, completed = setup
+    wide = make_wg(0, 1, wavefronts=cu.config.max_inflight_per_cu + 3)
+    cu.enqueue_workgroup(wide, 0)
+    engine.run(until=6)
+    assert len(cu.outstanding) <= cu.config.max_inflight_per_cu
+    engine.run()
+    assert len(completed) == 1
+
+
+def test_empty_workgroup_completes_immediately(setup):
+    engine, cu, mem, completed = setup
+    cu.enqueue_workgroup(Workgroup(0, 0, []), 0)
+    engine.run()
+    assert completed and not mem.issued
+
+
+def test_drain_immediate_when_no_overlap(setup):
+    engine, cu, mem, completed = setup
+    drained = []
+    cu.enqueue_workgroup(make_wg(0, 2, base=0), 0)
+
+    def request():
+        cu.request_drain({9999}, lambda: drained.append(engine.now))
+
+    engine.schedule(7, request)
+    engine.run()
+    assert drained  # fired
+    assert cu.stats.get("drain_immediate") == 1
+
+
+def test_drain_waits_for_overlapping_transactions(setup):
+    engine, cu, mem, completed = setup
+    drained = []
+    cu.enqueue_workgroup(make_wg(0, 1, delay=0, base=0), 0)  # page 0
+
+    def request():
+        assert cu.outstanding  # the access is in flight
+        cu.request_drain({0}, lambda: drained.append(engine.now))
+
+    engine.schedule(5, request)
+    engine.run()
+    assert drained
+    assert drained[0] >= 10  # after the in-flight access completed
+
+
+def test_drain_pauses_issue_until_resume(setup):
+    engine, cu, mem, completed = setup
+    cu.enqueue_workgroup(make_wg(0, 3, delay=0), 0)
+
+    def request():
+        cu.request_drain({9999}, lambda: None)
+
+    engine.schedule(6, request)  # after first access is in flight
+    engine.run()
+    assert not completed  # stuck: paused mid-workgroup
+    issued_while_paused = len(mem.issued)
+    cu.resume()
+    engine.run()
+    assert len(mem.issued) == 3
+    assert completed
+    assert issued_while_paused < 3
+
+
+def test_flush_discards_and_pays_replay(setup):
+    engine, cu, mem, completed = setup
+    flushed_at = []
+    cu.enqueue_workgroup(make_wg(0, 2, delay=0), 0)
+
+    def request():
+        n = len(cu.outstanding)
+        assert n == 1
+        cu.request_flush(lambda: flushed_at.append(engine.now))
+
+    engine.schedule(5, request)
+    engine.run()
+    timing = cu.timing
+    # Completion at t=10, then flush penalty + 1 replayed transaction.
+    expected = 10 + timing.gpu_flush_cycles + timing.gpu_flush_replay_per_txn
+    assert flushed_at == [expected]
+
+
+def test_flush_with_empty_pipeline_is_fixed_cost(setup):
+    engine, cu, mem, completed = setup
+    flushed_at = []
+    cu.request_flush(lambda: flushed_at.append(engine.now))
+    engine.run()
+    assert flushed_at == [cu.timing.gpu_flush_cycles]
+
+
+def test_inflight_pages_reflects_buffer(setup):
+    engine, cu, mem, completed = setup
+    cu.enqueue_workgroup(make_wg(0, 1, base=0), 0)
+    engine.run(until=6)
+    assert cu.inflight_pages() == {0}
+    engine.run()
+    assert cu.inflight_pages() == set()
+
+
+def test_stats_counters(setup):
+    engine, cu, mem, completed = setup
+    cu.enqueue_workgroup(make_wg(0, 4), 0)
+    engine.run()
+    assert cu.stat("transactions_issued") == 4
+    assert cu.stat("transactions_completed") == 4
+    assert cu.stat("workgroups_started") == 1
+    assert cu.stat("workgroups_completed") == 1

@@ -1,0 +1,128 @@
+"""Unit tests for CPMS: fault batching and migration planning."""
+
+import pytest
+
+from repro.config.hyperparams import GriffinHyperParams
+from repro.core.classification import MigrationCandidate, PageClass
+from repro.core.cpms import FaultBatcher, MigrationPlanner
+from repro.sim.engine import Engine
+
+
+def cand(page, src, dst, benefit=1.0):
+    return MigrationCandidate(page, src, dst, PageClass.MOSTLY_DEDICATED, benefit)
+
+
+class TestFaultBatcher:
+    def test_batch_releases_when_full(self):
+        engine = Engine()
+        batches = []
+        b = FaultBatcher(engine, 3, 1000, batches.append)
+        for i in range(3):
+            b.add(i)
+        assert batches == [[0, 1, 2]]
+        assert b.pending() == 0
+
+    def test_batch_size_one_is_fcfs(self):
+        engine = Engine()
+        batches = []
+        b = FaultBatcher(engine, 1, 1000, batches.append)
+        b.add("a")
+        b.add("b")
+        assert batches == [["a"], ["b"]]
+
+    def test_partial_batch_flushes_on_timeout(self):
+        engine = Engine()
+        batches = []
+        b = FaultBatcher(engine, 8, 500, batches.append)
+        b.add("x")
+        engine.run()
+        assert engine.now == 500
+        assert batches == [["x"]]
+
+    def test_timeout_cancelled_when_batch_fills(self):
+        engine = Engine()
+        batches = []
+        b = FaultBatcher(engine, 2, 500, batches.append)
+        b.add(1)
+        b.add(2)
+        engine.run()
+        assert batches == [[1, 2]]  # no empty timeout batch afterwards
+
+    def test_second_batch_restarts_timeout(self):
+        engine = Engine()
+        batches = []
+        b = FaultBatcher(engine, 2, 500, batches.append)
+        b.add(1)
+        b.add(2)
+        b.add(3)
+        engine.run()
+        assert batches == [[1, 2], [3]]
+
+    def test_drain_forces_partial_batch(self):
+        engine = Engine()
+        batches = []
+        b = FaultBatcher(engine, 8, 500, batches.append)
+        b.add(1)
+        b.drain()
+        assert batches == [[1]]
+
+    def test_counters(self):
+        engine = Engine()
+        b = FaultBatcher(engine, 2, 500, lambda batch: None)
+        b.add(1)
+        b.add(2)
+        b.add(3)
+        assert b.faults_enqueued == 3
+        assert b.batches_flushed == 1
+
+    def test_rejects_zero_batch_size(self):
+        with pytest.raises(ValueError):
+            FaultBatcher(Engine(), 0, 500, lambda b: None)
+
+
+class TestMigrationPlanner:
+    def make(self, **overrides):
+        return MigrationPlanner(
+            GriffinHyperParams.calibrated().with_overrides(**overrides)
+        )
+
+    def test_empty_candidates_empty_plan(self):
+        assert self.make().plan([]) == {}
+
+    def test_groups_by_source(self):
+        planner = self.make(min_pages_per_source=1)
+        plan = planner.plan([cand(1, 0, 1), cand(2, 0, 2), cand(3, 1, 0)])
+        assert set(plan) == {0, 1}
+        assert len(plan[0]) == 2
+
+    def test_page_budget_enforced(self):
+        planner = self.make(max_pages_per_round=2, min_pages_per_source=1)
+        plan = planner.plan([cand(i, 0, 1, benefit=i) for i in range(5)])
+        chosen = [c.page for cands in plan.values() for c in cands]
+        assert len(chosen) == 2
+        assert set(chosen) == {4, 3}  # highest benefit first
+
+    def test_source_cap_prefers_highest_benefit_sources(self):
+        planner = self.make(max_source_gpus_per_round=1, min_pages_per_source=1)
+        plan = planner.plan([
+            cand(1, 0, 1, benefit=1.0),
+            cand(2, 2, 1, benefit=100.0),
+        ])
+        assert set(plan) == {2}
+
+    def test_min_pages_per_source_filters_thin_sources(self):
+        planner = self.make(min_pages_per_source=3)
+        plan = planner.plan([cand(1, 0, 1), cand(2, 0, 1)])
+        assert plan == {}
+
+    def test_min_pages_per_source_admits_thick_sources(self):
+        planner = self.make(min_pages_per_source=2)
+        plan = planner.plan([cand(1, 0, 1), cand(2, 0, 1), cand(3, 1, 0)])
+        assert set(plan) == {0}
+
+    def test_deferred_accounting(self):
+        planner = self.make(max_pages_per_round=1, min_pages_per_source=1)
+        planner.plan([cand(1, 0, 1), cand(2, 0, 1)])
+        assert planner.candidates_deferred == 1
+        assert planner.pages_planned == 1
+        assert planner.rounds_planned == 1

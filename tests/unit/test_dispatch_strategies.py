@@ -1,0 +1,78 @@
+"""Unit tests for dispatcher assignment strategies."""
+
+import pytest
+
+from repro.config.hyperparams import GriffinHyperParams
+from repro.config.presets import tiny_system
+from repro.gpu.dispatcher import DISPATCH_STRATEGIES, Dispatcher
+from repro.gpu.gpu import GPU
+from repro.gpu.wavefront import Kernel, WavefrontTrace, Workgroup
+from repro.sim.engine import Engine
+
+
+def make_system(strategy):
+    engine = Engine()
+    cfg = tiny_system()
+    issued = []
+
+    def issue_fn(txn, cb):
+        txn.page = txn.address // cfg.page_size
+        issued.append(txn)
+        engine.schedule(10, cb, txn, engine.now + 10)
+
+    gpus = []
+    dispatcher = Dispatcher(engine, gpus, 0, None, strategy=strategy)
+    for g in range(cfg.num_gpus):
+        gpus.append(GPU(engine, g, cfg.gpu, cfg.timing, GriffinHyperParams(),
+                        cfg.page_size, issue_fn, dispatcher.workgroup_complete))
+    return engine, dispatcher, issued
+
+
+def make_kernel(num_wgs):
+    wgs = [Workgroup(i, 0, [WavefrontTrace([(1, i * 4096, False)])])
+           for i in range(num_wgs)]
+    return Kernel(0, wgs)
+
+
+def test_strategy_registry():
+    assert "round_robin" in DISPATCH_STRATEGIES
+    assert "chunked" in DISPATCH_STRATEGIES
+
+
+def test_unknown_strategy_rejected():
+    with pytest.raises(ValueError, match="strategy"):
+        make_system("zigzag")
+
+
+def test_round_robin_interleaves():
+    engine, dispatcher, issued = make_system("round_robin")
+    dispatcher.run_kernels([make_kernel(6)])
+    engine.run()
+    by_wg = {t.workgroup_id: t.gpu_id for t in issued}
+    assert [by_wg[i] for i in range(6)] == [0, 1, 0, 1, 0, 1]
+
+
+def test_chunked_keeps_blocks_together():
+    engine, dispatcher, issued = make_system("chunked")
+    dispatcher.run_kernels([make_kernel(6)])
+    engine.run()
+    by_wg = {t.workgroup_id: t.gpu_id for t in issued}
+    assert [by_wg[i] for i in range(6)] == [0, 0, 0, 1, 1, 1]
+
+
+def test_chunked_uneven_counts_stay_in_range():
+    engine, dispatcher, issued = make_system("chunked")
+    dispatcher.run_kernels([make_kernel(5)])
+    engine.run()
+    gpus = {t.gpu_id for t in issued}
+    assert gpus <= {0, 1}
+    assert len(issued) == 5
+
+
+def test_both_strategies_complete_all_work():
+    for strategy in DISPATCH_STRATEGIES:
+        engine, dispatcher, issued = make_system(strategy)
+        dispatcher.run_kernels([make_kernel(8)])
+        engine.run()
+        assert len(issued) == 8
+        assert dispatcher.finish_time is not None

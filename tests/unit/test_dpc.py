@@ -1,0 +1,188 @@
+"""Unit tests for Dynamic Page Classification (EWMA filter + 5 classes)."""
+
+import pytest
+
+from repro.config.hyperparams import GriffinHyperParams
+from repro.core.classification import PageClass
+from repro.core.dpc import DynamicPageClassifier
+
+
+def make(num_gpus=4, **overrides):
+    hyper = GriffinHyperParams.calibrated().with_overrides(**overrides)
+    return DynamicPageClassifier(hyper, num_gpus), hyper
+
+
+def feed(dpc, num_gpus, rounds):
+    """rounds: list of dict gpu -> {page: count}."""
+    for r in rounds:
+        dpc.update([r.get(g, {}) for g in range(num_gpus)])
+
+
+class TestFilter:
+    def test_ewma_formula(self):
+        dpc, hyper = make()
+        dpc.update([{1: 100}, {}, {}, {}])
+        assert dpc.filtered_counts(1)[0] == pytest.approx(hyper.alpha * 100)
+
+    def test_ewma_converges_to_steady_rate(self):
+        dpc, hyper = make()
+        for _ in range(200):
+            dpc.update([{1: 50}, {}, {}, {}])
+        assert dpc.filtered_counts(1)[0] == pytest.approx(50, rel=0.01)
+
+    def test_ewma_decays_when_page_goes_cold(self):
+        dpc, hyper = make()
+        dpc.update([{1: 100}, {}, {}, {}])
+        hot = dpc.filtered_counts(1)[0]
+        dpc.update([{}, {}, {}, {}])
+        assert dpc.filtered_counts(1)[0] == pytest.approx(hot * (1 - hyper.alpha))
+
+    def test_cold_pages_are_forgotten(self):
+        dpc, hyper = make(alpha=0.5)
+        dpc.update([{1: 2}, {}, {}, {}])
+        for _ in range(50):
+            dpc.update([{}, {}, {}, {}])
+        assert dpc.tracked_pages() == 0
+
+    def test_unknown_page_has_zero_counts(self):
+        dpc, _ = make()
+        assert dpc.filtered_counts(999) == [0.0] * 4
+
+    def test_wrong_gpu_count_rejected(self):
+        dpc, _ = make()
+        with pytest.raises(ValueError):
+            dpc.update([{}, {}])
+
+    def test_updates_counter(self):
+        dpc, _ = make()
+        dpc.update([{}, {}, {}, {}])
+        assert dpc.updates == 1
+
+
+class TestClassification:
+    def _steady(self, dpc, per_gpu_counts, rounds=60):
+        for _ in range(rounds):
+            dpc.update([{1: c} if c else {} for c in per_gpu_counts])
+
+    def test_mostly_dedicated(self):
+        dpc, _ = make()
+        self._steady(dpc, [100, 10, 0, 0])
+        assert dpc.classify(1, 1) == PageClass.MOSTLY_DEDICATED
+
+    def test_shared(self):
+        dpc, _ = make()
+        self._steady(dpc, [50, 45, 48, 47])
+        assert dpc.classify(1, 0) == PageClass.SHARED
+
+    def test_streaming_low_rate(self):
+        dpc, hyper = make()
+        # One small burst, then silence: the filtered count decays below
+        # the streaming floor while the page is still tracked.
+        dpc.update([{1: 3}, {}, {}, {}])
+        dpc.update([{}, {}, {}, {}])
+        top = max(dpc.filtered_counts(1))
+        assert 0 < top < hyper.lambda_t * hyper.t_ac
+        assert dpc.classify(1, 0) == PageClass.STREAMING
+
+    def test_untracked_page_out_of_interest(self):
+        dpc, _ = make()
+        assert dpc.classify(42, 0) == PageClass.OUT_OF_INTEREST
+
+    def test_dedicated_boundary_respects_lambda_d(self):
+        dpc, hyper = make()
+        # ratio just below lambda_d (=2.0): not dedicated.
+        self._steady(dpc, [100, 51, 0, 0])
+        assert dpc.classify(1, 0) != PageClass.MOSTLY_DEDICATED
+        dpc2, _ = make()
+        self._steady(dpc2, [100, 49, 0, 0])
+        assert dpc2.classify(1, 0) == PageClass.MOSTLY_DEDICATED
+
+    def test_shared_boundary_respects_lambda_s(self):
+        dpc, hyper = make()
+        # ratio just above lambda_s (=1.3): not shared.
+        self._steady(dpc, [140, 100, 0, 0])
+        assert dpc.classify(1, 0) != PageClass.SHARED
+
+    def test_owner_shifting_detected(self):
+        dpc, _ = make()
+        # Owner (GPU0) hot for a while, then GPU2 takes over.  During the
+        # early crossover the count ratio still exceeds lambda_d (the page
+        # classifies Mostly Dedicated, per the paper's precedence); once
+        # the ratio falls between lambda_s and lambda_d with opposing
+        # trends, the page is Owner-Shifting.
+        self._steady(dpc, [100, 0, 0, 0], rounds=40)
+        dpc.update([{1: 20}, {}, {1: 80}, {}])
+        dpc.update([{1: 10}, {}, {1: 90}, {}])
+        assert dpc.classify(1, 0) == PageClass.MOSTLY_DEDICATED
+        dpc.update([{1: 10}, {}, {1: 90}, {}])
+        assert dpc.classify(1, 0) == PageClass.OWNER_SHIFTING
+
+    def test_stable_page_is_not_owner_shifting(self):
+        dpc, _ = make()
+        self._steady(dpc, [100, 60, 0, 0], rounds=60)
+        assert dpc.classify(1, 0) != PageClass.OWNER_SHIFTING
+
+    def test_cpu_located_page_never_owner_shifting(self):
+        dpc, _ = make()
+        self._steady(dpc, [100, 0, 0, 0], rounds=40)
+        dpc.update([{1: 10}, {1: 90}, {}, {}])
+        assert dpc._is_owner_shifting(dpc._pages[1], -1) is False
+
+
+class TestCandidates:
+    def _steady(self, dpc, counts_by_page, rounds=60):
+        for _ in range(rounds):
+            dpc.update([
+                {p: counts[g] for p, counts in counts_by_page.items() if counts[g]}
+                for g in range(4)
+            ])
+
+    def test_dedicated_page_on_wrong_gpu_is_candidate(self):
+        dpc, _ = make()
+        self._steady(dpc, {1: [100, 5, 0, 0]})
+        cands = dpc.select_candidates(lambda p: 3)
+        assert len(cands) == 1
+        assert cands[0].page == 1
+        assert cands[0].src == 3
+        assert cands[0].dst == 0
+        assert cands[0].page_class == PageClass.MOSTLY_DEDICATED
+
+    def test_dedicated_page_on_right_gpu_stays(self):
+        dpc, _ = make()
+        self._steady(dpc, {1: [100, 5, 0, 0]})
+        assert dpc.select_candidates(lambda p: 0) == []
+
+    def test_cpu_resident_pages_are_not_dpc_business(self):
+        dpc, _ = make()
+        self._steady(dpc, {1: [100, 5, 0, 0]})
+        assert dpc.select_candidates(lambda p: -1) == []
+
+    def test_shared_page_on_cold_gpu_moves(self):
+        dpc, _ = make()
+        self._steady(dpc, {1: [50, 45, 48, 0]})
+        cands = dpc.select_candidates(lambda p: 3)  # resident share 0
+        assert cands and cands[0].dst == 0
+
+    def test_shared_page_on_reasonably_hot_gpu_stays(self):
+        dpc, _ = make()
+        self._steady(dpc, {1: [50, 45, 48, 40]})
+        assert dpc.select_candidates(lambda p: 3) == []
+
+    def test_streaming_page_never_candidate(self):
+        dpc, hyper = make()
+        rate = max(0, int(hyper.lambda_t * hyper.t_ac) - 1)
+        self._steady(dpc, {1: [rate, 0, 0, 0]})
+        assert dpc.select_candidates(lambda p: 2) == []
+
+    def test_candidates_sorted_by_benefit(self):
+        dpc, _ = make()
+        self._steady(dpc, {1: [100, 0, 0, 0], 2: [30, 0, 0, 0]})
+        cands = dpc.select_candidates(lambda p: 1)
+        assert [c.page for c in cands] == [1, 2]
+        assert cands[0].benefit > cands[1].benefit
+
+    def test_class_counts_accumulate(self):
+        dpc, _ = make()
+        self._steady(dpc, {1: [100, 5, 0, 0]})
+        dpc.select_candidates(lambda p: 0)
+        assert dpc.class_counts[PageClass.MOSTLY_DEDICATED] >= 1

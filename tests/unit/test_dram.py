@@ -1,0 +1,63 @@
+"""Unit tests for the HBM DRAM model."""
+
+import pytest
+
+from repro.config.system import DRAMConfig
+from repro.mem.dram import DRAM
+
+
+def make_dram(channels=2, bpc=32.0, latency=200):
+    return DRAM("d", DRAMConfig(channels=channels, bytes_per_cycle=bpc, latency=latency))
+
+
+def test_access_pays_latency_plus_serialization():
+    d = make_dram()
+    assert d.access(0, 0, 64) == pytest.approx(202.0)
+
+
+def test_lines_interleave_across_channels():
+    d = make_dram(channels=2)
+    assert d.channel_for(0) is not d.channel_for(64)
+    assert d.channel_for(0) is d.channel_for(128)
+
+
+def test_same_channel_accesses_serialize():
+    d = make_dram(channels=2)
+    first = d.access(0, 0, 64)
+    second = d.access(0, 128, 64)  # same channel as address 0
+    assert second == first + 2.0
+
+
+def test_different_channels_do_not_serialize():
+    d = make_dram(channels=2)
+    a = d.access(0, 0, 64)
+    b = d.access(0, 64, 64)
+    assert a == b
+
+
+def test_bulk_read_uses_all_channels():
+    d = make_dram(channels=4, bpc=32.0)
+    # 4096 bytes over 4 channels at 32 B/cy = 32 cycles + latency.
+    assert d.bulk_read(0, 0, 4096) == pytest.approx(232.0)
+
+
+def test_total_bytes():
+    d = make_dram()
+    d.access(0, 0, 64)
+    d.bulk_read(0, 0, 128)
+    assert d.total_bytes() == 192
+
+
+def test_access_counter():
+    d = make_dram()
+    d.access(0, 0, 64)
+    d.access(0, 64, 64)
+    assert d.accesses == 2
+
+
+def test_utilization_bounded():
+    d = make_dram()
+    d.access(0, 0, 64)
+    u = d.utilization(100)
+    assert 0.0 <= u <= 1.0
+    assert d.utilization(0) == 0.0

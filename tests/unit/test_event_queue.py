@@ -1,0 +1,82 @@
+"""Unit tests for the event queue."""
+
+from repro.sim.event import Event, EventQueue
+
+
+def _noop():
+    pass
+
+
+def test_push_pop_orders_by_time():
+    q = EventQueue()
+    q.push(Event(5.0, _noop))
+    q.push(Event(1.0, _noop))
+    q.push(Event(3.0, _noop))
+    times = [q.pop().time for _ in range(3)]
+    assert times == [1.0, 3.0, 5.0]
+
+
+def test_priority_breaks_time_ties():
+    q = EventQueue()
+    a = Event(2.0, _noop, priority=1)
+    b = Event(2.0, _noop, priority=0)
+    q.push(a)
+    q.push(b)
+    assert q.pop() is b
+    assert q.pop() is a
+
+
+def test_fifo_among_equal_time_and_priority():
+    q = EventQueue()
+    events = [Event(1.0, _noop) for _ in range(5)]
+    for e in events:
+        q.push(e)
+    popped = [q.pop() for _ in range(5)]
+    assert popped == events
+
+
+def test_cancelled_events_are_skipped():
+    q = EventQueue()
+    keep = Event(1.0, _noop)
+    drop = Event(0.5, _noop)
+    q.push(keep)
+    q.push(drop)
+    drop.cancel()
+    assert q.pop() is keep
+    assert q.pop() is None
+
+
+def test_peek_time_skips_cancelled():
+    q = EventQueue()
+    drop = Event(0.5, _noop)
+    q.push(drop)
+    q.push(Event(2.0, _noop))
+    drop.cancel()
+    assert q.peek_time() == 2.0
+
+
+def test_len_counts_live_events_only():
+    q = EventQueue()
+    e1 = q.push(Event(1.0, _noop))
+    q.push(Event(2.0, _noop))
+    e1.cancel()
+    assert len(q) == 1
+
+
+def test_empty_queue_behaviour():
+    q = EventQueue()
+    assert q.pop() is None
+    assert q.peek_time() is None
+    assert not q
+    assert len(q) == 0
+
+
+def test_bool_true_when_live_events():
+    q = EventQueue()
+    q.push(Event(1.0, _noop))
+    assert q
+
+
+def test_event_repr_contains_time():
+    e = Event(7.0, _noop)
+    assert "7" in repr(e)

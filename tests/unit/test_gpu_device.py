@@ -1,0 +1,82 @@
+"""Unit tests for the assembled GPU device."""
+
+import pytest
+
+from repro.config.hyperparams import GriffinHyperParams
+from repro.config.presets import small_system, tiny_system
+from repro.gpu.gpu import GPU
+from repro.sim.engine import Engine
+
+
+@pytest.fixture
+def gpu():
+    cfg = tiny_system()
+    return GPU(Engine(), 0, cfg.gpu, cfg.timing, GriffinHyperParams(),
+               cfg.page_size, lambda txn, cb: None, lambda wg: None)
+
+
+def test_cu_count_matches_config(gpu):
+    assert len(gpu.all_cus()) == gpu.config.num_cus
+
+
+def test_cu_lookup_by_global_index(gpu):
+    for i in range(gpu.config.num_cus):
+        assert gpu.cu(i).cu_id == i
+
+
+def test_se_of_cu_mapping():
+    cfg = small_system()
+    g = GPU(Engine(), 1, cfg.gpu, cfg.timing, GriffinHyperParams(),
+            cfg.page_size, lambda txn, cb: None, lambda wg: None)
+    assert g.se_of_cu(0) == 0
+    assert g.se_of_cu(cfg.gpu.cus_per_se) == 1
+
+
+def test_one_l1_tlb_per_cu(gpu):
+    assert len(gpu.l1_tlbs) == gpu.config.num_cus
+
+
+def test_record_and_collect_access_counts(gpu):
+    gpu.record_se_access(0, 42)
+    gpu.record_se_access(0, 42)
+    gpu.record_se_access(1, 42)
+    counts = gpu.collect_access_counts()
+    assert counts[42] >= 2
+    assert gpu.collect_access_counts() == {}  # reset after collection
+
+
+def test_counts_merge_across_shader_engines():
+    cfg = small_system()  # 2 SEs x 4 CUs
+    g = GPU(Engine(), 0, cfg.gpu, cfg.timing, GriffinHyperParams(),
+            cfg.page_size, lambda txn, cb: None, lambda wg: None)
+    g.record_se_access(0, 7)      # SE 0
+    g.record_se_access(4, 7)      # SE 1
+    assert g.collect_access_counts()[7] == 2
+
+
+def test_counter_message_bytes_paper_sizing(gpu):
+    # The paper: a message covering 20 pages takes 110 bytes.
+    for p in range(20):
+        gpu.record_se_access(0, p)
+    assert gpu.counter_message_bytes() == 110
+    for p in range(20, 25):
+        gpu.record_se_access(0, p)
+    assert gpu.counter_message_bytes() == 220
+
+
+def test_invalidate_tlb_pages_counts_entries(gpu):
+    gpu.l2_tlb.insert(1, 0)
+    gpu.l1_tlbs[0].insert(1, 0)
+    gpu.l1_tlbs[1].insert(2, 0)
+    assert gpu.invalidate_tlb_pages([1]) == 2
+
+
+def test_flush_all_tlbs(gpu):
+    gpu.l2_tlb.insert(1, 0)
+    gpu.l1_tlbs[0].insert(2, 0)
+    assert gpu.flush_all_tlbs() == 2
+    assert gpu.l2_tlb.occupancy() == 0
+
+
+def test_idle_initially(gpu):
+    assert gpu.idle()

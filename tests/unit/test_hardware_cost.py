@@ -1,0 +1,49 @@
+"""Unit tests for the Section V hardware-cost model."""
+
+from repro.config.hyperparams import GriffinHyperParams
+from repro.config.system import SystemConfig
+from repro.core.hardware_cost import estimate_hardware_cost
+
+
+def test_paper_dpc_storage_is_2200_bytes_per_gpu():
+    report = estimate_hardware_cost(SystemConfig(), GriffinHyperParams())
+    assert report.dpc_bytes_per_gpu == 2200
+
+
+def test_entry_is_44_bits():
+    report = estimate_hardware_cost(SystemConfig(), GriffinHyperParams())
+    assert report.dpc_bits_per_entry == 36 + 8
+
+
+def test_per_se_is_550_bytes():
+    report = estimate_hardware_cost(SystemConfig(), GriffinHyperParams())
+    assert report.dpc_bytes_per_se == 550
+
+
+def test_system_total_scales_with_gpus():
+    report = estimate_hardware_cost(SystemConfig(num_gpus=8), GriffinHyperParams())
+    assert report.dpc_bytes_total == 8 * 2200
+
+
+def test_dftm_is_one_bit_per_page():
+    report = estimate_hardware_cost(
+        SystemConfig(), GriffinHyperParams(), footprint_pages=8000
+    )
+    assert report.dftm_bits_per_page == 1
+    assert report.dftm_bytes_for_footprint == 1000
+
+
+def test_acud_one_comparator_per_cu():
+    report = estimate_hardware_cost(SystemConfig(), GriffinHyperParams())
+    assert report.acud_comparators_per_gpu == 36
+
+
+def test_cpms_has_no_hardware():
+    report = estimate_hardware_cost(SystemConfig(), GriffinHyperParams())
+    assert report.cpms_hardware_bytes == 0
+
+
+def test_rows_render():
+    rows = estimate_hardware_cost(SystemConfig(), GriffinHyperParams()).rows()
+    assert any("2200 B" in cost for _, cost in rows)
+    assert any("64-bit" in cost for _, cost in rows)

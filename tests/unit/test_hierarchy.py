@@ -1,0 +1,115 @@
+"""Unit tests for the per-GPU memory hierarchy."""
+
+import pytest
+
+from repro.config.presets import tiny_system
+from repro.mem.hierarchy import GPUMemoryHierarchy
+
+
+@pytest.fixture
+def hierarchy():
+    cfg = tiny_system()
+    return GPUMemoryHierarchy(0, cfg.gpu, cfg.timing, cfg.page_size)
+
+
+def test_l1_hit_is_fast(hierarchy):
+    cold = hierarchy.local_access(0, 0, 0x1000, False)
+    warm = hierarchy.local_access(cold, 0, 0x1000, False)
+    assert warm - cold == hierarchy.config.l1v.latency
+
+
+def test_l1_miss_goes_to_l2_then_dram(hierarchy):
+    cold = hierarchy.local_access(0, 0, 0x2000, False)
+    # Cold access must at least pay L1 + xbar + L2 + DRAM latency.
+    min_cost = (
+        hierarchy.config.l1v.latency
+        + hierarchy.config.xbar_latency
+        + hierarchy.config.l2.latency
+        + hierarchy.config.dram.latency
+    )
+    assert cold >= min_cost
+
+
+def test_l2_hit_after_other_cu_warmed_it(hierarchy):
+    hierarchy.local_access(0, 0, 0x3000, False)   # CU0 warms L1(0) + L2
+    t = hierarchy.local_access(1000, 1, 0x3000, False)  # CU1: L1 miss, L2 hit
+    assert t - 1000 < hierarchy.config.dram.latency
+
+
+def test_per_cu_l1_caches_are_private(hierarchy):
+    hierarchy.local_access(0, 0, 0x4000, False)
+    assert hierarchy.l1v[0].contains(0x4000)
+    assert not hierarchy.l1v[1].contains(0x4000)
+
+
+def test_remote_service_skips_l1(hierarchy):
+    hierarchy.remote_service(0, 0x5000, False)
+    assert not any(c.contains(0x5000) for c in hierarchy.l1v)
+    assert any(c.contains(0x5000) for c in hierarchy.l2)
+
+
+def test_remote_service_counter(hierarchy):
+    hierarchy.remote_service(0, 0x5000, False)
+    assert hierarchy.remote_services == 1
+    assert hierarchy.local_accesses == 0
+
+
+def test_flush_pages_clears_l1_and_l2(hierarchy):
+    page = 0x6000 // 4096
+    hierarchy.local_access(0, 0, 0x6000, True)
+    lines, dirty = hierarchy.flush_pages([page])
+    assert lines >= 2  # the line exists in both L1 and L2
+    assert dirty >= 1
+    assert not hierarchy.l1v[0].contains(0x6000)
+
+
+def test_flush_all(hierarchy):
+    hierarchy.local_access(0, 0, 0x7000, False)
+    assert hierarchy.flush_all() >= 2
+    assert not any(c.occupancy() for c in hierarchy.l1v)
+    assert not any(c.occupancy() for c in hierarchy.l2)
+
+
+def test_targeted_flush_cost_scales_with_lines(hierarchy):
+    assert hierarchy.targeted_flush_cost(10) == 10 * hierarchy.timing.l2_flush_per_line
+
+
+def test_l2_slices_interleave_by_line(hierarchy):
+    a = hierarchy._l2_slice(0)
+    b = hierarchy._l2_slice(64)
+    assert a is not b
+
+
+class TestMshrMerging:
+    def test_concurrent_same_line_misses_merge(self, hierarchy):
+        a = hierarchy.local_access(0, 0, 0x8000, False)
+        # A second CU misses the same line while the fill is in flight.
+        b = hierarchy.local_access(1, 1, 0x8000, False)
+        assert b == a
+        assert hierarchy.mshr_merges == 1
+
+    def test_merge_does_not_reissue_dram_access(self, hierarchy):
+        before = hierarchy.dram.accesses
+        hierarchy.local_access(0, 0, 0x8000, False)
+        hierarchy.local_access(1, 1, 0x8000, False)
+        assert hierarchy.dram.accesses == before + 1
+
+    def test_fill_completed_misses_do_not_merge(self, hierarchy):
+        first = hierarchy.local_access(0, 0, 0x8000, False)
+        # Long after the fill landed (and the line was evicted from the
+        # small caches), a new miss issues its own fill.
+        hierarchy.flush_all()
+        second = hierarchy.local_access(first + 10_000, 0, 0x8000, False)
+        assert second > first
+        assert hierarchy.mshr_merges == 0
+
+    def test_different_lines_do_not_merge(self, hierarchy):
+        hierarchy.local_access(0, 0, 0x8000, False)
+        hierarchy.local_access(0, 1, 0x8040, False)
+        assert hierarchy.mshr_merges == 0
+
+    def test_remote_service_merges_with_local_fill(self, hierarchy):
+        a = hierarchy.local_access(0, 0, 0x8000, False)
+        b = hierarchy.remote_service(0, 0x8000, False)
+        assert b == a
+        assert hierarchy.mshr_merges == 1

@@ -1,0 +1,90 @@
+"""Unit tests for the IOMMU translation path."""
+
+import pytest
+
+from repro.config.system import IOMMUConfig, LinkConfig
+from repro.interconnect.arbiter import BiasedArbiter
+from repro.interconnect.link import InterconnectFabric
+from repro.mem.access import MemoryTransaction
+from repro.sim.engine import Engine
+from repro.vm.iommu import IOMMU
+
+
+@pytest.fixture
+def setup():
+    engine = Engine()
+    fabric = InterconnectFabric(LinkConfig(bandwidth_gbps=32.0, latency=100), 2)
+    arbiter = BiasedArbiter(2)
+    iommu = IOMMU(engine, IOMMUConfig(num_walkers=2, walk_latency=200),
+                  fabric, arbiter)
+    resolved = []
+    iommu.resolver = lambda txn, walk_done, cb: resolved.append(
+        (txn, walk_done, engine.now)
+    )
+    return engine, iommu, resolved
+
+
+def txn(gpu=0, page=5):
+    t = MemoryTransaction(gpu_id=gpu, se_id=0, cu_id=0,
+                          address=page * 4096, is_write=False, issue_time=0.0)
+    t.page = page
+    return t
+
+
+def test_requires_resolver():
+    engine = Engine()
+    fabric = InterconnectFabric(LinkConfig(), 2)
+    iommu = IOMMU(engine, IOMMUConfig(), fabric, BiasedArbiter(2))
+    with pytest.raises(RuntimeError, match="resolver"):
+        iommu.translate(txn(), 0, lambda *a: None)
+
+
+def test_translation_pays_link_and_walk(setup):
+    engine, iommu, resolved = setup
+    iommu.translate(txn(), 0, lambda *a: None)
+    engine.run()
+    assert len(resolved) == 1
+    _, walk_done, fired_at = resolved[0]
+    # 100 link latency + 200 walk at minimum.
+    assert walk_done >= 300
+    assert fired_at == pytest.approx(walk_done)
+
+
+def test_walkers_limit_concurrency(setup):
+    engine, iommu, resolved = setup
+    for i in range(4):
+        iommu.translate(txn(page=i), 0, lambda *a: None)
+    engine.run()
+    walk_dones = sorted(w for _, w, _ in resolved)
+    # 2 walkers: jobs 3 and 4 queue behind 1 and 2.
+    assert walk_dones[2] >= walk_dones[0] + 200
+    assert walk_dones[3] >= walk_dones[1] + 200
+
+
+def test_translation_request_counter(setup):
+    engine, iommu, resolved = setup
+    iommu.translate(txn(), 0, lambda *a: None)
+    iommu.translate(txn(gpu=1), 0, lambda *a: None)
+    engine.run()
+    assert iommu.stat("translation_requests") == 2
+
+
+def test_arbiter_grants_recorded(setup):
+    engine, iommu, resolved = setup
+    iommu.translate(txn(gpu=1), 0, lambda *a: None)
+    engine.run()
+    assert iommu.arbiter.grants[1] == 1
+
+
+def test_request_time_respected(setup):
+    engine, iommu, resolved = setup
+    iommu.translate(txn(), 1000, lambda *a: None)
+    engine.run()
+    _, walk_done, _ = resolved[0]
+    assert walk_done >= 1300
+
+
+def test_reply_time_crosses_fabric_back(setup):
+    engine, iommu, resolved = setup
+    reply = iommu.reply_time(500, 1)
+    assert reply >= 600  # 100 cycles of latency at least

@@ -1,0 +1,75 @@
+"""Unit tests for the inter-device fabric."""
+
+import pytest
+
+from repro.config.system import LinkConfig
+from repro.interconnect.link import CPU_PORT, InterconnectFabric
+
+
+def make_fabric(bw=32.0, latency=500, num_gpus=4):
+    return InterconnectFabric(LinkConfig(bandwidth_gbps=bw, latency=latency), num_gpus)
+
+
+def test_transfer_pays_latency_and_serialization():
+    f = make_fabric()
+    # 64 B at 32 B/cy: 2 cy tx + 2 cy rx + 500 latency.
+    assert f.transfer(0, 0, 1, 64) == pytest.approx(504.0)
+
+
+def test_transfer_to_self_is_free():
+    f = make_fabric()
+    assert f.transfer(100, 2, 2, 4096) == 100
+
+
+def test_sender_tx_serializes():
+    f = make_fabric()
+    a = f.transfer(0, 0, 1, 64)
+    b = f.transfer(0, 0, 2, 64)
+    assert b > a
+
+
+def test_different_senders_do_not_serialize_on_tx():
+    f = make_fabric()
+    a = f.transfer(0, 0, 2, 64)
+    b = f.transfer(0, 1, 3, 64)
+    assert a == b
+
+
+def test_receiver_rx_serializes():
+    f = make_fabric()
+    a = f.transfer(0, 0, 2, 6400)
+    b = f.transfer(0, 1, 2, 6400)
+    assert b > a
+
+
+def test_cpu_port_exists():
+    f = make_fabric()
+    assert f.port(CPU_PORT).name == "link.cpu"
+
+
+def test_round_trip():
+    f = make_fabric()
+    t = f.round_trip(0, 0, CPU_PORT, 64, 64)
+    # Two crossings: at least 2 * latency.
+    assert t >= 1000
+
+
+def test_bandwidth_affects_page_transfer_time():
+    slow = make_fabric(bw=32.0)
+    fast = make_fabric(bw=128.0)
+    assert slow.transfer(0, 0, 1, 4096) > fast.transfer(0, 0, 1, 4096)
+
+
+def test_stats_counters():
+    f = make_fabric()
+    f.transfer(0, 0, 1, 4096)
+    assert f.transfers == 1
+    assert f.total_bytes == 4096
+
+
+def test_port_utilization():
+    f = make_fabric()
+    f.transfer(0, 0, 1, 3200)  # 100 cycles of tx serialization
+    tx, rx = f.port_utilization(0, 1000)
+    assert tx == pytest.approx(0.1)
+    assert rx == 0.0

@@ -1,0 +1,124 @@
+"""Unit tests for metrics: occupancy, timeline, report math."""
+
+import pytest
+
+from repro.metrics.occupancy import OccupancySnapshot, imbalance_index
+from repro.metrics.report import format_table, geometric_mean, normalize, speedup
+from repro.metrics.timeline import MigrationEvent, PageAccessTimeline
+
+
+class TestOccupancy:
+    def test_percentages_sum_to_100(self):
+        snap = OccupancySnapshot((10, 20, 30, 40))
+        assert sum(snap.percentages()) == pytest.approx(100.0)
+
+    def test_percentages_empty(self):
+        assert OccupancySnapshot((0, 0)).percentages() == [0.0, 0.0]
+
+    def test_max_share(self):
+        assert OccupancySnapshot((10, 30)).max_share() == pytest.approx(0.75)
+        assert OccupancySnapshot((0, 0)).max_share() == 0.0
+
+    def test_imbalance_uniform_is_zero(self):
+        assert imbalance_index([25, 25, 25, 25]) == pytest.approx(0.0)
+
+    def test_imbalance_all_on_one_is_one(self):
+        assert imbalance_index([100, 0, 0, 0]) == pytest.approx(1.0)
+
+    def test_imbalance_monotone(self):
+        assert imbalance_index([40, 20, 20, 20]) < imbalance_index([70, 10, 10, 10])
+
+    def test_imbalance_degenerate_cases(self):
+        assert imbalance_index([0, 0]) == 0.0
+        assert imbalance_index([5]) == 0.0
+
+
+class TestTimeline:
+    def test_totals_accumulate(self):
+        tl = PageAccessTimeline(2)
+        tl.record(0, 0, 7)
+        tl.record(10, 1, 7)
+        tl.record(20, 1, 7)
+        assert tl.per_gpu_totals(7) == [1, 2]
+        assert tl.total_accesses(7) == 3
+
+    def test_unknown_page_zero(self):
+        tl = PageAccessTimeline(2)
+        assert tl.total_accesses(9) == 0
+        assert tl.per_gpu_totals(9) == [0, 0]
+
+    def test_hottest_pages_ranked(self):
+        tl = PageAccessTimeline(2)
+        for _ in range(3):
+            tl.record(0, 0, 1)
+        tl.record(0, 0, 2)
+        assert tl.hottest_pages(2) == [1, 2]
+
+    def test_hottest_shared_requires_multiple_gpus(self):
+        tl = PageAccessTimeline(2)
+        for _ in range(10):
+            tl.record(0, 0, 1)   # single-GPU page
+        tl.record(0, 0, 2)
+        tl.record(0, 1, 2)       # shared page
+        assert tl.hottest_shared_pages(1) == [2]
+
+    def test_hottest_shifting_excludes_uniform_and_single(self):
+        tl = PageAccessTimeline(4)
+        for g in range(4):       # perfectly uniform page
+            for _ in range(25):
+                tl.record(0, g, 1)
+        for _ in range(100):     # single-GPU page
+            tl.record(0, 0, 2)
+        for _ in range(60):      # shifting-style page: 60/40 split
+            tl.record(0, 0, 3)
+        for _ in range(40):
+            tl.record(0, 1, 3)
+        assert tl.hottest_shifting_pages(1) == [3]
+
+    def test_series_only_for_watched_pages(self):
+        tl = PageAccessTimeline(2, bucket_cycles=100, watch_pages=[5])
+        tl.record(50, 0, 5)
+        tl.record(150, 1, 5)
+        tl.record(50, 0, 6)
+        assert tl.series(5) == [(0, [1, 0]), (100, [0, 1])]
+        assert tl.series(6) == []
+
+    def test_series_percentages(self):
+        tl = PageAccessTimeline(2, bucket_cycles=100, watch_pages=[5])
+        tl.record(0, 0, 5)
+        tl.record(1, 0, 5)
+        tl.record(2, 1, 5)
+        (_, pct), = tl.series_percentages(5)
+        assert pct == pytest.approx([200 / 3, 100 / 3])
+
+    def test_migration_event_fields(self):
+        e = MigrationEvent(100.0, 7, -1, 2)
+        assert e.src == -1 and e.dst == 2
+
+
+class TestReport:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_normalize(self):
+        assert normalize([2.0, 4.0], 2.0) == [1.0, 2.0]
+        with pytest.raises(ValueError):
+            normalize([1.0], 0.0)
+
+    def test_speedup(self):
+        assert speedup(200, 100) == 2.0
+        with pytest.raises(ValueError):
+            speedup(100, 0)
+
+    def test_format_table_alignment(self):
+        out = format_table(["A", "Long"], [["x", 1], ["yy", 22]], "T")
+        lines = out.split("\n")
+        assert lines[0] == "T"
+        assert "A" in lines[1] and "Long" in lines[1]
+        assert len(lines) == 5

@@ -1,0 +1,124 @@
+"""Unit tests for the system page table."""
+
+from repro.vm.address import CPU_DEVICE
+from repro.vm.page_table import PageTable
+
+
+def make_pt(num_gpus=4):
+    return PageTable(num_gpus, 4096)
+
+
+def test_pages_start_cpu_resident():
+    pt = make_pt()
+    assert pt.location(42) == CPU_DEVICE
+
+
+def test_entry_created_on_first_reference():
+    pt = make_pt()
+    entry = pt.entry(7)
+    assert entry.page == 7
+    assert not entry.delayed_bit
+    assert entry.migrations == 0
+
+
+def test_entry_is_cached():
+    pt = make_pt()
+    assert pt.entry(7) is pt.entry(7)
+
+
+def test_migrate_cpu_to_gpu_updates_counts():
+    pt = make_pt()
+    pt.migrate(1, 2)
+    assert pt.location(1) == 2
+    assert pt.gpu_page_count(2) == 1
+    assert pt.cpu_to_gpu_migrations == 1
+    assert pt.gpu_to_gpu_migrations == 0
+
+
+def test_migrate_gpu_to_gpu_updates_counts():
+    pt = make_pt()
+    pt.migrate(1, 2)
+    pt.migrate(1, 3)
+    assert pt.gpu_page_count(2) == 0
+    assert pt.gpu_page_count(3) == 1
+    assert pt.gpu_to_gpu_migrations == 1
+    assert pt.total_migrations == 2
+
+
+def test_migrate_to_same_device_is_noop():
+    pt = make_pt()
+    pt.migrate(1, 2)
+    entry = pt.migrate(1, 2)
+    assert entry.migrations == 1
+    assert pt.total_migrations == 1
+
+
+def test_migrate_clears_migrating_flag():
+    pt = make_pt()
+    entry = pt.entry(1)
+    entry.migrating = True
+    pt.migrate(1, 0)
+    assert not entry.migrating
+
+
+def test_migrate_back_to_cpu():
+    pt = make_pt()
+    pt.migrate(1, 2)
+    pt.migrate(1, CPU_DEVICE)
+    assert pt.gpu_page_count(2) == 0
+    assert pt.location(1) == CPU_DEVICE
+
+
+def test_occupancy_fractions():
+    pt = make_pt(2)
+    pt.migrate(1, 0)
+    pt.migrate(2, 0)
+    pt.migrate(3, 1)
+    assert pt.occupancy(0) == 2 / 3
+    assert pt.occupancy(1) == 1 / 3
+
+
+def test_occupancy_zero_when_no_gpu_pages():
+    pt = make_pt()
+    assert pt.occupancy(0) == 0.0
+    assert pt.total_gpu_pages() == 0
+
+
+def test_highest_occupancy_gpus_handles_ties():
+    pt = make_pt(3)
+    assert pt.highest_occupancy_gpus() == [0, 1, 2]
+    pt.migrate(1, 1)
+    assert pt.highest_occupancy_gpus() == [1]
+    pt.migrate(2, 0)
+    assert pt.highest_occupancy_gpus() == [0, 1]
+
+
+def test_pages_on_device():
+    pt = make_pt()
+    pt.migrate(1, 0)
+    pt.migrate(2, 0)
+    pt.migrate(3, 1)
+    assert sorted(pt.pages_on(0)) == [1, 2]
+    assert pt.pages_on(1) == [3]
+
+
+def test_known_pages_tracks_references():
+    pt = make_pt()
+    pt.entry(5)
+    pt.entry(9)
+    assert sorted(pt.known_pages()) == [5, 9]
+
+
+def test_first_touch_gpu_recorded_manually():
+    pt = make_pt()
+    entry = pt.entry(5)
+    assert entry.first_touch_gpu is None
+    entry.first_touch_gpu = 2
+    assert pt.entry(5).first_touch_gpu == 2
+
+
+def test_gpu_page_counts_list_copy():
+    pt = make_pt(2)
+    counts = pt.gpu_page_counts()
+    counts[0] = 999
+    assert pt.gpu_page_count(0) == 0

@@ -1,0 +1,73 @@
+"""Unit tests for policy compositions."""
+
+import pytest
+
+from repro.core.acud import DrainStrategy
+from repro.core.policies import (
+    baseline_policy,
+    get_policy,
+    griffin_flush_policy,
+    griffin_policy,
+    list_policies,
+)
+
+
+def test_baseline_disables_everything():
+    p = baseline_policy()
+    assert not p.dftm
+    assert not p.batch_cpu_faults
+    assert not p.inter_gpu_migration
+
+
+def test_griffin_enables_everything_with_acud():
+    p = griffin_policy()
+    assert p.dftm and p.batch_cpu_faults and p.inter_gpu_migration
+    assert p.drain == DrainStrategy.ACUD
+
+
+def test_griffin_flush_differs_only_in_drain():
+    g = griffin_policy()
+    f = griffin_flush_policy()
+    assert f.drain == DrainStrategy.FLUSH
+    assert (f.dftm, f.batch_cpu_faults, f.inter_gpu_migration) == (
+        g.dftm, g.batch_cpu_faults, g.inter_gpu_migration
+    )
+
+
+def test_registry_lookup():
+    assert get_policy("baseline").name == "baseline"
+    assert get_policy("griffin").name == "griffin"
+
+
+def test_unknown_policy_raises_with_choices():
+    with pytest.raises(KeyError, match="baseline"):
+        get_policy("nope")
+
+
+def test_list_policies_contains_ablations():
+    names = list_policies()
+    for expected in ["baseline", "griffin", "griffin_flush", "griffin_no_dftm",
+                     "griffin_no_dpc", "griffin_no_batch", "dftm_only"]:
+        assert expected in names
+
+
+def test_ablation_policies_toggle_single_components():
+    assert not get_policy("griffin_no_dftm").dftm
+    assert not get_policy("griffin_no_dpc").inter_gpu_migration
+    assert not get_policy("griffin_no_batch").batch_cpu_faults
+    d = get_policy("dftm_only")
+    assert d.dftm and not d.inter_gpu_migration and not d.batch_cpu_faults
+
+
+def test_describe_mentions_mechanisms():
+    text = griffin_policy().describe()
+    assert "DFTM" in text and "acud" in text
+    assert "first-touch" in baseline_policy().describe()
+
+
+def test_drain_strategy_parse():
+    assert DrainStrategy.parse("acud") == DrainStrategy.ACUD
+    assert DrainStrategy.parse("FLUSH") == DrainStrategy.FLUSH
+    assert DrainStrategy.parse(DrainStrategy.ACUD) == DrainStrategy.ACUD
+    with pytest.raises(ValueError):
+        DrainStrategy.parse("bogus")

@@ -1,0 +1,105 @@
+"""Unit tests for the predictive-migration extension."""
+
+from repro.config.hyperparams import GriffinHyperParams
+from repro.core.dpc import DynamicPageClassifier
+from repro.core.predictive import PredictiveMigration
+
+NUM_GPUS = 4
+
+
+def make():
+    hyper = GriffinHyperParams.calibrated()
+    dpc = DynamicPageClassifier(hyper, NUM_GPUS)
+    predictor = PredictiveMigration(hyper, NUM_GPUS)
+    return dpc, predictor
+
+
+def feed_owner(dpc, predictor, page, owner, rounds):
+    """Feed `rounds` periods with `owner` dominating `page`."""
+    for _ in range(rounds):
+        counts = [{page: 100} if g == owner else {} for g in range(NUM_GPUS)]
+        dpc.update(counts)
+        predictor.observe(dpc)
+
+
+def rotate(dpc, predictor, page, owners, rounds_each):
+    for owner in owners:
+        feed_owner(dpc, predictor, page, owner, rounds_each)
+
+
+def test_no_prediction_without_history():
+    dpc, predictor = make()
+    feed_owner(dpc, predictor, 1, 0, 10)
+    assert predictor.speculative_candidates(lambda p: 0) == []
+
+
+def test_regular_rotation_is_predicted():
+    dpc, predictor = make()
+    # Ownership advances +1 every 20 periods: 0 -> 1 -> 2.
+    rotate(dpc, predictor, 1, [0, 1, 2], 20)
+    # Near the end of GPU2's epoch the predictor nominates GPU3.
+    feed_owner(dpc, predictor, 1, 2, 12)
+    cands = predictor.speculative_candidates(lambda p: 2)
+    assert cands
+    assert cands[0].page == 1
+    assert cands[0].dst == 3
+    assert cands[0].src == 2
+
+
+def test_prediction_not_fired_too_early():
+    dpc, predictor = make()
+    rotate(dpc, predictor, 1, [0, 1], 30)
+    # Only a few periods into GPU2's epoch: hand-off not imminent.
+    feed_owner(dpc, predictor, 1, 2, 3)
+    assert predictor.speculative_candidates(lambda p: 2) == []
+
+
+def test_page_already_at_predicted_owner_is_skipped():
+    dpc, predictor = make()
+    rotate(dpc, predictor, 1, [0, 1, 2], 20)
+    feed_owner(dpc, predictor, 1, 2, 12)
+    assert predictor.speculative_candidates(lambda p: 3) == []
+
+
+def test_cpu_resident_pages_are_skipped():
+    dpc, predictor = make()
+    rotate(dpc, predictor, 1, [0, 1, 2], 20)
+    feed_owner(dpc, predictor, 1, 2, 12)
+    assert predictor.speculative_candidates(lambda p: -1) == []
+
+
+def test_irregular_stride_is_not_predicted():
+    dpc, predictor = make()
+    rotate(dpc, predictor, 1, [0, 2, 1], 20)  # strides +2 then +3 (mod 4)
+    feed_owner(dpc, predictor, 1, 1, 12)
+    assert predictor.speculative_candidates(lambda p: 1) == []
+
+
+def test_irregular_cadence_is_not_predicted():
+    dpc, predictor = make()
+    feed_owner(dpc, predictor, 1, 0, 6)
+    feed_owner(dpc, predictor, 1, 1, 60)  # wildly different epoch length
+    feed_owner(dpc, predictor, 1, 2, 6)
+    cands = predictor.speculative_candidates(lambda p: 2)
+    assert cands == []
+
+
+def test_speculative_cap():
+    dpc, predictor = make()
+    predictor.max_speculative_per_round = 2
+    for page in range(5):
+        rotate(dpc, predictor, page, [0, 1, 2], 20)
+        feed_owner(dpc, predictor, page, 2, 12)
+    cands = predictor.speculative_candidates(lambda p: 2)
+    assert len(cands) == 2
+
+
+def test_quiet_pages_do_not_pollute_history():
+    dpc, predictor = make()
+    feed_owner(dpc, predictor, 1, 0, 3)
+    # Page goes quiet: below the streaming floor, no history appended.
+    for _ in range(5):
+        dpc.update([{} for _ in range(NUM_GPUS)])
+        predictor.observe(dpc)
+    history = predictor._history[1]
+    assert history.owners == [0]

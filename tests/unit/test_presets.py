@@ -1,0 +1,44 @@
+"""Unit tests for system presets."""
+
+from repro.config.presets import (
+    NVLINK,
+    PCIE_V4,
+    nvlink_system,
+    paper_system,
+    small_system,
+    tiny_system,
+)
+
+
+def test_paper_system_matches_table2():
+    cfg = paper_system()
+    assert cfg.num_gpus == 4
+    assert cfg.gpu.num_cus == 36
+    assert cfg.link.bandwidth_gbps == 32.0
+
+
+def test_nvlink_system_has_faster_fabric():
+    assert nvlink_system().link.bandwidth_gbps > paper_system().link.bandwidth_gbps
+
+
+def test_nvlink_preset_name():
+    assert NVLINK.name == "NVLink"
+    assert PCIE_V4.name == "PCIe-v4"
+
+
+def test_small_system_is_smaller_but_same_mechanisms():
+    cfg = small_system()
+    assert cfg.num_gpus == 4
+    assert cfg.gpu.num_cus < paper_system().gpu.num_cus
+    assert cfg.page_size == 4096
+
+
+def test_tiny_system_two_gpus():
+    cfg = tiny_system()
+    assert cfg.num_gpus == 2
+    assert cfg.gpu.num_cus == 2
+
+
+def test_gpu_count_overridable():
+    assert paper_system(num_gpus=8).num_gpus == 8
+    assert tiny_system(num_gpus=3).num_gpus == 3

@@ -1,0 +1,66 @@
+"""Unit tests for the CARVE-style remote cache extension."""
+
+import pytest
+
+from dataclasses import replace
+
+from repro.config.presets import tiny_system
+from repro.mem.hierarchy import GPUMemoryHierarchy
+
+
+def make_hierarchy(kb=16):
+    cfg = tiny_system()
+    gpu_cfg = cfg.gpu.with_remote_cache(kb)
+    return GPUMemoryHierarchy(0, gpu_cfg, cfg.timing, cfg.page_size)
+
+
+def test_disabled_by_default():
+    cfg = tiny_system()
+    h = GPUMemoryHierarchy(0, cfg.gpu, cfg.timing, cfg.page_size)
+    assert h.remote_cache is None
+    assert h.remote_cache_lookup(0, 0x1000) == -1.0
+    h.remote_cache_fill(0x1000)  # no-op, no crash
+    assert h.remote_cache_invalidate([1]) == 0
+
+
+def test_fill_then_hit():
+    h = make_hierarchy()
+    assert h.remote_cache_lookup(0, 0x1000) == -1.0
+    h.remote_cache_fill(0x1000)
+    finish = h.remote_cache_lookup(10, 0x1000)
+    assert finish > 10
+    assert h.remote_cache_hits == 1
+
+
+def test_hit_served_from_local_dram_speed():
+    h = make_hierarchy()
+    h.remote_cache_fill(0x1000)
+    finish = h.remote_cache_lookup(0, 0x1000)
+    # Far cheaper than a fabric round trip (>= 1000 cycles).
+    assert finish < 500
+
+
+def test_invalidate_page_drops_its_lines():
+    h = make_hierarchy()
+    h.remote_cache_fill(0x1000)
+    h.remote_cache_fill(0x1040)
+    h.remote_cache_fill(0x9000)
+    dropped = h.remote_cache_invalidate([0x1000 // 4096])
+    assert dropped == 2
+    assert h.remote_cache_lookup(0, 0x1000) == -1.0
+    assert h.remote_cache_lookup(0, 0x9000) >= 0
+
+
+def test_with_remote_cache_config_helper():
+    cfg = tiny_system()
+    assert cfg.gpu.remote_cache_kb == 0
+    assert cfg.gpu.with_remote_cache(64).remote_cache_kb == 64
+
+
+def test_invalidate_address_single_line():
+    h = make_hierarchy()
+    h.remote_cache_fill(0x1000)
+    h.remote_cache_fill(0x1040)
+    assert h.remote_cache.invalidate_address(0x1000)
+    assert not h.remote_cache.invalidate_address(0x1000)
+    assert h.remote_cache_lookup(0, 0x1040) >= 0

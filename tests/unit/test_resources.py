@@ -1,0 +1,105 @@
+"""Unit tests for shared-resource queuing primitives."""
+
+import pytest
+
+from repro.sim.resource import SlotResource, ThroughputResource
+
+
+class TestThroughputResource:
+    def test_transfer_time_is_size_over_rate(self):
+        pipe = ThroughputResource("p", 32.0)
+        assert pipe.acquire(0, 64) == 2.0
+
+    def test_back_to_back_transfers_serialize(self):
+        pipe = ThroughputResource("p", 32.0)
+        first = pipe.acquire(0, 64)
+        second = pipe.acquire(0, 64)
+        assert first == 2.0
+        assert second == 4.0
+
+    def test_idle_gap_is_not_charged(self):
+        pipe = ThroughputResource("p", 32.0)
+        pipe.acquire(0, 64)
+        finish = pipe.acquire(100, 64)
+        assert finish == 102.0
+
+    def test_total_bytes_and_jobs(self):
+        pipe = ThroughputResource("p", 16.0)
+        pipe.acquire(0, 64)
+        pipe.acquire(0, 32)
+        assert pipe.total_bytes == 96
+        assert pipe.total_jobs == 2
+
+    def test_wait_accounting(self):
+        pipe = ThroughputResource("p", 32.0)
+        pipe.acquire(0, 64)  # busy until 2
+        pipe.acquire(0, 64)  # waits 2
+        assert pipe.total_wait == 2.0
+
+    def test_utilization(self):
+        pipe = ThroughputResource("p", 32.0)
+        pipe.acquire(0, 320)  # 10 cycles of service
+        assert pipe.utilization(20) == pytest.approx(0.5)
+
+    def test_utilization_zero_elapsed(self):
+        pipe = ThroughputResource("p", 32.0)
+        assert pipe.utilization(0) == 0.0
+
+    def test_reset(self):
+        pipe = ThroughputResource("p", 32.0)
+        pipe.acquire(0, 64)
+        pipe.reset()
+        assert pipe.busy_until == 0.0
+        assert pipe.total_bytes == 0
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            ThroughputResource("p", 0)
+
+
+class TestSlotResource:
+    def test_parallel_slots_do_not_queue(self):
+        walkers = SlotResource("w", 4)
+        finishes = [walkers.acquire(0, 100) for _ in range(4)]
+        assert finishes == [100, 100, 100, 100]
+
+    def test_fifth_job_queues_behind_earliest(self):
+        walkers = SlotResource("w", 4)
+        for _ in range(4):
+            walkers.acquire(0, 100)
+        assert walkers.acquire(0, 100) == 200
+
+    def test_single_slot_serializes(self):
+        s = SlotResource("s", 1)
+        assert s.acquire(0, 10) == 10
+        assert s.acquire(0, 10) == 20
+        assert s.acquire(50, 10) == 60
+
+    def test_earliest_free(self):
+        s = SlotResource("s", 2)
+        s.acquire(0, 10)
+        s.acquire(0, 20)
+        assert s.earliest_free() == 10
+
+    def test_all_free_by(self):
+        s = SlotResource("s", 2)
+        s.acquire(0, 10)
+        s.acquire(0, 20)
+        assert s.all_free_by() == 20
+
+    def test_wait_accounting(self):
+        s = SlotResource("s", 1)
+        s.acquire(0, 100)
+        s.acquire(0, 100)
+        assert s.total_wait == 100
+
+    def test_reset(self):
+        s = SlotResource("s", 2)
+        s.acquire(0, 100)
+        s.reset()
+        assert s.earliest_free() == 0.0
+        assert s.total_jobs == 0
+
+    def test_rejects_nonpositive_slots(self):
+        with pytest.raises(ValueError):
+            SlotResource("s", 0)

@@ -1,0 +1,78 @@
+"""Unit tests for RunResult helpers and result serialization internals."""
+
+import pytest
+
+from repro.harness.io import result_from_dict, result_to_dict
+from repro.harness.results import RunResult
+from repro.mem.access import AccessKind
+from repro.metrics.occupancy import OccupancySnapshot
+from repro.metrics.timeline import MigrationEvent
+
+
+def make_result(**overrides):
+    defaults = dict(
+        workload="XX",
+        policy="baseline",
+        cycles=1000.0,
+        transactions=10,
+        occupancy=OccupancySnapshot((4, 3, 2, 1), cpu_pages=2),
+        cpu_shootdowns=5,
+        gpu_shootdowns=2,
+        cpu_to_gpu_migrations=8,
+        gpu_to_gpu_migrations=3,
+        dftm_denials=1,
+        kind_counts={k: 0 for k in AccessKind},
+        local_fraction=0.5,
+        migration_events=[MigrationEvent(10.0, 7, -1, 0)],
+        seed=1,
+        scale=0.01,
+    )
+    defaults.update(overrides)
+    return RunResult(**defaults)
+
+
+def test_total_shootdowns():
+    assert make_result().total_shootdowns == 7
+
+
+def test_total_migrations():
+    assert make_result().total_migrations == 11
+
+
+def test_imbalance_uses_occupancy():
+    balanced = make_result(occupancy=OccupancySnapshot((5, 5, 5, 5)))
+    skewed = make_result(occupancy=OccupancySnapshot((20, 0, 0, 0)))
+    assert balanced.imbalance() == pytest.approx(0.0)
+    assert skewed.imbalance() == pytest.approx(1.0)
+
+
+def test_summary_row_fields():
+    row = make_result().summary_row()
+    assert row[0] == "XX"
+    assert row[1] == "baseline"
+    assert int(row[3]) == 10
+
+
+def test_round_trip_preserves_every_field():
+    original = make_result()
+    rebuilt = result_from_dict(result_to_dict(original))
+    assert rebuilt.workload == original.workload
+    assert rebuilt.cycles == original.cycles
+    assert rebuilt.occupancy == original.occupancy
+    assert rebuilt.kind_counts == original.kind_counts
+    assert rebuilt.migration_events[0].page == 7
+    assert rebuilt.seed == original.seed and rebuilt.scale == original.scale
+
+
+def test_serialized_dict_is_plain_data():
+    data = result_to_dict(make_result())
+    import json
+
+    json.dumps(data)  # must not raise
+    assert data["kind_counts"]["local"] == 0
+
+
+def test_timeline_and_detail_not_serialized():
+    data = result_to_dict(make_result())
+    assert "timeline" not in data
+    assert "detail" not in data

@@ -1,0 +1,31 @@
+"""Unit tests for deterministic RNG streams."""
+
+from repro.sim.rng import make_rng, stream_seed
+
+
+def test_same_labels_same_seed():
+    assert stream_seed(7, "a", 1) == stream_seed(7, "a", 1)
+
+
+def test_different_labels_different_seed():
+    assert stream_seed(7, "a") != stream_seed(7, "b")
+
+
+def test_different_base_seed_different_stream():
+    assert stream_seed(1, "a") != stream_seed(2, "a")
+
+
+def test_make_rng_reproducible():
+    a = make_rng(42, "wl", 3).integers(0, 1000, size=10)
+    b = make_rng(42, "wl", 3).integers(0, 1000, size=10)
+    assert (a == b).all()
+
+
+def test_make_rng_streams_independent():
+    a = make_rng(42, "x").integers(0, 1_000_000, size=4)
+    b = make_rng(42, "y").integers(0, 1_000_000, size=4)
+    assert (a != b).any()
+
+
+def test_label_types_are_stringified():
+    assert stream_seed(7, 1, "1") == stream_seed(7, "1", 1)

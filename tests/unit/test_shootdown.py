@@ -1,0 +1,39 @@
+"""Unit tests for TLB-shootdown accounting."""
+
+from repro.vm.shootdown import ShootdownAccounting
+
+
+def test_starts_empty():
+    acc = ShootdownAccounting()
+    assert acc.total == 0
+
+
+def test_cpu_batch_counts_as_one_round():
+    acc = ShootdownAccounting()
+    acc.record_cpu(batch_size=8)
+    assert acc.cpu_shootdowns == 1
+    assert acc.total == 1
+
+
+def test_fcfs_counts_one_round_per_fault():
+    acc = ShootdownAccounting()
+    for _ in range(5):
+        acc.record_cpu(batch_size=1)
+    assert acc.cpu_shootdowns == 5
+
+
+def test_gpu_rounds_and_entries():
+    acc = ShootdownAccounting()
+    acc.record_gpu(2, entries_invalidated=7)
+    acc.record_gpu(2, entries_invalidated=3)
+    acc.record_gpu(0, entries_invalidated=1)
+    assert acc.gpu_shootdowns == 3
+    assert acc.gpu_entries_invalidated == 11
+    assert acc.per_gpu == {2: 2, 0: 1}
+
+
+def test_total_sums_cpu_and_gpu():
+    acc = ShootdownAccounting()
+    acc.record_cpu()
+    acc.record_gpu(1, 4)
+    assert acc.total == 2

@@ -1,0 +1,119 @@
+"""Unit tests for Table II system configuration."""
+
+import pytest
+
+from repro.config.system import (
+    KB,
+    MB,
+    CacheConfig,
+    GPUConfig,
+    LinkConfig,
+    SystemConfig,
+    TLBConfig,
+)
+
+
+def test_paper_gpu_has_36_cus():
+    gpu = GPUConfig()
+    assert gpu.num_shader_engines == 4
+    assert gpu.cus_per_se == 9
+    assert gpu.num_cus == 36
+
+
+def test_paper_cache_sizes():
+    gpu = GPUConfig()
+    assert gpu.l1v.size_bytes == 16 * KB and gpu.l1v.ways == 4
+    assert gpu.l1i.size_bytes == 32 * KB and gpu.l1i.ways == 4
+    assert gpu.l1s.size_bytes == 16 * KB and gpu.l1s.ways == 4
+    assert gpu.l2.size_bytes == 256 * KB and gpu.l2.ways == 16
+    assert gpu.l2_slices == 8
+
+
+def test_paper_tlb_geometry():
+    gpu = GPUConfig()
+    assert gpu.l1_tlb.num_sets == 1 and gpu.l1_tlb.ways == 32
+    assert gpu.l2_tlb.num_sets == 32 and gpu.l2_tlb.ways == 16
+
+
+def test_paper_dram_is_512mb_8_channels():
+    gpu = GPUConfig()
+    assert gpu.dram.size_bytes == 512 * MB
+    assert gpu.dram.channels == 8
+
+
+def test_paper_link_is_pcie4_32gbps():
+    cfg = SystemConfig()
+    assert cfg.link.bandwidth_gbps == 32.0
+    assert "PCIe" in cfg.link.name
+
+
+def test_paper_iommu_has_8_walkers():
+    assert SystemConfig().iommu.num_walkers == 8
+
+
+def test_page_size_is_4kb():
+    assert SystemConfig().page_size == 4096
+
+
+def test_cpu_flush_is_100_cycles():
+    # The paper uses a fixed 100-cycle CPU flush penalty, following [11].
+    assert SystemConfig().timing.cpu_flush_cycles == 100
+
+
+def test_cache_num_sets():
+    c = CacheConfig(16 * KB, 4, 64)
+    assert c.num_sets == 64
+
+
+def test_cache_geometry_validation():
+    with pytest.raises(ValueError):
+        CacheConfig(1000, 3, 64)
+
+
+def test_tlb_capacity():
+    assert TLBConfig(32, 16).capacity == 512
+
+
+def test_link_bytes_per_cycle_at_1ghz():
+    link = LinkConfig(bandwidth_gbps=32.0)
+    assert link.bytes_per_cycle(1.0) == 32.0
+
+
+def test_link_bytes_per_cycle_scales_with_clock():
+    link = LinkConfig(bandwidth_gbps=32.0)
+    assert link.bytes_per_cycle(2.0) == 16.0
+
+
+def test_with_link_replaces_fabric_only():
+    cfg = SystemConfig()
+    nv = cfg.with_link(LinkConfig(name="NVLink", bandwidth_gbps=128.0))
+    assert nv.link.name == "NVLink"
+    assert nv.gpu == cfg.gpu
+
+
+def test_with_overrides():
+    cfg = SystemConfig().with_overrides(num_gpus=2)
+    assert cfg.num_gpus == 2
+
+
+def test_invalid_num_gpus_rejected():
+    with pytest.raises(ValueError):
+        SystemConfig(num_gpus=0)
+
+
+def test_non_power_of_two_page_size_rejected():
+    with pytest.raises(ValueError):
+        SystemConfig(page_size=3000)
+
+
+def test_table_rows_include_54_l1_tlbs():
+    # Table II lists 54 L1 TLBs per GPU.
+    rows = {r[0]: r for r in SystemConfig().table_rows()}
+    assert rows["L1 TLB"][2] == "54"
+
+
+def test_table_rows_cover_all_components():
+    names = [r[0] for r in SystemConfig().table_rows()]
+    for expected in ["CU", "L1 Vector Cache", "L2 Cache", "DRAM", "L1 TLB",
+                     "L2 TLB", "IOMMU", "Inter-Device Network"]:
+        assert expected in names

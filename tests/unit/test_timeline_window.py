@@ -1,0 +1,46 @@
+"""Unit tests for timeline windowing and watch-all mode."""
+
+from repro.metrics.timeline import PageAccessTimeline
+
+
+def test_watch_all_records_series_for_every_page():
+    tl = PageAccessTimeline(2, bucket_cycles=100, watch_pages="all")
+    tl.record(10, 0, 5)
+    tl.record(20, 1, 9)
+    assert tl.series(5) == [(0, [1, 0])]
+    assert tl.series(9) == [(0, [0, 1])]
+
+
+def test_watch_all_flag():
+    assert PageAccessTimeline(2, watch_pages="all").watch_all
+    assert not PageAccessTimeline(2).watch_all
+    assert not PageAccessTimeline(2, watch_pages=[1]).watch_all
+
+
+def test_window_counts_bucket_alignment():
+    tl = PageAccessTimeline(2, bucket_cycles=100, watch_pages="all")
+    tl.record(50, 0, 7)    # bucket 0
+    tl.record(150, 1, 7)   # bucket 1
+    tl.record(250, 1, 7)   # bucket 2
+    assert tl.window_counts(7, 0, 100) == [1, 0]
+    assert tl.window_counts(7, 100, 300) == [0, 2]
+    assert tl.window_counts(7, 0, 300) == [1, 2]
+
+
+def test_window_counts_empty_window():
+    tl = PageAccessTimeline(2, bucket_cycles=100, watch_pages="all")
+    tl.record(50, 0, 7)
+    assert tl.window_counts(7, 1000, 2000) == [0, 0]
+
+
+def test_window_counts_unwatched_page_is_zero():
+    tl = PageAccessTimeline(2, bucket_cycles=100)
+    tl.record(50, 0, 7)
+    assert tl.window_counts(7, 0, 100) == [0, 0]
+
+
+def test_window_boundaries_are_half_open():
+    tl = PageAccessTimeline(2, bucket_cycles=100, watch_pages="all")
+    tl.record(100, 0, 7)   # exactly at bucket 1 start
+    assert tl.window_counts(7, 100, 200) == [1, 0]
+    assert tl.window_counts(7, 0, 100) == [0, 0]

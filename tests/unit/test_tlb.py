@@ -1,0 +1,93 @@
+"""Unit tests for the set-associative TLB."""
+
+from repro.config.system import TLBConfig
+from repro.vm.tlb import TLB
+
+
+def make_tlb(sets=1, ways=4):
+    return TLB("t", TLBConfig(sets, ways))
+
+
+def test_miss_then_hit():
+    tlb = make_tlb()
+    assert not tlb.lookup(5)
+    tlb.insert(5, 0)
+    assert tlb.lookup(5)
+    assert tlb.hits == 1
+    assert tlb.misses == 1
+
+
+def test_lru_eviction_on_overflow():
+    tlb = make_tlb(1, 2)
+    tlb.insert(1, 0)
+    tlb.insert(2, 0)
+    tlb.insert(3, 0)  # evicts 1
+    assert not tlb.lookup(1)
+    assert tlb.lookup(2)
+    assert tlb.lookup(3)
+
+
+def test_lookup_refreshes_lru_order():
+    tlb = make_tlb(1, 2)
+    tlb.insert(1, 0)
+    tlb.insert(2, 0)
+    tlb.lookup(1)          # 1 becomes MRU
+    tlb.insert(3, 0)       # evicts 2
+    assert tlb.lookup(1)
+    assert not tlb.lookup(2)
+
+
+def test_reinsert_updates_entry_without_eviction():
+    tlb = make_tlb(1, 2)
+    tlb.insert(1, 0)
+    tlb.insert(2, 0)
+    tlb.insert(1, 0)
+    assert tlb.occupancy() == 2
+
+
+def test_set_indexing_isolates_sets():
+    tlb = make_tlb(2, 1)
+    tlb.insert(0, 0)  # set 0
+    tlb.insert(1, 0)  # set 1
+    assert tlb.lookup(0)
+    assert tlb.lookup(1)
+
+
+def test_invalidate_pages_targeted():
+    tlb = make_tlb(1, 8)
+    for p in range(4):
+        tlb.insert(p, 0)
+    dropped = tlb.invalidate_pages([1, 3, 99])
+    assert dropped == 2
+    assert not tlb.lookup(1)
+    assert tlb.lookup(0)
+    assert tlb.invalidations == 2
+
+
+def test_flush_all():
+    tlb = make_tlb(2, 4)
+    for p in range(6):
+        tlb.insert(p, 0)
+    dropped = tlb.flush_all()
+    assert dropped == 6
+    assert tlb.occupancy() == 0
+
+
+def test_hit_rate():
+    tlb = make_tlb()
+    tlb.insert(1, 0)
+    tlb.lookup(1)
+    tlb.lookup(2)
+    assert tlb.hit_rate() == 0.5
+    assert tlb.accesses == 2
+
+
+def test_hit_rate_zero_without_accesses():
+    assert make_tlb().hit_rate() == 0.0
+
+
+def test_paper_l1_geometry_capacity():
+    tlb = TLB("l1", TLBConfig(1, 32))
+    for p in range(40):
+        tlb.insert(p, 0)
+    assert tlb.occupancy() == 32

@@ -1,0 +1,24 @@
+"""Unit tests for kernels, workgroups, wavefront traces."""
+
+from repro.gpu.wavefront import Kernel, WavefrontTrace, Workgroup
+
+
+def test_wavefront_len():
+    w = WavefrontTrace([(1, 0x0, False), (2, 0x40, True)])
+    assert len(w) == 2
+
+
+def test_workgroup_total_accesses():
+    wg = Workgroup(0, 0, [WavefrontTrace([(1, 0, False)]), WavefrontTrace([(1, 0, False), (1, 64, True)])])
+    assert wg.total_accesses() == 3
+
+
+def test_kernel_total_accesses():
+    wg1 = Workgroup(0, 0, [WavefrontTrace([(1, 0, False)])])
+    wg2 = Workgroup(1, 0, [WavefrontTrace([(1, 0, False)] * 4)])
+    k = Kernel(0, [wg1, wg2])
+    assert k.total_accesses() == 5
+
+
+def test_empty_kernel():
+    assert Kernel(0).total_accesses() == 0

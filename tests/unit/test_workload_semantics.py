@@ -1,0 +1,161 @@
+"""Structural semantics of each workload generator.
+
+These pin down the per-benchmark properties the reproduction relies on:
+MT's touch-once purity, KM's hot shared centroids, SC's epochal band
+rotation, PR's non-recurring gathers, the halo sharing of the adjacent
+workloads — so a refactor of a generator cannot silently change the
+behaviours the figures depend on.
+"""
+
+from collections import Counter, defaultdict
+
+from repro.workloads.registry import get_workload
+
+NUM_GPUS = 4
+
+
+def page_touches(kernels, page_size=4096):
+    """page -> total touches across the whole run."""
+    touches = Counter()
+    for kernel in kernels:
+        for wg in kernel.workgroups:
+            for wf in wg.wavefronts:
+                for _, addr, _ in wf.accesses:
+                    touches[addr // page_size] += 1
+    return touches
+
+
+def page_gpus(kernels, page_size=4096):
+    """page -> set of GPUs that touch it (round-robin WG mapping)."""
+    gpus = defaultdict(set)
+    for kernel in kernels:
+        for index, wg in enumerate(kernel.workgroups):
+            gpu = index % NUM_GPUS
+            for wf in wg.wavefronts:
+                for _, addr, _ in wf.accesses:
+                    gpus[addr // page_size].add(gpu)
+    return gpus
+
+
+def kernel_page_gpu_touches(kernel, page_size=4096):
+    """(page, gpu) -> touches within one kernel."""
+    touches = Counter()
+    for index, wg in enumerate(kernel.workgroups):
+        gpu = index % NUM_GPUS
+        for wf in wg.wavefronts:
+            for _, addr, _ in wf.accesses:
+                touches[(addr // page_size, gpu)] += 1
+    return touches
+
+
+def build(abbrev, **kwargs):
+    return get_workload(abbrev, scale=0.01, seed=3, **kwargs).build_kernels(NUM_GPUS)
+
+
+def test_mt_large_fraction_of_pages_touched_exactly_once():
+    # The property behind MT's DFTM win: many pages (the whole output and
+    # the un-gathered input) are touched exactly once, ever.
+    touches = page_touches(build("MT"))
+    once = sum(1 for c in touches.values() if c == 1)
+    assert once / len(touches) >= 0.4
+
+
+def test_mt_output_pages_written_exactly_once():
+    kernels = build("MT")
+    writes = Counter()
+    reads = Counter()
+    for wg in kernels[0].workgroups:
+        for wf in wg.wavefronts:
+            for _, addr, is_write in wf.accesses:
+                (writes if is_write else reads)[addr // 4096] += 1
+    write_only = [p for p in writes if p not in reads]
+    assert write_only
+    assert all(writes[p] == 1 for p in write_only)
+
+
+def test_km_centroid_pages_are_hot_and_fully_shared():
+    kernels = build("KM")
+    touches = page_touches(kernels)
+    gpus = page_gpus(kernels)
+    fully_shared = [p for p, g in gpus.items() if len(g) == NUM_GPUS]
+    assert fully_shared
+    hottest = max(touches, key=touches.get)
+    assert hottest in fully_shared  # the centroids are the hottest pages
+
+
+def test_km_point_pages_are_single_gpu():
+    gpus = page_gpus(build("KM"))
+    dedicated = sum(1 for g in gpus.values() if len(g) == 1)
+    assert dedicated / len(gpus) > 0.5
+
+
+def test_sc_band_ownership_rotates_between_epochs():
+    w = get_workload("SC", scale=0.01, seed=3)
+    kernels = w.build_kernels(NUM_GPUS)
+    first = kernel_page_gpu_touches(kernels[0])
+    later = kernel_page_gpu_touches(kernels[w.rotate_every])
+
+    def dominant_gpu(touch_map):
+        per_page = defaultdict(dict)
+        for (page, gpu), count in touch_map.items():
+            per_page[page][gpu] = count
+        return {p: max(c, key=c.get) for p, c in per_page.items()}
+
+    dom_first = dominant_gpu(first)
+    dom_later = dominant_gpu(later)
+    common = set(dom_first) & set(dom_later)
+    moved = sum(1 for p in common if dom_first[p] != dom_later[p])
+    assert moved / len(common) > 0.5
+
+
+def test_sc_no_rotation_within_an_epoch():
+    w = get_workload("SC", scale=0.01, seed=3)
+    kernels = w.build_kernels(NUM_GPUS)
+    a = {k for k, _ in kernel_page_gpu_touches(kernels[0])}
+    assert kernels[1].kernel_id == 1
+    # Kernels 0..rotate_every-1 share the same band assignment.
+    dom0 = kernel_page_gpu_touches(kernels[0])
+    dom1 = kernel_page_gpu_touches(kernels[1])
+    shared_keys = set(dom0) & set(dom1)
+    assert shared_keys  # identical (page, gpu) pairs appear in both
+
+
+def test_pr_gathers_do_not_repeat_per_gpu():
+    w = get_workload("PR", scale=0.01, seed=3)
+    kernels = w.build_kernels(NUM_GPUS)
+    # For each iteration, the rank chunk gathered by WG i rotates.
+    first = kernel_page_gpu_touches(kernels[1])
+    second = kernel_page_gpu_touches(kernels[2])
+    # Hot (page, gpu) pairs of one iteration mostly differ from the next.
+    hot1 = {k for k, v in first.items() if v >= 4}
+    hot2 = {k for k, v in second.items() if v >= 4}
+    if hot1 and hot2:
+        overlap = len(hot1 & hot2) / min(len(hot1), len(hot2))
+        assert overlap < 0.8
+
+
+def test_adjacent_workloads_share_halo_pages():
+    for abbrev in ["ST", "FIR"]:
+        gpus = page_gpus(build(abbrev))
+        shared = sum(1 for g in gpus.values() if len(g) >= 2)
+        assert shared > 0, abbrev
+
+
+def test_sweeping_wgs_are_one_per_gpu():
+    kernels = build("FW")
+    sizes = [wg.total_accesses() for wg in kernels[0].workgroups]
+    # The first num_gpus WGs carry the contended sweep and are much
+    # larger than the rest.
+    sweepers = sizes[:NUM_GPUS]
+    others = sizes[NUM_GPUS:]
+    assert min(sweepers) > max(others)
+
+
+def test_bfs_levels_grow_and_shrink():
+    kernels = build("BFS")
+    # Level 0 carries the graph-load sweep; the frontier profile is the
+    # rest: it grows to an interior peak and then shrinks.
+    totals = [k.total_accesses() for k in kernels[1:]]
+    peak = totals.index(max(totals))
+    assert 0 < peak < len(totals) - 1
+    assert totals[-1] < max(totals)

@@ -1,0 +1,186 @@
+"""Unit tests for the workload generators (Table III)."""
+
+import pytest
+
+from repro.workloads.base import AddressSpace, WorkloadSpec
+from repro.workloads.registry import WORKLOAD_SPECS, get_workload, list_workloads
+
+PAPER_TABLE_III = {
+    "BFS": ("SHOC", "Random", 32),
+    "BS": ("AMDAPPSDK", "Random", 36),
+    "FIR": ("Hetero-Mark", "Adjacent", 64),
+    "FLW": ("AMDAPPSDK", "Distributed", 44),
+    "FW": ("AMDAPPSDK", "Adjacent", 40),
+    "KM": ("Hetero-Mark", "Partition", 51),
+    "MT": ("AMDAPPSDK", "Scatter-Gather", 44),
+    "PR": ("Hetero-Mark", "Random", 38),
+    "SC": ("AMDAPPSDK", "Adjacent", 41),
+    "ST": ("SHOC", "Adjacent", 33),
+}
+
+
+def test_registry_has_all_ten_workloads():
+    assert list_workloads() == sorted(PAPER_TABLE_III)
+
+
+@pytest.mark.parametrize("abbrev", sorted(PAPER_TABLE_III))
+def test_specs_match_paper_table3(abbrev):
+    suite, pattern, mb = PAPER_TABLE_III[abbrev]
+    spec = WORKLOAD_SPECS[abbrev]
+    assert spec.suite == suite
+    assert spec.pattern == pattern
+    assert spec.memory_mb == mb
+
+
+def test_unknown_workload_raises():
+    with pytest.raises(KeyError, match="BFS"):
+        get_workload("NOPE")
+
+
+def test_lookup_is_case_insensitive():
+    assert get_workload("sc").spec.abbrev == "SC"
+
+
+@pytest.mark.parametrize("abbrev", sorted(PAPER_TABLE_III))
+def test_workloads_build_valid_kernels(abbrev):
+    w = get_workload(abbrev, scale=0.005, seed=1)
+    kernels = w.build_kernels(4)
+    assert kernels, abbrev
+    total = sum(k.total_accesses() for k in kernels)
+    assert total > 0
+    for kernel in kernels:
+        for wg in kernel.workgroups:
+            for wf in wg.wavefronts:
+                for delay, address, is_write in wf.accesses:
+                    assert delay >= 0
+                    assert address >= 0
+                    assert isinstance(is_write, bool)
+
+
+@pytest.mark.parametrize("abbrev", sorted(PAPER_TABLE_III))
+def test_workload_generation_is_deterministic(abbrev):
+    a = get_workload(abbrev, scale=0.005, seed=9).build_kernels(4)
+    b = get_workload(abbrev, scale=0.005, seed=9).build_kernels(4)
+    flat_a = [wf.accesses for k in a for wg in k.workgroups for wf in wg.wavefronts]
+    flat_b = [wf.accesses for k in b for wg in k.workgroups for wf in wg.wavefronts]
+    assert flat_a == flat_b
+
+
+def test_different_seed_different_trace():
+    a = get_workload("BFS", scale=0.005, seed=1).build_kernels(4)
+    b = get_workload("BFS", scale=0.005, seed=2).build_kernels(4)
+    flat_a = [wf.accesses for k in a for wg in k.workgroups for wf in wg.wavefronts]
+    flat_b = [wf.accesses for k in b for wg in k.workgroups for wf in wg.wavefronts]
+    assert flat_a != flat_b
+
+
+def test_scale_controls_footprint():
+    small = get_workload("SC", scale=0.005).footprint_pages()
+    large = get_workload("SC", scale=0.02).footprint_pages()
+    assert large > small
+
+
+def test_pages_at_scale_floor():
+    spec = WorkloadSpec("X", "x", "s", "p", 1)
+    assert spec.pages_at_scale(1e-9) == 16
+
+
+def test_footprint_respects_published_mb():
+    # 4 KB pages: 256 pages per MB at scale 1.0.
+    assert WORKLOAD_SPECS["BFS"].pages_at_scale(1.0) == 32 * 256
+
+
+def test_mt_is_single_kernel_touch_once_heavy():
+    w = get_workload("MT", scale=0.01, seed=1)
+    kernels = w.build_kernels(4)
+    assert len(kernels) == 1
+
+
+def test_sc_has_multiple_passes():
+    w = get_workload("SC", scale=0.01, seed=1)
+    assert len(w.build_kernels(4)) == w.num_passes
+
+
+class TestAddressSpace:
+    def test_regions_do_not_overlap(self):
+        space = AddressSpace()
+        a = space.alloc("a", 10)
+        b = space.alloc("b", 5)
+        assert set(a).isdisjoint(set(b))
+
+    def test_duplicate_name_rejected(self):
+        space = AddressSpace()
+        space.alloc("a", 1)
+        with pytest.raises(ValueError):
+            space.alloc("a", 1)
+
+    def test_zero_pages_rejected(self):
+        with pytest.raises(ValueError):
+            AddressSpace().alloc("a", 0)
+
+    def test_total_pages(self):
+        space = AddressSpace()
+        space.alloc("a", 10)
+        space.alloc("b", 5)
+        assert space.total_pages() == 15
+
+
+class TestTraceHelpers:
+    def test_chunks_cover_region_without_overlap(self):
+        w = get_workload("SC", scale=0.01)
+        region = range(0, 103)
+        chunks = [w.chunk(region, 10, i) for i in range(10)]
+        flat = [p for c in chunks for p in c]
+        assert flat == list(region)
+
+    def test_page_accesses_touch_count(self):
+        w = get_workload("SC", scale=0.01)
+        accesses = w.page_accesses([1, 2], w.rng("t"), touches_per_page=3)
+        assert len(accesses) == 6
+        pages = [a[1] // 4096 for a in accesses]
+        assert pages.count(1) == 3 and pages.count(2) == 3
+
+    def test_page_accesses_empty_pages(self):
+        w = get_workload("SC", scale=0.01)
+        assert w.page_accesses([], w.rng("t")) == []
+
+    def test_interleave_shuffles_order(self):
+        w = get_workload("SC", scale=0.01)
+        pages = list(range(50))
+        ordered = w.page_accesses(pages, w.rng("a"), touches_per_page=1)
+        shuffled = w.page_accesses(pages, w.rng("b"), touches_per_page=1, interleave=True)
+        assert [a[1] // 4096 for a in ordered] == pages
+        assert [a[1] // 4096 for a in shuffled] != pages
+
+    def test_contended_sweep_same_pages_for_all_wgs(self):
+        w = get_workload("SC", scale=0.01)
+        region = range(100, 200)
+        s1 = w.contended_sweep(region, w.rng("x"), 0.5)
+        s2 = w.contended_sweep(region, w.rng("y"), 0.5)
+        assert [a[1] // 4096 for a in s1] == [a[1] // 4096 for a in s2]
+
+    def test_contended_sweep_fraction(self):
+        w = get_workload("SC", scale=0.01)
+        region = range(0, 100)
+        sweep = w.contended_sweep(region, w.rng("x"), 0.25)
+        assert len(sweep) == 25
+
+    def test_make_workgroup_splits_lanes(self):
+        w = get_workload("SC", scale=0.01)
+        accesses = [(1, i * 64, False) for i in range(10)]
+        wg = w.make_workgroup(0, accesses, lanes=4)
+        assert len(wg.wavefronts) == 4
+        assert wg.total_accesses() == 10
+
+    def test_workgroup_ids_monotonic(self):
+        w = get_workload("SC", scale=0.01)
+        a = w.make_workgroup(0, [(1, 0, False)])
+        b = w.make_workgroup(0, [(1, 0, False)])
+        assert b.wg_id == a.wg_id + 1
+
+    def test_compute_scale_multiplies_delays(self):
+        lo = get_workload("SC", scale=0.01, compute_scale=1.0)
+        hi = get_workload("SC", scale=0.01, compute_scale=10.0)
+        a = lo.page_accesses([1], lo.rng("t"), touches_per_page=5)
+        b = hi.page_accesses([1], hi.rng("t"), touches_per_page=5)
+        assert sum(x[0] for x in b) == 10 * sum(x[0] for x in a)

@@ -1,0 +1,64 @@
+"""Unit tests for the crossbar and the biased arbiter."""
+
+from repro.interconnect.arbiter import BiasedArbiter
+from repro.interconnect.xbar import Crossbar
+
+
+class TestCrossbar:
+    def test_traversal_pays_latency(self):
+        x = Crossbar("x", latency=8)
+        assert x.traverse(0) >= 8
+
+    def test_traversal_counter(self):
+        x = Crossbar("x", latency=8)
+        x.traverse(0)
+        x.traverse(10)
+        assert x.traversals == 2
+
+    def test_bandwidth_serializes_large_transfers(self):
+        x = Crossbar("x", latency=0, bytes_per_cycle=64.0)
+        a = x.traverse(0, 6400)
+        b = x.traverse(0, 6400)
+        assert b > a
+
+
+class TestBiasedArbiter:
+    def test_no_advantage_initially(self):
+        arb = BiasedArbiter(4, bias=0.5)
+        assert arb.advantage(0) == 0.0
+
+    def test_winner_gains_head_start(self):
+        arb = BiasedArbiter(4, bias=0.5)
+        arb.grant(1)
+        assert arb.advantage(1) < 0
+        assert arb.advantage(0) == 0.0
+
+    def test_momentum_reinforces(self):
+        arb = BiasedArbiter(4, bias=0.5)
+        for _ in range(10):
+            arb.grant(2)
+        heavy = arb.advantage(2)
+        arb2 = BiasedArbiter(4, bias=0.5)
+        arb2.grant(2)
+        assert heavy < arb2.advantage(2)
+
+    def test_momentum_decays_for_others(self):
+        arb = BiasedArbiter(2, bias=1.0, decay=0.5)
+        arb.grant(0)
+        before = arb.advantage(0)
+        arb.grant(1)
+        after = arb.advantage(0)
+        assert after > before  # advantage shrank (less negative)
+
+    def test_effective_time_applies_advantage(self):
+        arb = BiasedArbiter(2, bias=1.0)
+        arb.grant(0)
+        assert arb.effective_time(0, 100) < 100
+        assert arb.effective_time(1, 100) == 100
+
+    def test_grant_counters(self):
+        arb = BiasedArbiter(2)
+        arb.grant(0)
+        arb.grant(0)
+        arb.grant(1)
+        assert arb.grants == [2, 1]
