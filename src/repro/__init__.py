@@ -19,6 +19,7 @@ Packages:
 """
 
 from repro.config import (
+    FaultConfig,
     GriffinHyperParams,
     SystemConfig,
     nvlink_system,
@@ -44,6 +45,7 @@ from repro.workloads import WORKLOAD_SPECS, get_workload, list_workloads
 __version__ = "1.0.0"
 
 __all__ = [
+    "FaultConfig",
     "GriffinHyperParams",
     "SystemConfig",
     "paper_system",

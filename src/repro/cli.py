@@ -87,6 +87,34 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--full-size", action="store_true",
                        help="use the paper's full Table II GPU (slower)")
 
+    def add_fault_options(p: argparse.ArgumentParser) -> None:
+        g = p.add_argument_group(
+            "fault injection", "deterministic fault injection (all off by "
+            "default; see docs/resilience.md)"
+        )
+        g.add_argument("--fault-drop-rate", type=float, default=0.0,
+                       metavar="P",
+                       help="probability each page transfer is dropped")
+        g.add_argument("--fault-max-attempts", type=int, default=3,
+                       metavar="N",
+                       help="migration attempts before pinning the page "
+                            "(0 = retry forever)")
+        g.add_argument("--fault-shootdown-delay", type=int, default=0,
+                       metavar="CYCLES",
+                       help="fixed extra delay on every TLB shootdown ack")
+        g.add_argument("--fault-shootdown-timeout-rate", type=float,
+                       default=0.0, metavar="P",
+                       help="probability a shootdown ack times out")
+        g.add_argument("--fault-link", action="append", default=[],
+                       metavar="DEV:FACTOR[:LATENCY]",
+                       help="degrade a fabric port (-1 = CPU): bandwidth "
+                            "factor in (0,1] and optional extra cycles; "
+                            "repeatable")
+        g.add_argument("--max-events", type=int, default=None,
+                       metavar="N",
+                       help="event budget; the run fails fast instead of "
+                            "hanging when exceeded")
+
     run_p = sub.add_parser("run", help="simulate one workload under one policy")
     run_p.add_argument("workload", help="Table III abbreviation (e.g. SC)")
     run_p.add_argument("--policy", default="griffin", help="policy name")
@@ -95,6 +123,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--save", metavar="PATH",
                        help="write the result to a JSON file")
     add_sim_options(run_p)
+    add_fault_options(run_p)
 
     cmp_p = sub.add_parser("compare", help="compare policies on one workload")
     cmp_p.add_argument("workload")
@@ -135,7 +164,35 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--workers", type=int, default=1,
                          help="parallel worker processes")
     add_sim_options(sweep_p)
+    add_fault_options(sweep_p)
     return parser
+
+
+def _make_faults(args: argparse.Namespace):
+    """Build a FaultConfig from the CLI flags; None when all are off."""
+    from repro.config.faults import FaultConfig, LinkFaultSpec
+
+    link_faults = []
+    for spec in args.fault_link:
+        parts = spec.split(":")
+        if len(parts) not in (2, 3):
+            raise SystemExit(
+                f"error: bad --fault-link {spec!r}; expected "
+                "DEV:FACTOR[:LATENCY]"
+            )
+        link_faults.append(LinkFaultSpec(
+            device=int(parts[0]),
+            bandwidth_factor=float(parts[1]),
+            extra_latency=int(parts[2]) if len(parts) == 3 else 0,
+        ))
+    faults = FaultConfig(
+        migration_drop_rate=args.fault_drop_rate,
+        shootdown_ack_delay=args.fault_shootdown_delay,
+        shootdown_timeout_rate=args.fault_shootdown_timeout_rate,
+        link_faults=tuple(link_faults),
+        max_migration_attempts=args.fault_max_attempts,
+    )
+    return faults if faults.enabled else None
 
 
 def _make_config(args: argparse.Namespace):
@@ -155,6 +212,16 @@ def _summarize(result) -> str:
         ["GPU->GPU migrations", result.gpu_to_gpu_migrations],
         ["DFTM denials", result.dftm_denials],
     ]
+    if (result.transfers_dropped or result.migration_retries
+            or result.migration_fallbacks or result.pages_pinned
+            or result.shootdown_timeouts):
+        rows += [
+            ["Transfers dropped (injected)", result.transfers_dropped],
+            ["Migration retries", result.migration_retries],
+            ["Migration fallbacks", result.migration_fallbacks],
+            ["Pages pinned", result.pages_pinned],
+            ["Shootdown timeouts (injected)", result.shootdown_timeouts],
+        ]
     return format_table(
         ["Metric", "Value"], rows,
         f"{result.workload} under {result.policy}",
@@ -165,6 +232,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     result = run_workload(
         args.workload.upper(), args.policy, config=_make_config(args),
         scale=args.scale, seed=args.seed, collect_detail=args.detail,
+        faults=_make_faults(args), max_events=args.max_events,
     )
     print(_summarize(result))
     if args.detail and result.detail is not None:
@@ -271,17 +339,24 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.harness.sweep import Sweep
 
+    faults = _make_faults(args)
     sweep = Sweep(
         workloads=[w.strip().upper() for w in args.workloads.split(",") if w.strip()],
         policies=[p.strip() for p in args.policies.split(",") if p.strip()],
         configs={"default": _make_config(args)},
+        faults={"injected": faults} if faults is not None else None,
     )
-    result = sweep.run(scale=args.scale, seed=args.seed, workers=args.workers)
+    result = sweep.run(scale=args.scale, seed=args.seed, workers=args.workers,
+                       max_events_per_run=args.max_events)
     print(result.table(args.metric))
     policies = [p.strip() for p in args.policies.split(",") if p.strip()]
-    if len(policies) >= 2:
+    if len(policies) >= 2 and not result.failures:
         print()
         print(result.speedup_table(policies[0], policies[1]))
+    if result.failures:
+        print()
+        print(result.failure_table())
+        return 1
     return 0
 
 
@@ -301,7 +376,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except KeyError as exc:
+    except (KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -1,5 +1,11 @@
 """Configuration objects: Table I hyperparameters and Table II system config."""
 
+from repro.config.faults import (
+    NO_FAULTS,
+    FaultConfig,
+    LinkFaultSpec,
+    ThrottleSpec,
+)
 from repro.config.hyperparams import GriffinHyperParams
 from repro.config.system import (
     CacheConfig,
@@ -19,6 +25,10 @@ from repro.config.presets import (
 )
 
 __all__ = [
+    "FaultConfig",
+    "LinkFaultSpec",
+    "ThrottleSpec",
+    "NO_FAULTS",
     "GriffinHyperParams",
     "CacheConfig",
     "DRAMConfig",

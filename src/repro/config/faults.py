@@ -1,0 +1,160 @@
+"""Fault-injection configuration: the resilience axis of a run.
+
+A :class:`FaultConfig` declares *what can go wrong* during a simulation —
+degraded or stalled fabric links, dropped page-migration transfers, late
+or timed-out TLB-shootdown acknowledgements, throttled shader engines —
+plus the retry/backoff policy the driver uses to recover.  It is pure
+declarative data: the seeded decision-making lives in
+:class:`repro.resilience.injector.FaultInjector`, so the same config plus
+the same seed always injects the same faults at the same points.
+
+The default config injects nothing (``enabled`` is False) and leaves every
+simulation byte-identical to a run without fault support compiled in.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class LinkFaultSpec:
+    """One fabric port misbehaving during a time window.
+
+    Attributes:
+        device: Fabric port id (GPU id, or -1 for the CPU port).
+        start / end: Simulation-cycle window in which the fault is active.
+        bandwidth_factor: Multiplier on the port's effective bandwidth
+            while active (0 < factor <= 1; 0.25 means the link serializes
+            four times slower).
+        extra_latency: Additional one-way latency cycles charged per
+            transfer touching the port while active.
+    """
+
+    device: int
+    start: float = 0.0
+    end: float = math.inf
+    bandwidth_factor: float = 1.0
+    extra_latency: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.bandwidth_factor <= 1.0:
+            raise ValueError("bandwidth_factor must be in (0, 1]")
+        if self.extra_latency < 0:
+            raise ValueError("extra_latency must be >= 0")
+        if self.end < self.start:
+            raise ValueError("fault window end must be >= start")
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+
+@dataclass(frozen=True)
+class ThrottleSpec:
+    """One GPU's shader engines running slow during a time window.
+
+    Attributes:
+        gpu: Throttled GPU id.
+        start / end: Simulation-cycle window in which the throttle holds.
+        issue_delay_factor: Multiplier (>= 1) applied to every inter-access
+            issue delay on the GPU's compute units while active.
+    """
+
+    gpu: int
+    start: float = 0.0
+    end: float = math.inf
+    issue_delay_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.issue_delay_factor < 1.0:
+            raise ValueError("issue_delay_factor must be >= 1")
+        if self.end < self.start:
+            raise ValueError("throttle window end must be >= start")
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Deterministic fault plan plus the driver's recovery policy.
+
+    Attributes:
+        migration_drop_rate: Probability that one page-migration transfer
+            is dropped (NACKed) on arrival and must be retried.
+        shootdown_ack_delay: Extra cycles added to every TLB-shootdown
+            acknowledgement round.
+        shootdown_timeout_rate: Probability that a shootdown round times
+            out once before being acknowledged.
+        shootdown_timeout_cycles: Penalty paid by a timed-out round.
+        link_faults: Fabric-port degradations/stalls (time-windowed).
+        throttles: Shader-engine slowdowns (time-windowed).
+        max_migration_attempts: Transfer attempts per page before the
+            driver gives up, pins the page in place, and serves it by DCA
+            remote access.  0 means retry forever (a stress configuration
+            that deliberately livelocks under a 100% drop rate; pair it
+            with a per-run event budget).
+        retry_backoff_cycles: Delay before the first retry.
+        retry_backoff_multiplier: Exponential growth of the retry delay.
+    """
+
+    migration_drop_rate: float = 0.0
+    shootdown_ack_delay: int = 0
+    shootdown_timeout_rate: float = 0.0
+    shootdown_timeout_cycles: int = 1_000
+    link_faults: tuple[LinkFaultSpec, ...] = ()
+    throttles: tuple[ThrottleSpec, ...] = ()
+    max_migration_attempts: int = 3
+    retry_backoff_cycles: int = 2_000
+    retry_backoff_multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        for name in ("migration_drop_rate", "shootdown_timeout_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if self.shootdown_ack_delay < 0 or self.shootdown_timeout_cycles < 0:
+            raise ValueError("shootdown penalties must be >= 0")
+        if self.max_migration_attempts < 0:
+            raise ValueError("max_migration_attempts must be >= 0")
+        if self.retry_backoff_cycles < 1:
+            raise ValueError("retry_backoff_cycles must be >= 1")
+        if self.retry_backoff_multiplier < 1.0:
+            raise ValueError("retry_backoff_multiplier must be >= 1")
+
+    @property
+    def enabled(self) -> bool:
+        """True when any fault can actually fire."""
+        return bool(
+            self.migration_drop_rate > 0.0
+            or self.shootdown_ack_delay > 0
+            or self.shootdown_timeout_rate > 0.0
+            or self.link_faults
+            or self.throttles
+        )
+
+    def with_overrides(self, **kwargs: object) -> "FaultConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)  # type: ignore[arg-type]
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the active fault axes."""
+        parts = []
+        if self.migration_drop_rate > 0:
+            parts.append(f"drop {self.migration_drop_rate:.0%} of migrations")
+        if self.shootdown_ack_delay > 0:
+            parts.append(f"+{self.shootdown_ack_delay}cyc shootdown acks")
+        if self.shootdown_timeout_rate > 0:
+            parts.append(
+                f"{self.shootdown_timeout_rate:.0%} shootdown timeouts"
+            )
+        if self.link_faults:
+            parts.append(f"{len(self.link_faults)} link fault(s)")
+        if self.throttles:
+            parts.append(f"{len(self.throttles)} GPU throttle(s)")
+        return "; ".join(parts) if parts else "no faults"
+
+
+NO_FAULTS = FaultConfig()
+"""The default: nothing injected, simulations bit-identical to pre-fault runs."""

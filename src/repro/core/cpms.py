@@ -18,7 +18,7 @@ batching:
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Collection, Optional
 
 from repro.config.hyperparams import GriffinHyperParams
 from repro.core.classification import MigrationCandidate
@@ -96,9 +96,12 @@ class MigrationPlanner:
         self.rounds_planned = 0
         self.pages_planned = 0
         self.candidates_deferred = 0
+        self.candidates_pinned = 0
 
     def plan(
-        self, candidates: list[MigrationCandidate]
+        self,
+        candidates: list[MigrationCandidate],
+        pinned: Optional[Collection[int]] = None,
     ) -> dict[int, list[MigrationCandidate]]:
         """Group candidates by source GPU under the per-round caps.
 
@@ -106,8 +109,16 @@ class MigrationPlanner:
         the single drain each source pays buys the most locality.  Within
         the admitted sources, pages are taken best-benefit-first until the
         page cap is reached.
+
+        Pages in ``pinned`` — ones the driver gave up migrating after its
+        retry budget ran out — are dropped from the plan: they are served
+        by DCA remote access and re-attempting them would burn a drain.
         """
         self.rounds_planned += 1
+        if pinned:
+            kept = [c for c in candidates if c.page not in pinned]
+            self.candidates_pinned += len(candidates) - len(kept)
+            candidates = kept
         if not candidates:
             return {}
 

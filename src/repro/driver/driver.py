@@ -18,6 +18,12 @@ Pages are blocked (``PageEntry.migrating``) only while their data is
 actually in transfer; during the drain itself accesses keep being serviced
 at the source, which is both what the hardware would do (the data has not
 moved yet) and what makes the drain guaranteed to terminate.
+
+Under fault injection the migration path is additionally *fault-aware*:
+a page transfer the injector drops is retried with exponential backoff up
+to a bounded attempt budget, and on exhaustion the driver degrades
+gracefully — the page is pinned where it is and served by DCA remote
+access (the paper's own baseline path) instead of hanging its waiters.
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ from repro.core.predictive import PredictiveMigration
 from repro.driver.fault import PageFault
 from repro.interconnect.link import CPU_PORT
 from repro.mem.access import AccessKind, MemoryTransaction
+from repro.resilience.retry import ExponentialBackoff
 from repro.sim.component import Component
 from repro.sim.resource import SlotResource
 
@@ -81,6 +88,16 @@ class GPUDriver(Component):
             g: [] for g in range(machine.num_gpus)
         }
 
+        # Fault awareness: injector (None in a clean run), retry schedule,
+        # per-page attempt counts, and pages pinned after retry exhaustion.
+        self.injector = machine.fault_injector
+        self.backoff = (
+            ExponentialBackoff.from_config(machine.faults)
+            if machine.faults is not None else ExponentialBackoff()
+        )
+        self._attempts: dict[int, int] = {}
+        self._pinned: set[int] = set()
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -107,6 +124,14 @@ class GPUDriver(Component):
         entry = machine.page_table.entry(txn.page)
         if entry.first_touch_gpu is None:
             entry.first_touch_gpu = txn.gpu_id
+        if txn.page in self._pinned:
+            # Migration already failed past its retry budget: the page is
+            # pinned in CPU memory and served by DCA (the baseline path).
+            txn.kind = AccessKind.CPU_DCA
+            self.bump("pinned_dca_redirects")
+            reply = machine.iommu.reply_time(walk_done, txn.gpu_id)
+            machine.access_path.cpu_dca_access(txn, reply, on_complete)
+            return
         decision = self.dftm.decide(txn.gpu_id, entry)
         if decision == FaultDecision.DCA:
             # IOMMU returns the CPU physical address; access via DCA.
@@ -131,6 +156,7 @@ class GPUDriver(Component):
         machine = self.machine
         timing = machine.config.timing
         cost = timing.cpu_flush_cycles + timing.page_fault_handler_cycles
+        cost += self._shootdown_ack_penalty()
         flush_done = self.cpu_service.acquire(self.now, cost)
         machine.shootdowns.record_cpu(len(batch))
         self.bump("fault_batches")
@@ -138,21 +164,84 @@ class GPUDriver(Component):
 
         def start_transfers() -> None:
             for fault in batch:
-                machine.pmc.transfer_pages(
-                    self.now,
-                    [fault.page],
-                    CPU_PORT,
-                    fault.dst_gpu,
+                self._transfer_with_retry(
+                    [fault.page], CPU_PORT, fault.dst_gpu,
                     self._make_cpu_arrival(fault.dst_gpu),
                 )
 
         self.engine.schedule_at(max(flush_done, self.now), start_transfers)
 
     def _make_cpu_arrival(self, dst_gpu: int):
-        def on_arrival(page: int, arrival: float) -> None:
-            self._complete_migration(page, CPU_PORT, dst_gpu)
+        def on_done(page: int, migrated: bool) -> None:
+            if migrated:
+                self._complete_migration(page, CPU_PORT, dst_gpu)
+            else:
+                self._abandon_migration(page)
 
-        return on_arrival
+        return on_done
+
+    # ------------------------------------------------------------------
+    # Fault-aware transfer: retry with backoff, then degrade to DCA
+    # ------------------------------------------------------------------
+
+    def _transfer_with_retry(
+        self, pages: list, src: int, dst: int, on_done: Callable[[int, bool], None]
+    ) -> None:
+        """Stream pages ``src`` -> ``dst``; ``on_done(page, migrated)``
+        fires exactly once per page.
+
+        Without an injector this is a plain PMC transfer.  With one, each
+        page whose transfer is dropped is retried after exponential
+        backoff; when the attempt budget is exhausted the page is reported
+        un-migrated (``migrated=False``) so the caller can degrade.
+        """
+
+        def on_arrival(page: int, arrival: float) -> None:
+            if self.injector is not None and not self.injector.migration_transfer_ok(
+                page, src, dst
+            ):
+                attempt = self._attempts.get(page, 0) + 1
+                self._attempts[page] = attempt
+                if self.backoff.exhausted(attempt):
+                    del self._attempts[page]
+                    self.bump("migration_fallbacks")
+                    on_done(page, False)
+                    return
+                self.bump("migration_retries")
+                self.engine.schedule(
+                    self.backoff.delay(attempt),
+                    self._reissue_transfer, page, src, dst, on_arrival,
+                )
+                return
+            self._attempts.pop(page, None)
+            on_done(page, True)
+
+        self.machine.pmc.transfer_pages(self.now, pages, src, dst, on_arrival)
+
+    def _reissue_transfer(self, page: int, src: int, dst: int, on_arrival) -> None:
+        self.machine.pmc.transfer_pages(self.now, [page], src, dst, on_arrival)
+
+    def _abandon_migration(self, page: int) -> None:
+        """Retry budget exhausted: pin the page where it is and serve it
+        by DCA remote access (the paper's baseline path)."""
+        entry = self.machine.page_table.entry(page)
+        entry.migrating = False
+        self._pinned.add(page)
+        self.bump("pages_pinned")
+        self._wake_waiters(page)
+
+    def pinned_pages(self) -> set:
+        """Pages permanently downgraded to DCA after failed migrations."""
+        return set(self._pinned)
+
+    def _shootdown_ack_penalty(self) -> int:
+        """Injected ack delay (and timeout) for one shootdown round."""
+        if self.injector is None:
+            return 0
+        delay, timed_out = self.injector.shootdown_penalty()
+        if delay or timed_out:
+            self.machine.shootdowns.record_ack_penalty(delay, timed_out)
+        return delay
 
     # ------------------------------------------------------------------
     # Periodic DPC collection
@@ -221,7 +310,7 @@ class GPUDriver(Component):
             candidates = corrections + [
                 c for c in candidates if c.page not in correction_pages
             ]
-        plan = self.planner.plan(candidates)
+        plan = self.planner.plan(candidates, pinned=self._pinned)
         if not plan:
             return
         if self.adaptive is not None:
@@ -276,6 +365,7 @@ class GPUDriver(Component):
             invalidated = gpu.flush_all_tlbs()
             gpu.hierarchy.flush_all()
             delay = timing.tlb_shootdown_cycles
+        delay += self._shootdown_ack_penalty()
         machine.shootdowns.record_gpu(src, invalidated)
         self.bump("inter_gpu_pages_selected", len(pages))
         self.engine.schedule(delay, self._start_transfer, src, cands, pending_sources)
@@ -296,8 +386,11 @@ class GPUDriver(Component):
 
         outstanding = [len(destinations)]
 
-        def on_arrival(page: int, arrival: float) -> None:
-            self._complete_migration(page, src, destinations[page])
+        def page_done(page: int, migrated: bool) -> None:
+            if migrated:
+                self._complete_migration(page, src, destinations[page])
+            else:
+                self._abandon_migration(page)
             outstanding[0] -= 1
             if outstanding[0] == 0:
                 pending_sources[0] -= 1
@@ -305,7 +398,7 @@ class GPUDriver(Component):
                     self._round_active = False
 
         for dst, pages in by_dst.items():
-            machine.pmc.transfer_pages(self.now, pages, src, dst, on_arrival)
+            self._transfer_with_retry(pages, src, dst, page_done)
 
     def _complete_migration(self, page: int, src: int, dst: int) -> None:
         machine = self.machine

@@ -79,6 +79,14 @@ class ComputeUnit(Component):
         self._drain_callback: Optional[Callable[[], None]] = None
         self._flush_callback: Optional[Callable[[], None]] = None
         self._flush_discarded = 0
+        # Fault injection: multiplier (>= 1) applied to inter-access issue
+        # delays; wired by Machine when a throttle fault targets this GPU.
+        self.throttle_fn: Optional[Callable[[float], float]] = None
+
+    def _issue_delay(self, delay: float) -> float:
+        if self.throttle_fn is not None:
+            return delay * self.throttle_fn(self.now)
+        return delay
 
     # ------------------------------------------------------------------
     # Workgroup lifecycle
@@ -105,7 +113,7 @@ class ComputeUnit(Component):
             for trace in live:
                 cursor = _WavefrontCursor(workgroup, trace.accesses)
                 self._active_cursors.add(cursor)
-                delay = trace.accesses[0][0]
+                delay = self._issue_delay(trace.accesses[0][0])
                 self.engine.schedule(delay, self._ready_to_issue, cursor)
 
     def _finish_wavefront(self, cursor: _WavefrontCursor) -> None:
@@ -182,7 +190,7 @@ class ComputeUnit(Component):
         if cursor.index >= len(cursor.accesses):
             self._finish_wavefront(cursor)
             return
-        delay = cursor.accesses[cursor.index][0]
+        delay = self._issue_delay(cursor.accesses[cursor.index][0])
         self.engine.schedule(delay, self._ready_to_issue, cursor)
 
     # ------------------------------------------------------------------

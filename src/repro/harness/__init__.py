@@ -1,13 +1,14 @@
 """Experiment harness: run workloads, compare policies, regenerate figures."""
 
 from repro.harness.io import load_result, save_result
-from repro.harness.results import RunResult
+from repro.harness.results import FailedRun, RunResult
 from repro.harness.runner import run_workload, compare_policies
 from repro.harness.sweep import Sweep, SweepKey, SweepResult
 from repro.harness.validate import ValidationReport, validate_reproduction
 
 __all__ = [
     "RunResult",
+    "FailedRun",
     "run_workload",
     "compare_policies",
     "save_result",

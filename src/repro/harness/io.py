@@ -39,6 +39,14 @@ def result_to_dict(result: RunResult) -> dict:
         ],
         "seed": result.seed,
         "scale": result.scale,
+        "resilience": {
+            "migration_retries": result.migration_retries,
+            "migration_fallbacks": result.migration_fallbacks,
+            "pages_pinned": result.pages_pinned,
+            "shootdown_timeouts": result.shootdown_timeouts,
+            "transfers_dropped": result.transfers_dropped,
+        },
+        "events_executed": result.events_executed,
     }
 
 
@@ -69,6 +77,13 @@ def result_from_dict(data: dict) -> RunResult:
         ],
         seed=data["seed"],
         scale=data["scale"],
+        # Pre-resilience files simply lack these; default them to zero.
+        migration_retries=data.get("resilience", {}).get("migration_retries", 0),
+        migration_fallbacks=data.get("resilience", {}).get("migration_fallbacks", 0),
+        pages_pinned=data.get("resilience", {}).get("pages_pinned", 0),
+        shootdown_timeouts=data.get("resilience", {}).get("shootdown_timeouts", 0),
+        transfers_dropped=data.get("resilience", {}).get("transfers_dropped", 0),
+        events_executed=data.get("events_executed", 0),
     )
 
 

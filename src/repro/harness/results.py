@@ -27,6 +27,12 @@ class RunResult:
         local_fraction: Share of transactions served from local memory.
         migration_events: Completed migrations (time, page, src, dst).
         seed / scale: Reproduction parameters of the run.
+        migration_retries: Transfers reissued after an injected drop.
+        migration_fallbacks: Migrations abandoned after the retry budget.
+        pages_pinned: Pages left serving via DCA after a fallback.
+        shootdown_timeouts: Injected TLB shootdown ack timeouts.
+        transfers_dropped: Injected page-transfer drops (incl. retried).
+        events_executed: Engine events consumed by the run.
     """
 
     workload: str
@@ -44,6 +50,12 @@ class RunResult:
     migration_events: list[MigrationEvent] = field(default_factory=list)
     seed: int = 0
     scale: float = 0.0
+    migration_retries: int = 0
+    migration_fallbacks: int = 0
+    pages_pinned: int = 0
+    shootdown_timeouts: int = 0
+    transfers_dropped: int = 0
+    events_executed: int = 0
     timeline: Optional[object] = None
     detail: Optional[dict] = None
 
@@ -70,3 +82,28 @@ class RunResult:
             self.total_shootdowns,
             self.total_migrations,
         ]
+
+
+@dataclass(frozen=True)
+class FailedRun:
+    """Structured record of a sweep point that did not complete.
+
+    Sweeps must always finish: a run that stalls, exhausts its event
+    budget, or raises is captured here (instead of killing the sweep) so
+    the surviving grid is still usable and the failure diagnosable.
+    """
+
+    workload: str
+    policy: str
+    error_type: str
+    message: str
+
+    @classmethod
+    def from_exception(cls, workload: str, policy: str,
+                       exc: BaseException) -> "FailedRun":
+        return cls(
+            workload=workload,
+            policy=policy,
+            error_type=type(exc).__name__,
+            message=str(exc).splitlines()[0] if str(exc) else "",
+        )

@@ -4,10 +4,12 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
+from repro.config.faults import FaultConfig
 from repro.config.hyperparams import GriffinHyperParams
 from repro.config.presets import small_system
 from repro.config.system import SystemConfig
-from repro.core.policies import PolicyConfig
+from repro.core.policies import PolicyConfig, get_policy, list_policies
+from repro.gpu.dispatcher import DISPATCH_STRATEGIES
 from repro.harness.results import RunResult
 from repro.system.machine import Machine
 from repro.workloads.base import WorkloadBase
@@ -26,6 +28,9 @@ def run_workload(
     keep_timeline: bool = False,
     collect_detail: bool = False,
     dispatch_strategy: str = "round_robin",
+    faults: Optional[FaultConfig] = None,
+    max_events: Optional[int] = None,
+    stall_threshold: Optional[int] = 1_000_000,
 ) -> RunResult:
     """Simulate ``workload`` under ``policy`` and return the results.
 
@@ -44,7 +49,27 @@ def run_workload(
             (:func:`repro.metrics.collector.collect_machine_stats`).
         dispatch_strategy: Workgroup-to-GPU assignment ("round_robin",
             the paper's policy, or "chunked").
+        faults: Fault-injection plan (None or a disabled config leaves the
+            run bit-identical to a fault-free simulation).
+        max_events: Per-run event budget; exhausting it raises
+            :class:`~repro.sim.engine.SimulationStall` instead of hanging.
+        stall_threshold: Engine livelock watchdog (None disables).
     """
+    # Validate the cheap knobs eagerly, with the valid choices in the
+    # error, instead of failing deep inside Machine construction.
+    if isinstance(policy, str):
+        try:
+            policy = get_policy(policy)
+        except KeyError:
+            raise ValueError(
+                f"unknown policy {policy!r}; valid choices: "
+                f"{', '.join(list_policies())}"
+            ) from None
+    if dispatch_strategy not in DISPATCH_STRATEGIES:
+        raise ValueError(
+            f"unknown dispatch strategy {dispatch_strategy!r}; valid "
+            f"choices: {', '.join(DISPATCH_STRATEGIES)}"
+        )
     if config is None:
         config = small_system()
     if isinstance(workload, str):
@@ -68,12 +93,17 @@ def run_workload(
         timeline_bucket=timeline_bucket,
         watch_pages=watch_pages,
         dispatch_strategy=dispatch_strategy,
+        faults=faults,
+        fault_seed=workload.seed,
     )
     kernels = workload.build_kernels(config.num_gpus)
-    cycles = machine.run(kernels)
+    cycles = machine.run(
+        kernels, max_events=max_events, stall_threshold=stall_threshold
+    )
 
     driver = machine.driver
     page_table = machine.page_table
+    injector = machine.fault_injector
     result = RunResult(
         workload=workload.spec.abbrev,
         policy=machine.policy.name,
@@ -90,6 +120,14 @@ def run_workload(
         migration_events=list(machine.migration_events),
         seed=workload.seed,
         scale=workload.scale,
+        migration_retries=int(driver.stat("migration_retries")),
+        migration_fallbacks=int(driver.stat("migration_fallbacks")),
+        pages_pinned=int(driver.stat("pages_pinned")),
+        shootdown_timeouts=machine.shootdowns.timeouts,
+        transfers_dropped=(
+            int(injector.stat("transfers_dropped")) if injector else 0
+        ),
+        events_executed=machine.engine.events_executed,
         timeline=machine.timeline if keep_timeline else None,
     )
     if collect_detail:

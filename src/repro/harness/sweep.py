@@ -24,7 +24,7 @@ from typing import Optional
 from repro.config.hyperparams import GriffinHyperParams
 from repro.config.presets import small_system
 from repro.config.system import SystemConfig
-from repro.harness.results import RunResult
+from repro.harness.results import FailedRun, RunResult
 from repro.harness.runner import run_workload
 from repro.metrics.report import format_table, geometric_mean
 
@@ -46,17 +46,39 @@ class SweepKey:
     policy: str
     config: str
     hyper: str
+    fault: str = "none"
 
 
 @dataclass
 class SweepResult:
-    """All runs of one sweep, indexed by :class:`SweepKey`."""
+    """All runs of one sweep, indexed by :class:`SweepKey`.
+
+    Attributes:
+        points: SweepKey -> RunResult for every completed grid point.
+        failures: SweepKey -> :class:`FailedRun` for points that stalled,
+            blew their event budget, or raised.  A sweep always completes;
+            a bad cell never takes the grid down with it.
+    """
 
     points: dict = field(default_factory=dict)  # SweepKey -> RunResult
+    failures: dict = field(default_factory=dict)  # SweepKey -> FailedRun
 
     def get(self, workload: str, policy: str, config: str = "default",
-            hyper: str = "default") -> RunResult:
-        return self.points[SweepKey(workload, policy, config, hyper)]
+            hyper: str = "default", fault: str = "none") -> RunResult:
+        return self.points[SweepKey(workload, policy, config, hyper, fault)]
+
+    def failure_table(self) -> str:
+        """Plain-text table of the failed grid points (empty grid -> '')."""
+        if not self.failures:
+            return ""
+        rows = [
+            [k.workload, k.policy, k.config, k.fault, f.error_type, f.message]
+            for k, f in self.failures.items()
+        ]
+        return format_table(
+            ["Workload", "Policy", "Config", "Fault", "Error", "Message"],
+            rows, "Sweep failures",
+        )
 
     def metric(self, name: str):
         """(key, value) pairs for a named metric."""
@@ -89,7 +111,7 @@ class SweepResult:
             ):
                 continue
             other = self.points.get(
-                SweepKey(key.workload, other_policy, config, hyper)
+                SweepKey(key.workload, other_policy, config, hyper, key.fault)
             )
             if other is not None:
                 out[key.workload] = run.cycles / other.cycles
@@ -118,31 +140,42 @@ class Sweep:
             ``small_system()`` under the name "default").
         hypers: Named hyperparameter sets (default: the calibrated set
             under the name "default").
+        faults: Named fault-injection plans (default: one fault-free run
+            under the name "none"; a ``None`` value means no faults).
     """
 
     workloads: list
     policies: list
     configs: Optional[dict] = None
     hypers: Optional[dict] = None
+    faults: Optional[dict] = None
 
     def size(self) -> int:
         configs = self.configs or {"default": None}
         hypers = self.hypers or {"default": None}
+        faults = self.faults or {"none": None}
         return (len(self.workloads) * len(self.policies)
-                * len(configs) * len(hypers))
+                * len(configs) * len(hypers) * len(faults))
 
-    def _grid(self, scale: float, seed: int):
+    def _grid(self, scale: float, seed: int, max_events, stall_threshold):
         configs = self.configs or {"default": small_system()}
         hypers = self.hypers or {"default": GriffinHyperParams.calibrated()}
+        faults = self.faults or {"none": None}
         for config_name, config in configs.items():
             for hyper_name, hyper in hypers.items():
-                for workload in self.workloads:
-                    for policy in self.policies:
-                        key = SweepKey(workload, policy, config_name, hyper_name)
-                        yield key, (workload, policy, config, hyper, scale, seed)
+                for fault_name, fault in faults.items():
+                    for workload in self.workloads:
+                        for policy in self.policies:
+                            key = SweepKey(workload, policy, config_name,
+                                           hyper_name, fault_name)
+                            yield key, (workload, policy, config, hyper,
+                                        scale, seed, fault, max_events,
+                                        stall_threshold)
 
     def run(self, scale: float = 0.015, seed: int = 3,
-            progress=None, workers: int = 1) -> SweepResult:
+            progress=None, workers: int = 1,
+            max_events_per_run: Optional[int] = None,
+            stall_threshold: Optional[int] = 1_000_000) -> SweepResult:
         """Execute every grid point; optionally report progress.
 
         Args:
@@ -153,14 +186,27 @@ class Sweep:
                 simulations, so they parallelize perfectly; results are
                 identical regardless of worker count (every run is
                 deterministic).
+            max_events_per_run: Event budget for each grid point — the
+                sweep-level no-hang guarantee.  A point that exhausts it
+                lands in ``SweepResult.failures``.
+            stall_threshold: Per-run livelock watchdog (None disables).
+
+        A point that raises is recorded as a :class:`FailedRun` in
+        ``SweepResult.failures``; the rest of the grid still runs.
         """
         result = SweepResult()
         total = self.size()
-        grid = list(self._grid(scale, seed))
+        grid = list(self._grid(scale, seed, max_events_per_run,
+                               stall_threshold))
 
         if workers <= 1:
             for done, (key, args) in enumerate(grid, start=1):
-                result.points[key] = _run_point(args)
+                try:
+                    result.points[key] = _run_point(args)
+                except Exception as exc:
+                    result.failures[key] = FailedRun.from_exception(
+                        key.workload, key.policy, exc
+                    )
                 if progress is not None:
                     progress(done, total, key)
             return result
@@ -170,7 +216,12 @@ class Sweep:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {key: pool.submit(_run_point, args) for key, args in grid}
             for done, (key, future) in enumerate(futures.items(), start=1):
-                result.points[key] = future.result()
+                try:
+                    result.points[key] = future.result()
+                except Exception as exc:
+                    result.failures[key] = FailedRun.from_exception(
+                        key.workload, key.policy, exc
+                    )
                 if progress is not None:
                     progress(done, total, key)
         return result
@@ -178,7 +229,9 @@ class Sweep:
 
 def _run_point(args) -> RunResult:
     """Execute one grid point (module-level for multiprocessing pickling)."""
-    workload, policy, config, hyper, scale, seed = args
+    (workload, policy, config, hyper, scale, seed,
+     fault, max_events, stall_threshold) = args
     return run_workload(
-        workload, policy, config=config, hyper=hyper, scale=scale, seed=seed
+        workload, policy, config=config, hyper=hyper, scale=scale, seed=seed,
+        faults=fault, max_events=max_events, stall_threshold=stall_threshold,
     )

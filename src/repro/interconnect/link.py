@@ -11,6 +11,7 @@ queues traffic on its own port exactly as the paper describes.
 from __future__ import annotations
 
 from repro.config.system import LinkConfig
+from repro.sim.engine import SimulationError
 from repro.sim.resource import ThroughputResource
 
 CPU_PORT = -1
@@ -45,9 +46,20 @@ class InterconnectFabric:
             self._ports[g] = DuplexLink(f"link.gpu{g}", rate, config.latency)
         self.transfers = 0
         self.total_bytes = 0
+        # Optional FaultInjector; wired by Machine when faults are enabled.
+        self.injector = None
+
+    def _require_port(self, device: int, role: str) -> DuplexLink:
+        port = self._ports.get(device)
+        if port is None:
+            raise SimulationError(
+                f"unknown fabric {role} port {device}; valid ports are "
+                f"{CPU_PORT} (CPU) and GPU ids 0..{self.num_gpus - 1}"
+            )
+        return port
 
     def port(self, device: int) -> DuplexLink:
-        return self._ports[device]
+        return self._require_port(device, "device")
 
     def transfer(self, now: float, src: int, dst: int, size_bytes: int) -> float:
         """Move ``size_bytes`` from ``src`` to ``dst``; returns arrival time.
@@ -55,13 +67,29 @@ class InterconnectFabric:
         Serialization is charged on the sender's TX pipe and the receiver's
         RX pipe; the payload then pays the one-way latency.
         """
+        src_port = self._require_port(src, "source")
+        dst_port = self._require_port(dst, "destination")
         if src == dst:
             return now
-        tx_done = self._ports[src].tx.acquire(now, size_bytes)
-        rx_done = self._ports[dst].rx.acquire(tx_done, size_bytes)
+        tx_size = rx_size = size_bytes
+        latency = self.config.latency
+        if self.injector is not None:
+            # Degraded bandwidth drains the pipe proportionally slower;
+            # stalls/latency faults add one-way delay.
+            tx_factor = self.injector.link_bandwidth_factor(src, now)
+            if tx_factor < 1.0:
+                tx_size = size_bytes / tx_factor
+            latency += self.injector.link_extra_latency(src, now)
+        tx_done = src_port.tx.acquire(now, tx_size)
+        if self.injector is not None:
+            rx_factor = self.injector.link_bandwidth_factor(dst, tx_done)
+            if rx_factor < 1.0:
+                rx_size = size_bytes / rx_factor
+            latency += self.injector.link_extra_latency(dst, tx_done)
+        rx_done = dst_port.rx.acquire(tx_done, rx_size)
         self.transfers += 1
         self.total_bytes += size_bytes
-        return rx_done + self.config.latency
+        return rx_done + latency
 
     def round_trip(
         self, now: float, requester: int, responder: int,
@@ -73,5 +101,5 @@ class InterconnectFabric:
 
     def port_utilization(self, device: int, elapsed: float) -> tuple[float, float]:
         """(tx, rx) utilization of a device's port over ``elapsed`` cycles."""
-        port = self._ports[device]
+        port = self._require_port(device, "device")
         return port.tx.utilization(elapsed), port.rx.utilization(elapsed)

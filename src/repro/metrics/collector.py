@@ -60,6 +60,32 @@ def _aggregate_tlbs(tlbs) -> dict:
     }
 
 
+def _resilience_stats(machine: "Machine") -> dict:
+    """Fault-injection and recovery counters (all zero on clean runs)."""
+    driver = machine.driver
+    injector = machine.fault_injector
+    stats = {
+        "faults_enabled": machine.faults is not None,
+        "migration_retries": int(driver.stat("migration_retries")),
+        "migration_fallbacks": int(driver.stat("migration_fallbacks")),
+        "pages_pinned": int(driver.stat("pages_pinned")),
+        "pinned_dca_redirects": int(driver.stat("pinned_dca_redirects")),
+    }
+    if injector is not None:
+        stats.update({
+            "transfers_dropped": int(injector.stat("transfers_dropped")),
+            "shootdown_timeouts": int(injector.stat("shootdown_timeouts")),
+            "shootdown_ack_delay_cycles": int(
+                injector.stat("shootdown_ack_delay_cycles")
+            ),
+            "link_degraded_transfers": int(
+                injector.stat("link_degraded_transfers")
+            ),
+            "throttled_issues": int(injector.stat("throttled_issues")),
+        })
+    return stats
+
+
 def collect_machine_stats(machine: "Machine") -> dict:
     """Harvest a nested statistics report from a finished machine."""
     elapsed = machine.finish_time or machine.engine.now or 1.0
@@ -136,7 +162,10 @@ def collect_machine_stats(machine: "Machine") -> dict:
             "cpu": machine.shootdowns.cpu_shootdowns,
             "gpu": machine.shootdowns.gpu_shootdowns,
             "gpu_entries_invalidated": machine.shootdowns.gpu_entries_invalidated,
+            "injected_timeouts": machine.shootdowns.timeouts,
+            "injected_ack_delay_cycles": machine.shootdowns.ack_delay_cycles,
         },
+        "resilience": _resilience_stats(machine),
         "page_table": {
             "total_migrations": machine.page_table.total_migrations,
             "cpu_to_gpu": machine.page_table.cpu_to_gpu_migrations,

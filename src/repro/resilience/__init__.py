@@ -1,0 +1,40 @@
+"""Deterministic fault injection and recovery (the resilience subsystem).
+
+Real UM stacks degrade gracefully when migration gets expensive or flaky:
+GPUVM falls back to remote access when migration is unprofitable, and
+cooperative memory managers recover transparently from transfer failures.
+This package gives the simulator the same properties:
+
+* :class:`~repro.config.faults.FaultConfig` (config layer) declares a
+  fault plan — dropped migration transfers, degraded/stalled fabric
+  links, delayed or timed-out TLB-shootdown acks, throttled shader
+  engines — plus the driver's retry/backoff budget.
+* :class:`~repro.resilience.injector.FaultInjector` turns the plan into
+  seeded, reproducible per-event decisions (driven by
+  :mod:`repro.sim.rng` streams, so the same seed + plan injects the same
+  faults at the same points).
+* :class:`~repro.resilience.retry.ExponentialBackoff` is the driver's
+  recovery policy: bounded retries with exponential backoff, then
+  degradation to pinning the page and serving it via DCA remote access —
+  the paper's own baseline path.
+
+See ``docs/resilience.md`` for the fault model and recovery semantics.
+"""
+
+from repro.config.faults import (
+    NO_FAULTS,
+    FaultConfig,
+    LinkFaultSpec,
+    ThrottleSpec,
+)
+from repro.resilience.injector import FaultInjector
+from repro.resilience.retry import ExponentialBackoff
+
+__all__ = [
+    "FaultConfig",
+    "LinkFaultSpec",
+    "ThrottleSpec",
+    "NO_FAULTS",
+    "FaultInjector",
+    "ExponentialBackoff",
+]

@@ -1,0 +1,114 @@
+"""Seeded fault injection: turning a :class:`FaultConfig` into decisions.
+
+Every stochastic fault decision draws from its own labelled
+:mod:`repro.sim.rng` stream derived from ``(seed, "fault", <subsystem>)``,
+so the same seed + plan injects the same faults at the same simulation
+points, and enabling one fault class never perturbs another's sequence.
+Deterministic (time-windowed) faults — link degradation, GPU throttling —
+consume no randomness at all.
+"""
+
+from __future__ import annotations
+
+from repro.config.faults import FaultConfig, LinkFaultSpec, ThrottleSpec
+from repro.sim.component import Component
+from repro.sim.engine import Engine
+from repro.sim.rng import make_rng
+
+
+class FaultInjector(Component):
+    """Answers "does this fault fire here?" for every hooked component.
+
+    The injector is consulted by the fabric (per transfer), the driver
+    (per page-migration arrival and per shootdown round), and the compute
+    units (per issue delay).  All counters live in the component ``stats``
+    dict so the metrics collector harvests them uniformly.
+    """
+
+    def __init__(self, engine: Engine, faults: FaultConfig, seed: int) -> None:
+        super().__init__(engine, "fault_injector")
+        self.faults = faults
+        self.seed = seed
+        self._rng_migration = make_rng(seed, "fault", "migration")
+        self._rng_shootdown = make_rng(seed, "fault", "shootdown")
+        self._link_faults: dict[int, list[LinkFaultSpec]] = {}
+        for spec in faults.link_faults:
+            self._link_faults.setdefault(spec.device, []).append(spec)
+        self._throttles: dict[int, list[ThrottleSpec]] = {}
+        for throttle in faults.throttles:
+            self._throttles.setdefault(throttle.gpu, []).append(throttle)
+
+    # ------------------------------------------------------------------
+    # Page-migration transfers
+    # ------------------------------------------------------------------
+
+    def migration_transfer_ok(self, page: int, src: int, dst: int) -> bool:
+        """Whether one page's data transfer landed intact (else NACKed)."""
+        rate = self.faults.migration_drop_rate
+        if rate <= 0.0:
+            return True
+        if self._rng_migration.random() < rate:
+            self.bump("transfers_dropped")
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # TLB shootdown acknowledgements
+    # ------------------------------------------------------------------
+
+    def shootdown_penalty(self) -> tuple[int, bool]:
+        """(extra ack cycles, timed_out) for one shootdown round."""
+        delay = self.faults.shootdown_ack_delay
+        timed_out = False
+        rate = self.faults.shootdown_timeout_rate
+        if rate > 0.0 and self._rng_shootdown.random() < rate:
+            timed_out = True
+            delay += self.faults.shootdown_timeout_cycles
+            self.bump("shootdown_timeouts")
+        if delay:
+            self.bump("shootdown_ack_delay_cycles", delay)
+        return delay, timed_out
+
+    # ------------------------------------------------------------------
+    # Fabric links (deterministic, time-windowed)
+    # ------------------------------------------------------------------
+
+    def link_bandwidth_factor(self, device: int, now: float) -> float:
+        """Effective bandwidth multiplier for a port at ``now`` (<= 1)."""
+        factor = 1.0
+        for spec in self._link_faults.get(device, ()):
+            if spec.active(now):
+                factor = min(factor, spec.bandwidth_factor)
+        if factor < 1.0:
+            self.bump("link_degraded_transfers")
+        return factor
+
+    def link_extra_latency(self, device: int, now: float) -> int:
+        """Additional one-way latency charged on a port at ``now``."""
+        extra = 0
+        for spec in self._link_faults.get(device, ()):
+            if spec.active(now):
+                extra += spec.extra_latency
+        if extra:
+            self.bump("link_extra_latency_cycles", extra)
+        return extra
+
+    def has_link_faults(self, device: int) -> bool:
+        return device in self._link_faults
+
+    # ------------------------------------------------------------------
+    # Shader-engine throttling (deterministic, time-windowed)
+    # ------------------------------------------------------------------
+
+    def throttle_factor(self, gpu_id: int, now: float) -> float:
+        """Issue-delay multiplier for a GPU's CUs at ``now`` (>= 1)."""
+        factor = 1.0
+        for throttle in self._throttles.get(gpu_id, ()):
+            if throttle.active(now):
+                factor = max(factor, throttle.issue_delay_factor)
+        if factor > 1.0:
+            self.bump("throttled_issues")
+        return factor
+
+    def has_throttle(self, gpu_id: int) -> bool:
+        return gpu_id in self._throttles

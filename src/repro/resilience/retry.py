@@ -1,0 +1,43 @@
+"""Bounded exponential backoff for migration retries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.config.faults import FaultConfig
+
+
+@dataclass(frozen=True)
+class ExponentialBackoff:
+    """Retry schedule: ``base * multiplier**(attempt-1)`` cycles.
+
+    Attributes:
+        base: Delay before the first retry (cycles).
+        multiplier: Exponential growth factor per failed attempt.
+        max_attempts: Attempt budget before the caller must give up and
+            degrade (0 = unbounded, for stress configurations).
+    """
+
+    base: int = 2_000
+    multiplier: float = 2.0
+    max_attempts: int = 3
+
+    @classmethod
+    def from_config(cls, faults: "FaultConfig") -> "ExponentialBackoff":
+        return cls(
+            base=faults.retry_backoff_cycles,
+            multiplier=faults.retry_backoff_multiplier,
+            max_attempts=faults.max_migration_attempts,
+        )
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-indexed)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-indexed")
+        return self.base * self.multiplier ** (attempt - 1)
+
+    def exhausted(self, attempt: int) -> bool:
+        """True when ``attempt`` failures used up the whole budget."""
+        return self.max_attempts > 0 and attempt >= self.max_attempts

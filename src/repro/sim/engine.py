@@ -11,6 +11,20 @@ class SimulationError(RuntimeError):
     """Raised when the engine is driven into an invalid state."""
 
 
+class SimulationStall(SimulationError):
+    """The engine detected livelock or blew through its event budget.
+
+    Carries a diagnostic dump of the earliest pending events so a stalled
+    run can be debugged post-mortem instead of spinning forever.
+    """
+
+    def __init__(self, message: str, diagnostics: str = "") -> None:
+        super().__init__(
+            message + (f"\npending events:\n{diagnostics}" if diagnostics else "")
+        )
+        self.diagnostics = diagnostics
+
+
 class Engine:
     """Owns the simulation clock and runs events in timestamp order.
 
@@ -25,6 +39,9 @@ class Engine:
         self._running = False
         self._stopped = False
         self.events_executed = 0
+        # True when the last run() exited because max_events tripped —
+        # distinguishable from a clean queue drain.
+        self.exhausted = False
 
     @property
     def now(self) -> float:
@@ -63,12 +80,27 @@ class Engine:
         """Request that :meth:`run` return after the current event."""
         self._stopped = True
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stall_threshold: Optional[int] = None,
+        strict_budget: bool = False,
+    ) -> float:
         """Run events until the queue drains, ``until`` is reached, or stop().
 
         Args:
             until: Absolute time bound; events at later times stay queued.
             max_events: Safety valve on the number of events to execute.
+                Tripping it sets :attr:`exhausted` (and raises
+                :class:`SimulationStall` under ``strict_budget``) so the
+                caller can tell a blown budget from a clean drain.
+            stall_threshold: Watchdog — if this many consecutive events
+                execute without the clock advancing (a zero-delay livelock
+                cycle), raise :class:`SimulationStall` with a dump of the
+                pending events instead of spinning forever.
+            strict_budget: Raise :class:`SimulationStall` when the event
+                budget trips instead of returning with the flag set.
 
         Returns:
             The simulation time when the loop exited.
@@ -77,7 +109,9 @@ class Engine:
             raise SimulationError("engine is not reentrant")
         self._running = True
         self._stopped = False
+        self.exhausted = False
         executed = 0
+        stalled_events = 0
         try:
             while True:
                 if self._stopped:
@@ -90,15 +124,53 @@ class Engine:
                     break
                 event = self._queue.pop()
                 assert event is not None
+                if stall_threshold is not None:
+                    if event.time > self._now:
+                        stalled_events = 0
+                    else:
+                        stalled_events += 1
+                        if stalled_events >= stall_threshold:
+                            # The event being executed is already popped, so
+                            # name it explicitly alongside the queue dump.
+                            raise SimulationStall(
+                                f"no-progress livelock: {stalled_events} "
+                                f"consecutive events at t={self._now} "
+                                "without the clock advancing",
+                                self._format_event(event, " <- executing")
+                                + ("\n" + self.dump_pending()
+                                   if len(self._queue) else ""),
+                            )
                 self._now = event.time
                 event.callback(*event.args)
                 self.events_executed += 1
                 executed += 1
                 if max_events is not None and executed >= max_events:
+                    self.exhausted = True
+                    if strict_budget:
+                        raise SimulationStall(
+                            f"event budget exhausted ({max_events} events) "
+                            f"at t={self._now} with "
+                            f"{self.pending_events()} events pending",
+                            self.dump_pending(),
+                        )
                     break
         finally:
             self._running = False
         return self._now
+
+    @staticmethod
+    def _format_event(event: Event, suffix: str = "") -> str:
+        name = getattr(event.callback, "__qualname__", repr(event.callback))
+        args = ", ".join(repr(a) for a in event.args[:4])
+        return f"  t={event.time:.1f} prio={event.priority} {name}({args}){suffix}"
+
+    def dump_pending(self, limit: int = 20) -> str:
+        """Human-readable dump of the earliest pending events (diagnostics)."""
+        lines = [self._format_event(e) for e in self._queue.snapshot(limit)]
+        remaining = self.pending_events() - len(lines)
+        if remaining > 0:
+            lines.append(f"  ... and {remaining} more")
+        return "\n".join(lines)
 
     def pending_events(self) -> int:
         """Number of live events still queued."""

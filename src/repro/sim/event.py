@@ -85,6 +85,12 @@ class EventQueue:
             return self._heap[0].time
         return None
 
+    def snapshot(self, limit: int = 20) -> list[Event]:
+        """The earliest ``limit`` live events, in firing order (diagnostics)."""
+        live = [e for e in self._heap if not e.cancelled]
+        live.sort()
+        return live[:limit]
+
     def __len__(self) -> int:
         return sum(1 for e in self._heap if not e.cancelled)
 

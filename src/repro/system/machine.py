@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.config.faults import FaultConfig
 from repro.config.hyperparams import GriffinHyperParams
 from repro.config.system import SystemConfig
 from repro.core.policies import PolicyConfig, get_policy
@@ -20,7 +21,8 @@ from repro.gpu.wavefront import Kernel
 from repro.interconnect.arbiter import BiasedArbiter
 from repro.interconnect.link import InterconnectFabric
 from repro.metrics.timeline import MigrationEvent, PageAccessTimeline
-from repro.sim.engine import Engine
+from repro.resilience.injector import FaultInjector
+from repro.sim.engine import Engine, SimulationStall
 from repro.sim.resource import ThroughputResource
 from repro.system.access_path import MemoryAccessPath
 from repro.vm.iommu import IOMMU
@@ -39,6 +41,8 @@ class Machine:
         timeline_bucket: int = 10_000,
         watch_pages=None,
         dispatch_strategy: str = "round_robin",
+        faults: Optional[FaultConfig] = None,
+        fault_seed: int = 0,
     ) -> None:
         if isinstance(policy, str):
             policy = get_policy(policy)
@@ -48,10 +52,18 @@ class Machine:
         self.num_gpus = config.num_gpus
 
         self.engine = Engine()
+        # Fault injection: a disabled (or absent) FaultConfig leaves every
+        # component un-hooked so clean runs stay byte-identical.
+        self.faults = faults if faults is not None and faults.enabled else None
+        self.fault_injector = (
+            FaultInjector(self.engine, self.faults, fault_seed)
+            if self.faults is not None else None
+        )
         self.page_table = PageTable(config.num_gpus, config.page_size)
         self.fabric = InterconnectFabric(
             config.link, config.num_gpus, config.gpu.clock_ghz
         )
+        self.fabric.injector = self.fault_injector
         self.arbiter = BiasedArbiter(config.num_gpus, bias=config.arbiter_bias)
         self.iommu = IOMMU(self.engine, config.iommu, self.fabric, self.arbiter)
         # CPU DRAM serving GPU DCA traffic (DDR-class bandwidth).
@@ -86,6 +98,13 @@ class Machine:
                     self.dispatcher.workgroup_complete,
                 )
             )
+        if self.fault_injector is not None:
+            injector = self.fault_injector
+            for gpu in self.gpus:
+                if injector.has_throttle(gpu.gpu_id):
+                    fn = self._make_throttle(injector, gpu.gpu_id)
+                    for cu in gpu.all_cus():
+                        cu.throttle_fn = fn
         self.pmc = PageMigrationController(
             self.engine, self.fabric, config.page_size
         )
@@ -94,6 +113,13 @@ class Machine:
         self.finish_time: Optional[float] = None
 
     # ------------------------------------------------------------------
+
+    @staticmethod
+    def _make_throttle(injector: FaultInjector, gpu_id: int):
+        def throttle(now: float) -> float:
+            return injector.throttle_factor(gpu_id, now)
+
+        return throttle
 
     def record_migration(self, now: float, page: int, src: int, dst: int) -> None:
         """Log one completed page migration (Figure 10 overlay data)."""
@@ -104,14 +130,35 @@ class Machine:
         self.driver.stop()
         self.engine.stop()
 
-    def run(self, kernels: list[Kernel], max_events: Optional[int] = None) -> float:
+    def run(
+        self,
+        kernels: list[Kernel],
+        max_events: Optional[int] = None,
+        stall_threshold: Optional[int] = 1_000_000,
+    ) -> float:
         """Execute the kernel sequence to completion.
+
+        Args:
+            max_events: Per-run event budget.  Exhausting it raises
+                :class:`SimulationStall` (the engine's ``exhausted`` flag
+                distinguishes it from a clean drain) instead of silently
+                returning a half-finished simulation.
+            stall_threshold: Engine watchdog — consecutive zero-progress
+                events tolerated before declaring livelock (None disables).
 
         Returns the makespan in cycles.
         """
         self.driver.start()
         self.dispatcher.run_kernels(kernels)
-        self.engine.run(max_events=max_events)
+        self.engine.run(max_events=max_events, stall_threshold=stall_threshold)
+        if self.engine.exhausted:
+            raise SimulationStall(
+                f"simulation exhausted its event budget ({max_events} events) "
+                "without completing all workgroups "
+                f"(t={self.engine.now:.0f}, "
+                f"pending: {self.engine.pending_events()})",
+                self.engine.dump_pending(),
+            )
         if self.finish_time is None:
             raise RuntimeError(
                 "simulation ended without completing all workgroups "

@@ -23,12 +23,18 @@ class ShootdownAccounting:
             (page migrating out of GPU memory).
         gpu_entries_invalidated: Total TLB entries dropped on GPUs.
         per_gpu: Shootdown rounds per GPU id.
+        timeouts: Acknowledgement rounds that timed out once before
+            completing (fault injection only; always 0 in a clean run).
+        ack_delay_cycles: Total extra acknowledgement latency injected
+            into shootdown rounds (fault injection only).
     """
 
     cpu_shootdowns: int = 0
     gpu_shootdowns: int = 0
     gpu_entries_invalidated: int = 0
     per_gpu: dict[int, int] = field(default_factory=dict)
+    timeouts: int = 0
+    ack_delay_cycles: int = 0
 
     def record_cpu(self, batch_size: int = 1) -> None:
         """One CPU flush/shootdown round covering ``batch_size`` pages."""
@@ -39,6 +45,13 @@ class ShootdownAccounting:
         self.gpu_shootdowns += 1
         self.gpu_entries_invalidated += entries_invalidated
         self.per_gpu[gpu_id] = self.per_gpu.get(gpu_id, 0) + 1
+
+    def record_ack_penalty(self, delay: int, timed_out: bool) -> None:
+        """Injected acknowledgement delay (and optional timeout) for one
+        round; the timing cost itself is charged by the driver."""
+        self.ack_delay_cycles += delay
+        if timed_out:
+            self.timeouts += 1
 
     @property
     def total(self) -> int:

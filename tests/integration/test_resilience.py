@@ -1,0 +1,288 @@
+"""Integration tests for fault injection, recovery, and the no-hang harness.
+
+The acceptance bar for the resilience subsystem:
+
+* an injected link-failure griffin run still *completes*, with nonzero
+  retry/fallback counters;
+* a sweep containing one deliberately-stalling cell still returns results
+  for every other cell, with the stall captured as a structured failure;
+* the engine watchdog turns silent livelock into a diagnosable error.
+"""
+
+import pytest
+
+from repro.config.faults import (
+    FaultConfig,
+    LinkFaultSpec,
+    ThrottleSpec,
+)
+from repro.config.presets import tiny_system
+from repro.harness.results import FailedRun
+from repro.harness.runner import run_workload
+from repro.harness.sweep import Sweep, SweepKey
+from repro.interconnect.link import CPU_PORT, InterconnectFabric
+from repro.sim.engine import Engine, SimulationError, SimulationStall
+
+SCALE = 0.005
+SEED = 9
+
+
+def run(workload="MT", policy="griffin", **kwargs):
+    return run_workload(workload, policy, config=tiny_system(),
+                        scale=SCALE, seed=SEED, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Migration retry and graceful degradation
+# ----------------------------------------------------------------------
+
+class TestMigrationRecovery:
+    def test_link_failure_run_completes_with_retries_and_fallbacks(self):
+        faults = FaultConfig(
+            migration_drop_rate=0.4,
+            link_faults=(LinkFaultSpec(device=CPU_PORT,
+                                       bandwidth_factor=0.5,
+                                       extra_latency=50),),
+        )
+        result = run(faults=faults)
+        assert result.cycles > 0  # the run finished
+        assert result.transfers_dropped > 0
+        assert result.migration_retries > 0
+        # at least one page blew its 3-attempt budget and was pinned
+        assert result.migration_fallbacks > 0
+        assert result.pages_pinned == result.migration_fallbacks
+
+    def test_drop_everything_with_bounded_retries_still_completes(self):
+        faults = FaultConfig(migration_drop_rate=1.0,
+                             max_migration_attempts=2)
+        result = run(faults=faults)
+        assert result.cycles > 0
+        # nothing ever lands: every attempted migration degrades to DCA
+        assert result.migration_fallbacks > 0
+        assert result.cpu_to_gpu_migrations == 0
+
+    def test_faulty_run_is_deterministic(self):
+        faults = FaultConfig(migration_drop_rate=0.3)
+        a, b = run(faults=faults), run(faults=faults)
+        assert a.cycles == b.cycles
+        assert a.migration_retries == b.migration_retries
+        assert a.transfers_dropped == b.transfers_dropped
+        assert a.occupancy.pages_per_gpu == b.occupancy.pages_per_gpu
+
+    def test_faults_cost_performance(self):
+        clean = run()
+        faulty = run(faults=FaultConfig(migration_drop_rate=0.5))
+        assert faulty.cycles > clean.cycles
+
+    def test_disabled_fault_config_is_identical_to_none(self):
+        clean = run()
+        noop = run(faults=FaultConfig())
+        assert noop.cycles == clean.cycles
+        assert noop.kind_counts == clean.kind_counts
+        assert noop.transfers_dropped == 0
+
+
+class TestShootdownFaults:
+    def test_ack_delay_slows_the_run(self):
+        clean = run()
+        slow = run(faults=FaultConfig(shootdown_ack_delay=500))
+        assert slow.cycles > clean.cycles
+        assert slow.shootdown_timeouts == 0
+
+    def test_timeouts_counted_and_costly(self):
+        faulty = run(faults=FaultConfig(shootdown_timeout_rate=1.0,
+                                        shootdown_timeout_cycles=800))
+        assert faulty.shootdown_timeouts > 0
+        assert faulty.cycles > run().cycles
+
+
+class TestThrottle:
+    def test_throttled_gpu_slows_the_machine(self):
+        clean = run()
+        throttled = run(faults=FaultConfig(
+            throttles=(ThrottleSpec(gpu=0, issue_delay_factor=4.0),)
+        ))
+        assert throttled.cycles > clean.cycles
+
+    def test_throttle_window_outside_the_run_is_free(self):
+        clean = run()
+        future = run(faults=FaultConfig(
+            throttles=(ThrottleSpec(gpu=0, issue_delay_factor=4.0,
+                                    start=1e15, end=2e15),)
+        ))
+        # the window never opens during the run, so no delay is scaled
+        assert future.cycles == clean.cycles
+
+
+# ----------------------------------------------------------------------
+# Engine watchdog and event budgets
+# ----------------------------------------------------------------------
+
+class TestWatchdog:
+    def test_zero_delay_livelock_raises_with_diagnostics(self):
+        engine = Engine()
+
+        def spin():
+            engine.schedule(0, spin)
+
+        engine.schedule(0, spin)
+        with pytest.raises(SimulationStall) as info:
+            engine.run(stall_threshold=300)
+        assert "livelock" in str(info.value)
+        assert "spin" in str(info.value)  # pending-event dump names it
+
+    def test_progressing_run_never_trips_watchdog(self):
+        result = run(stall_threshold=10_000)
+        assert result.cycles > 0
+
+    def test_exhausted_flag_set_on_budget(self):
+        engine = Engine()
+        for i in range(10):
+            engine.schedule(i, lambda: None)
+        engine.run(max_events=4)
+        assert engine.exhausted
+        assert engine.events_executed == 4
+        engine.run()  # drain the rest
+        assert not engine.exhausted
+
+    def test_strict_budget_raises(self):
+        engine = Engine()
+        for i in range(10):
+            engine.schedule(i, lambda: None)
+        with pytest.raises(SimulationStall, match="budget"):
+            engine.run(max_events=4, strict_budget=True)
+
+    def test_retry_forever_livelock_caught_by_event_budget(self):
+        # 100% drops + unbounded retries can never finish; the budget
+        # converts the hang into a diagnosable SimulationStall.
+        faults = FaultConfig(migration_drop_rate=1.0,
+                             max_migration_attempts=0)
+        with pytest.raises(SimulationStall, match="event budget"):
+            run(faults=faults, max_events=60_000)
+
+    def test_events_executed_reported(self):
+        assert run().events_executed > 0
+
+
+# ----------------------------------------------------------------------
+# Fabric port validation (satellite: descriptive errors)
+# ----------------------------------------------------------------------
+
+class TestFabricValidation:
+    @pytest.fixture()
+    def fabric(self):
+        cfg = tiny_system()
+        return InterconnectFabric(cfg.link, cfg.num_gpus, cfg.gpu.clock_ghz)
+
+    def test_transfer_rejects_bad_src(self, fabric):
+        with pytest.raises(SimulationError, match="source port 5"):
+            fabric.transfer(0.0, 5, 0, 4096)
+
+    def test_transfer_rejects_bad_dst(self, fabric):
+        with pytest.raises(SimulationError, match="destination port -3"):
+            fabric.transfer(0.0, CPU_PORT, -3, 4096)
+
+    def test_error_names_valid_range(self, fabric):
+        with pytest.raises(SimulationError, match=r"-1 \(CPU\) and GPU ids"):
+            fabric.port(99)
+
+
+# ----------------------------------------------------------------------
+# Eager harness validation (satellite: fail fast with choices listed)
+# ----------------------------------------------------------------------
+
+class TestEagerValidation:
+    def test_unknown_policy_lists_choices(self):
+        with pytest.raises(ValueError, match="baseline.*griffin"):
+            run(policy="not_a_policy")
+
+    def test_unknown_dispatch_strategy_lists_choices(self):
+        with pytest.raises(ValueError, match="round_robin.*chunked"):
+            run(dispatch_strategy="bogus")
+
+
+# ----------------------------------------------------------------------
+# Sweep isolation: one bad cell never takes down the grid
+# ----------------------------------------------------------------------
+
+class TestSweepIsolation:
+    def test_stalling_cell_recorded_other_cells_complete(self):
+        stalling = FaultConfig(migration_drop_rate=1.0,
+                               max_migration_attempts=0)
+        sweep = Sweep(
+            workloads=["MT", "BFS"],
+            policies=["griffin"],
+            configs={"default": tiny_system()},
+            faults={"none": None, "stall": stalling},
+        )
+        result = sweep.run(scale=SCALE, seed=SEED,
+                           max_events_per_run=60_000)
+
+        # both fault-free cells completed
+        assert SweepKey("MT", "griffin", "default", "default",
+                        "none") in result.points
+        assert SweepKey("BFS", "griffin", "default", "default",
+                        "none") in result.points
+        # both stalling cells failed, structurally
+        assert len(result.failures) == 2
+        for key, failure in result.failures.items():
+            assert key.fault == "stall"
+            assert isinstance(failure, FailedRun)
+            assert failure.error_type == "SimulationStall"
+            assert "event budget" in failure.message
+        assert "SimulationStall" in result.failure_table()
+
+    def test_invalid_policy_cell_is_isolated_too(self):
+        sweep = Sweep(workloads=["MT"], policies=["griffin", "nope"],
+                      configs={"default": tiny_system()})
+        result = sweep.run(scale=SCALE, seed=SEED)
+        assert len(result.points) == 1
+        (key,) = result.failures
+        assert key.policy == "nope"
+        assert result.failures[key].error_type == "ValueError"
+
+    def test_fault_axis_defaults_to_none(self):
+        sweep = Sweep(workloads=["MT"], policies=["griffin"],
+                      configs={"default": tiny_system()})
+        result = sweep.run(scale=SCALE, seed=SEED)
+        assert result.get("MT", "griffin").cycles > 0
+        assert not result.failures
+        assert result.failure_table() == ""
+
+
+# ----------------------------------------------------------------------
+# Counters flow to the detail report and serialized results
+# ----------------------------------------------------------------------
+
+class TestReporting:
+    def test_detail_report_has_resilience_section(self):
+        faults = FaultConfig(migration_drop_rate=0.4)
+        result = run(faults=faults, collect_detail=True)
+        section = result.detail["resilience"]
+        assert section["faults_enabled"]
+        assert section["transfers_dropped"] > 0
+        assert section["migration_retries"] == result.migration_retries
+
+    def test_clean_detail_report_marks_faults_disabled(self):
+        result = run(collect_detail=True)
+        assert result.detail["resilience"]["faults_enabled"] is False
+
+    def test_result_roundtrip_preserves_resilience_counters(self):
+        from repro.harness.io import result_from_dict, result_to_dict
+
+        result = run(faults=FaultConfig(migration_drop_rate=0.4))
+        rebuilt = result_from_dict(result_to_dict(result))
+        assert rebuilt.migration_retries == result.migration_retries
+        assert rebuilt.transfers_dropped == result.transfers_dropped
+        assert rebuilt.pages_pinned == result.pages_pinned
+        assert rebuilt.events_executed == result.events_executed
+
+    def test_old_result_dict_without_resilience_loads(self):
+        from repro.harness.io import result_from_dict, result_to_dict
+
+        data = result_to_dict(run())
+        del data["resilience"]
+        del data["events_executed"]
+        rebuilt = result_from_dict(data)
+        assert rebuilt.migration_retries == 0
+        assert rebuilt.events_executed == 0

@@ -1,0 +1,91 @@
+"""Property-based tests for fault-injection determinism.
+
+Two invariants the whole resilience design rests on:
+
+1. The same seed plus the same fault plan yields a byte-identical run —
+   fault injection is part of the deterministic simulation, not noise.
+2. A fault-free :class:`FaultConfig` (``enabled`` False) is
+   indistinguishable from passing no config at all: the golden runs in
+   ``tests/golden_runs.json`` reproduce exactly.
+"""
+
+import json
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.faults import FaultConfig, LinkFaultSpec
+from repro.config.presets import tiny_system
+from repro.harness.runner import run_workload
+
+GOLDEN = json.loads(
+    (Path(__file__).parent.parent / "golden_runs.json").read_text()
+)
+SCALE = 0.005
+
+
+def fingerprint(result):
+    return (
+        result.cycles,
+        result.transactions,
+        result.total_shootdowns,
+        result.cpu_to_gpu_migrations,
+        result.gpu_to_gpu_migrations,
+        tuple(result.occupancy.pages_per_gpu),
+        result.migration_retries,
+        result.migration_fallbacks,
+        result.pages_pinned,
+        result.transfers_dropped,
+        result.shootdown_timeouts,
+        tuple((e.time, e.page, e.src, e.dst) for e in result.migration_events),
+    )
+
+
+fault_plans = st.builds(
+    FaultConfig,
+    migration_drop_rate=st.sampled_from([0.0, 0.2, 0.5, 0.9]),
+    shootdown_ack_delay=st.sampled_from([0, 100, 400]),
+    shootdown_timeout_rate=st.sampled_from([0.0, 0.5]),
+    max_migration_attempts=st.sampled_from([1, 2, 3]),
+    link_faults=st.sampled_from([
+        (),
+        (LinkFaultSpec(device=-1, bandwidth_factor=0.5),),
+        (LinkFaultSpec(device=0, bandwidth_factor=0.25, extra_latency=30),),
+    ]),
+)
+
+
+@given(plan=fault_plans, seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=12, deadline=None)
+def test_same_seed_same_plan_is_byte_identical(plan, seed):
+    kwargs = dict(config=tiny_system(), scale=SCALE, seed=seed, faults=plan)
+    a = run_workload("MT", "griffin", **kwargs)
+    b = run_workload("MT", "griffin", **kwargs)
+    assert fingerprint(a) == fingerprint(b)
+
+
+@given(
+    key=st.sampled_from(sorted(GOLDEN)),
+    attempts=st.integers(min_value=0, max_value=10),
+    backoff=st.integers(min_value=1, max_value=10_000),
+)
+@settings(max_examples=10, deadline=None)
+def test_fault_free_config_reproduces_golden_runs(key, attempts, backoff):
+    # Any FaultConfig whose fault axes are all zero must be a no-op,
+    # whatever its recovery-policy knobs say.
+    plan = FaultConfig(max_migration_attempts=attempts,
+                       retry_backoff_cycles=backoff)
+    assert not plan.enabled
+    workload, policy = key.split("/")
+    r = run_workload(workload, policy, config=tiny_system(),
+                     scale=SCALE, seed=9, faults=plan)
+    expected = GOLDEN[key]
+    assert r.cycles == expected["cycles"]
+    assert r.transactions == expected["transactions"]
+    assert r.total_shootdowns == expected["total_shootdowns"]
+    assert r.cpu_to_gpu_migrations == expected["cpu_to_gpu"]
+    assert r.gpu_to_gpu_migrations == expected["gpu_to_gpu"]
+    assert list(r.occupancy.pages_per_gpu) == expected["pages_per_gpu"]
+    assert r.transfers_dropped == 0
+    assert r.migration_retries == 0

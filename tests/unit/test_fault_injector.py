@@ -1,0 +1,168 @@
+"""Unit tests for the fault-injection config and injector."""
+
+import math
+
+import pytest
+
+from repro.config.faults import (
+    NO_FAULTS,
+    FaultConfig,
+    LinkFaultSpec,
+    ThrottleSpec,
+)
+from repro.resilience.injector import FaultInjector
+from repro.resilience.retry import ExponentialBackoff
+from repro.sim.engine import Engine
+
+
+class TestFaultConfig:
+    def test_default_is_disabled(self):
+        assert not FaultConfig().enabled
+        assert not NO_FAULTS.enabled
+
+    @pytest.mark.parametrize("overrides", [
+        {"migration_drop_rate": 0.1},
+        {"shootdown_ack_delay": 100},
+        {"shootdown_timeout_rate": 0.2},
+        {"link_faults": (LinkFaultSpec(device=0, bandwidth_factor=0.5),)},
+        {"throttles": (ThrottleSpec(gpu=1, issue_delay_factor=2.0),)},
+    ])
+    def test_any_axis_enables(self, overrides):
+        assert FaultConfig(**overrides).enabled
+
+    def test_with_overrides(self):
+        cfg = NO_FAULTS.with_overrides(migration_drop_rate=0.3)
+        assert cfg.migration_drop_rate == 0.3
+        assert not NO_FAULTS.enabled  # original untouched
+
+    @pytest.mark.parametrize("kwargs", [
+        {"migration_drop_rate": -0.1},
+        {"migration_drop_rate": 1.5},
+        {"shootdown_timeout_rate": 2.0},
+        {"shootdown_ack_delay": -1},
+        {"max_migration_attempts": -1},
+        {"retry_backoff_cycles": -5},
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultConfig(**kwargs)
+
+    def test_link_fault_validation(self):
+        with pytest.raises(ValueError):
+            LinkFaultSpec(device=0, bandwidth_factor=0.0)
+        with pytest.raises(ValueError):
+            LinkFaultSpec(device=0, bandwidth_factor=1.5)
+        with pytest.raises(ValueError):
+            LinkFaultSpec(device=0, extra_latency=-1)
+        with pytest.raises(ValueError):
+            LinkFaultSpec(device=0, start=100, end=50)
+
+    def test_throttle_validation(self):
+        with pytest.raises(ValueError):
+            ThrottleSpec(gpu=0, issue_delay_factor=0.5)
+
+    def test_fault_windows(self):
+        spec = LinkFaultSpec(device=0, bandwidth_factor=0.5,
+                             start=100, end=200)
+        assert not spec.active(50)
+        assert spec.active(150)
+        assert not spec.active(250)
+        assert LinkFaultSpec(device=0, bandwidth_factor=0.5).active(1e12)
+
+    def test_describe_mentions_active_axes(self):
+        text = FaultConfig(migration_drop_rate=0.25).describe()
+        assert "25%" in text
+        assert FaultConfig().describe() == "no faults"
+
+
+class TestExponentialBackoff:
+    def test_delay_grows_geometrically(self):
+        b = ExponentialBackoff(base=100, multiplier=2.0, max_attempts=4)
+        assert b.delay(1) == 100
+        assert b.delay(2) == 200
+        assert b.delay(3) == 400
+
+    def test_exhaustion_boundary(self):
+        b = ExponentialBackoff(base=100, multiplier=2.0, max_attempts=3)
+        assert not b.exhausted(2)
+        assert b.exhausted(3)
+
+    def test_zero_attempts_never_exhausts(self):
+        b = ExponentialBackoff(max_attempts=0)
+        assert not b.exhausted(10_000)
+
+    def test_from_config(self):
+        cfg = FaultConfig(retry_backoff_cycles=500,
+                          retry_backoff_multiplier=3.0,
+                          max_migration_attempts=7)
+        b = ExponentialBackoff.from_config(cfg)
+        assert (b.base, b.multiplier, b.max_attempts) == (500, 3.0, 7)
+
+
+def make_injector(faults, seed=0):
+    return FaultInjector(Engine(), faults, seed)
+
+
+class TestFaultInjector:
+    def test_zero_rate_never_drops_and_draws_no_rng(self):
+        inj = make_injector(FaultConfig(shootdown_ack_delay=1))
+        state_before = inj._rng_migration.bit_generator.state
+        assert all(inj.migration_transfer_ok(p, -1, 0) for p in range(200))
+        assert inj._rng_migration.bit_generator.state == state_before
+        assert inj.stat("transfers_dropped") == 0
+
+    def test_drop_rate_one_always_drops(self):
+        inj = make_injector(FaultConfig(migration_drop_rate=1.0))
+        assert not inj.migration_transfer_ok(3, -1, 0)
+        assert inj.stat("transfers_dropped") == 1
+
+    def test_drop_sequence_is_seed_deterministic(self):
+        cfg = FaultConfig(migration_drop_rate=0.5)
+        inj1, inj2 = make_injector(cfg, 42), make_injector(cfg, 42)
+        seq1 = [inj1.migration_transfer_ok(p, -1, 0) for p in range(100)]
+        seq2 = [inj2.migration_transfer_ok(p, -1, 0) for p in range(100)]
+        assert seq1 == seq2
+        inj3 = make_injector(cfg, 43)
+        seq3 = [inj3.migration_transfer_ok(p, -1, 0) for p in range(100)]
+        assert seq1 != seq3
+
+    def test_shootdown_penalty_fixed_delay(self):
+        inj = make_injector(FaultConfig(shootdown_ack_delay=250))
+        delay, timed_out = inj.shootdown_penalty()
+        assert delay == 250 and not timed_out
+        assert inj.stat("shootdown_ack_delay_cycles") == 250
+
+    def test_shootdown_timeout(self):
+        inj = make_injector(FaultConfig(shootdown_timeout_rate=1.0,
+                                        shootdown_timeout_cycles=900))
+        delay, timed_out = inj.shootdown_penalty()
+        assert timed_out and delay >= 900
+        assert inj.stat("shootdown_timeouts") == 1
+
+    def test_link_factor_window_and_min(self):
+        cfg = FaultConfig(link_faults=(
+            LinkFaultSpec(device=0, bandwidth_factor=0.5, start=0, end=100),
+            LinkFaultSpec(device=0, bandwidth_factor=0.25, start=50, end=150),
+        ))
+        inj = make_injector(cfg)
+        assert inj.link_bandwidth_factor(0, 10) == 0.5
+        assert inj.link_bandwidth_factor(0, 75) == 0.25  # min wins
+        assert inj.link_bandwidth_factor(0, 200) == 1.0
+        assert inj.link_bandwidth_factor(1, 75) == 1.0  # other device clean
+
+    def test_link_extra_latency(self):
+        cfg = FaultConfig(link_faults=(
+            LinkFaultSpec(device=-1, bandwidth_factor=1.0, extra_latency=40),
+        ))
+        inj = make_injector(cfg)
+        assert inj.link_extra_latency(-1, 0) == 40
+        assert inj.link_extra_latency(0, 0) == 0
+
+    def test_throttle_factor(self):
+        cfg = FaultConfig(throttles=(
+            ThrottleSpec(gpu=1, issue_delay_factor=3.0, start=0, end=math.inf),
+        ))
+        inj = make_injector(cfg)
+        assert inj.has_throttle(1) and not inj.has_throttle(0)
+        assert inj.throttle_factor(1, 5.0) == 3.0
+        assert inj.throttle_factor(0, 5.0) == 1.0
