@@ -162,9 +162,37 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="metric to tabulate (cycles, local_fraction, "
                               "shootdowns, migrations, gpu_to_gpu, imbalance)")
     sweep_p.add_argument("--workers", type=int, default=1,
-                         help="parallel worker processes")
+                         help="parallel worker processes (0 = one per core; "
+                              "results are identical at any worker count)")
+    sweep_p.add_argument("--chunk-size", type=int, default=0, metavar="N",
+                         help="grid points submitted per process task "
+                              "(0 = auto); larger chunks amortize pickling "
+                              "on big grids")
     add_sim_options(sweep_p)
     add_fault_options(sweep_p)
+
+    bench_p = sub.add_parser(
+        "bench", help="run the pinned perf suite and write BENCH_<date>.json"
+    )
+    bench_p.add_argument("--quick", action="store_true",
+                         help="small suite for CI smoke runs")
+    bench_p.add_argument("--repeat", type=int, default=0, metavar="N",
+                         help="timing repeats per case (best-of-N; "
+                              "default 3, 1 with --quick)")
+    bench_p.add_argument("--label", default="",
+                         help="label embedded in the output filename")
+    bench_p.add_argument("--out-dir", default=".", metavar="DIR",
+                         help="directory for BENCH_<date>_<label>.json")
+    bench_p.add_argument("--baseline", default="auto", metavar="PATH",
+                         help="previous BENCH_*.json to diff against "
+                              "('auto' = newest in --out-dir, 'none' skips)")
+    bench_p.add_argument("--fail-factor", type=float, default=2.0,
+                         metavar="X",
+                         help="exit non-zero only if normalized e2e "
+                              "throughput regressed more than X times "
+                              "(generous on purpose; CI gate)")
+    bench_p.add_argument("--no-save", action="store_true",
+                         help="measure and print without writing a file")
     return parser
 
 
@@ -340,14 +368,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.harness.sweep import Sweep
 
     faults = _make_faults(args)
+    workers = args.workers
+    if workers == 0:
+        import os
+
+        workers = os.cpu_count() or 1
     sweep = Sweep(
         workloads=[w.strip().upper() for w in args.workloads.split(",") if w.strip()],
         policies=[p.strip() for p in args.policies.split(",") if p.strip()],
         configs={"default": _make_config(args)},
         faults={"injected": faults} if faults is not None else None,
     )
-    result = sweep.run(scale=args.scale, seed=args.seed, workers=args.workers,
-                       max_events_per_run=args.max_events)
+    result = sweep.run(scale=args.scale, seed=args.seed, workers=workers,
+                       max_events_per_run=args.max_events,
+                       chunk_size=args.chunk_size)
     print(result.table(args.metric))
     policies = [p.strip() for p in args.policies.split(",") if p.strip()]
     if len(policies) >= 2 and not result.failures:
@@ -360,6 +394,45 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.perf.bench import (
+        compare_reports,
+        find_previous_report,
+        load_report,
+        run_bench,
+        save_report,
+    )
+
+    report = run_bench(
+        quick=args.quick, repeats=args.repeat, label=args.label,
+        progress=lambda name: print(f"  running {name} ...", file=sys.stderr),
+    )
+    print(report.render())
+    saved = None
+    if not args.no_save:
+        saved = save_report(report, args.out_dir)
+        print(f"\nreport written to {saved}")
+
+    if args.baseline == "none":
+        return 0
+    if args.baseline == "auto":
+        baseline_path = find_previous_report(args.out_dir, exclude=saved)
+        if baseline_path is None:
+            print("\nno previous BENCH_*.json found; nothing to diff")
+            return 0
+    else:
+        baseline_path = Path(args.baseline)
+    comparison = compare_reports(
+        load_report(baseline_path), report, fail_factor=args.fail_factor
+    )
+    print()
+    print(f"baseline: {baseline_path}")
+    print(comparison.render())
+    return 1 if comparison.regressed else 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "compare": _cmd_compare,
@@ -368,6 +441,7 @@ _COMMANDS = {
     "list": _cmd_list,
     "validate": _cmd_validate,
     "sweep": _cmd_sweep,
+    "bench": _cmd_bench,
 }
 
 

@@ -175,7 +175,8 @@ class Sweep:
     def run(self, scale: float = 0.015, seed: int = 3,
             progress=None, workers: int = 1,
             max_events_per_run: Optional[int] = None,
-            stall_threshold: Optional[int] = 1_000_000) -> SweepResult:
+            stall_threshold: Optional[int] = 1_000_000,
+            chunk_size: int = 0) -> SweepResult:
         """Execute every grid point; optionally report progress.
 
         Args:
@@ -190,6 +191,11 @@ class Sweep:
                 sweep-level no-hang guarantee.  A point that exhausts it
                 lands in ``SweepResult.failures``.
             stall_threshold: Per-run livelock watchdog (None disables).
+            chunk_size: Grid points per submitted process task.  0 picks
+                roughly ``total / (4 * workers)`` so each worker sees a
+                few chunks (load balance) while pickling overhead is
+                amortized on large grids.  Results are identical at any
+                chunk size.
 
         A point that raises is recorded as a :class:`FailedRun` in
         ``SweepResult.failures``; the rest of the grid still runs.
@@ -201,30 +207,60 @@ class Sweep:
 
         if workers <= 1:
             for done, (key, args) in enumerate(grid, start=1):
-                try:
-                    result.points[key] = _run_point(args)
-                except Exception as exc:
-                    result.failures[key] = FailedRun.from_exception(
-                        key.workload, key.policy, exc
-                    )
+                self._record(result, key, _run_point_safe(args))
                 if progress is not None:
                     progress(done, total, key)
             return result
 
         from concurrent.futures import ProcessPoolExecutor
 
+        if chunk_size <= 0:
+            chunk_size = max(1, total // (4 * workers))
+        chunks = [grid[i:i + chunk_size]
+                  for i in range(0, len(grid), chunk_size)]
+        done = 0
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {key: pool.submit(_run_point, args) for key, args in grid}
-            for done, (key, future) in enumerate(futures.items(), start=1):
+            futures = [
+                (chunk, pool.submit(_run_chunk, [args for _, args in chunk]))
+                for chunk in chunks
+            ]
+            for chunk, future in futures:
                 try:
-                    result.points[key] = future.result()
-                except Exception as exc:
-                    result.failures[key] = FailedRun.from_exception(
-                        key.workload, key.policy, exc
-                    )
-                if progress is not None:
-                    progress(done, total, key)
+                    outcomes = future.result()
+                except Exception as exc:  # worker died (e.g. OOM-kill)
+                    outcomes = [exc] * len(chunk)
+                for (key, _), outcome in zip(chunk, outcomes):
+                    self._record(result, key, outcome)
+                    done += 1
+                    if progress is not None:
+                        progress(done, total, key)
         return result
+
+    @staticmethod
+    def _record(result: SweepResult, key: SweepKey, outcome) -> None:
+        if isinstance(outcome, Exception):
+            result.failures[key] = FailedRun.from_exception(
+                key.workload, key.policy, outcome
+            )
+        else:
+            result.points[key] = outcome
+
+
+def _run_point_safe(args):
+    """Run one grid point, returning the exception instead of raising."""
+    try:
+        return _run_point(args)
+    except Exception as exc:
+        return exc
+
+
+def _run_chunk(args_list: list) -> list:
+    """Execute several grid points in one worker task.
+
+    Returning per-point outcomes (result or exception) keeps the
+    one-bad-cell-never-kills-the-grid guarantee under chunking.
+    """
+    return [_run_point_safe(args) for args in args_list]
 
 
 def _run_point(args) -> RunResult:

@@ -1,0 +1,360 @@
+"""Run the pinned benchmark suite and record/diff ``BENCH_<date>.json``.
+
+Each report carries, per case: best-of-N wall time, work performed (engine
+events for e2e cases, ops for micro cases), throughput, and the allocation
+delta of one run.  Report-level fields add peak RSS, a config fingerprint
+(suite definition + interpreter), and the normalized end-to-end throughput
+``e2e_events_per_sec / calibration_events_per_sec`` — a machine-independent
+figure usable as a CI regression gate against a committed baseline.
+
+Determinism: benchmarking never alters simulation results — the suite only
+*measures* runs whose outputs are already pinned by (workload, policy,
+config, scale, seed).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import gc
+import hashlib
+import json
+import platform
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro.perf.suite import BenchSuite, bench_suite
+
+_SCHEMA_VERSION = 1
+
+
+def _peak_rss_kb() -> int:
+    """Process peak RSS in KB (0 when the platform offers no counter)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KB; macOS reports bytes.
+    if sys.platform == "darwin":  # pragma: no cover - platform specific
+        rss //= 1024
+    return int(rss)
+
+
+def _allocated_blocks() -> int:
+    """Live CPython allocation count (0 on interpreters without it)."""
+    getter = getattr(sys, "getallocatedblocks", None)
+    return getter() if getter is not None else 0
+
+
+@dataclass
+class CaseResult:
+    """Measurements for one benchmark case."""
+
+    name: str
+    kind: str  # "micro" | "e2e"
+    wall_seconds: float
+    work: int  # engine events (e2e) or ops (micro)
+    work_unit: str
+    per_sec: float
+    alloc_blocks_delta: int
+    repeats: int
+
+
+@dataclass
+class BenchReport:
+    """One full suite run, as written to ``BENCH_<date>.json``."""
+
+    suite: str
+    label: str
+    created: str
+    fingerprint: str
+    python: str
+    platform: str
+    repeats: int
+    cases: list = field(default_factory=list)  # list[CaseResult]
+    peak_rss_kb: int = 0
+    schema: int = _SCHEMA_VERSION
+
+    # ------------------------------------------------------------------
+
+    def case(self, name: str) -> Optional[CaseResult]:
+        for c in self.cases:
+            if c.name == name:
+                return c
+        return None
+
+    def _sum(self, kind: str, attr: str) -> float:
+        return sum(getattr(c, attr) for c in self.cases if c.kind == kind)
+
+    @property
+    def e2e_wall_seconds(self) -> float:
+        return self._sum("e2e", "wall_seconds")
+
+    @property
+    def e2e_events(self) -> int:
+        return int(self._sum("e2e", "work"))
+
+    @property
+    def e2e_events_per_sec(self) -> float:
+        wall = self.e2e_wall_seconds
+        return self.e2e_events / wall if wall > 0 else 0.0
+
+    @property
+    def calibration_per_sec(self) -> float:
+        cal = self.case("calibration")
+        return cal.per_sec if cal is not None else 0.0
+
+    @property
+    def normalized_e2e(self) -> float:
+        """End-to-end events/sec per unit of machine speed.
+
+        Dividing by the calibration microbench makes the figure comparable
+        across hosts, so a committed baseline still gates CI runners.
+        """
+        cal = self.calibration_per_sec
+        return self.e2e_events_per_sec / cal if cal > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["aggregate"] = {
+            "e2e_wall_seconds": self.e2e_wall_seconds,
+            "e2e_events": self.e2e_events,
+            "e2e_events_per_sec": self.e2e_events_per_sec,
+            "calibration_per_sec": self.calibration_per_sec,
+            "normalized_e2e": self.normalized_e2e,
+            "micro_wall_seconds": self._sum("micro", "wall_seconds"),
+        }
+        return data
+
+    def render(self) -> str:
+        """Human-readable summary table."""
+        from repro.metrics.report import format_table
+
+        rows = [
+            [c.name, c.kind, f"{c.wall_seconds:.3f}", f"{c.work:,}",
+             f"{c.per_sec:,.0f} {c.work_unit}/s", f"{c.alloc_blocks_delta:,}"]
+            for c in self.cases
+        ]
+        rows.append([
+            "TOTAL e2e", "e2e", f"{self.e2e_wall_seconds:.3f}",
+            f"{self.e2e_events:,}",
+            f"{self.e2e_events_per_sec:,.0f} events/s", "",
+        ])
+        table = format_table(
+            ["Case", "Kind", "Wall (s)", "Work", "Throughput", "Alloc Δ"],
+            rows, f"bench suite '{self.suite}' ({self.label})",
+        )
+        extra = (
+            f"peak RSS: {self.peak_rss_kb:,} KB | "
+            f"normalized e2e (vs calibration): {self.normalized_e2e:.4f} | "
+            f"fingerprint: {self.fingerprint[:12]}"
+        )
+        return table + "\n" + extra
+
+
+# ----------------------------------------------------------------------
+# Running
+# ----------------------------------------------------------------------
+
+def _fingerprint(suite: BenchSuite) -> str:
+    payload = {
+        "suite": suite.fingerprint_payload(),
+        "python": platform.python_version(),
+        "impl": platform.python_implementation(),
+    }
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _measure(fn: Callable[[], int], repeats: int) -> tuple[float, int, int]:
+    """Best-of-N wall time for ``fn``; returns (wall, work, alloc_delta).
+
+    The allocation delta is sampled on the first run only (it is a
+    property of the work, not of repetition).
+    """
+    best = float("inf")
+    work = 0
+    alloc_delta = 0
+    for attempt in range(repeats):
+        gc.collect()
+        before = _allocated_blocks()
+        t0 = time.perf_counter()
+        work = fn()
+        wall = time.perf_counter() - t0
+        if attempt == 0:
+            alloc_delta = _allocated_blocks() - before
+        if wall < best:
+            best = wall
+    return best, work, alloc_delta
+
+
+def run_bench(
+    quick: bool = False,
+    repeats: int = 0,
+    label: str = "",
+    progress: Optional[Callable[[str], None]] = None,
+) -> BenchReport:
+    """Execute the pinned suite and return a :class:`BenchReport`."""
+    from repro.harness.runner import run_workload
+
+    suite = bench_suite(quick=quick)
+    if repeats <= 0:
+        repeats = 1 if quick else 3
+    report = BenchReport(
+        suite=suite.name,
+        label=label or ("quick" if quick else "full"),
+        created=_dt.datetime.now(_dt.timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ"
+        ),
+        fingerprint=_fingerprint(suite),
+        python=platform.python_version(),
+        platform=platform.platform(),
+        repeats=repeats,
+    )
+    micro_scale = 1 if quick else 3
+    for case in suite.micro:
+        if progress is not None:
+            progress(f"micro:{case.name}")
+        wall, work, alloc = _measure(lambda: case.fn(micro_scale), repeats)
+        report.cases.append(CaseResult(
+            name=case.name, kind="micro", wall_seconds=wall, work=work,
+            work_unit=case.unit, per_sec=work / wall if wall > 0 else 0.0,
+            alloc_blocks_delta=alloc, repeats=repeats,
+        ))
+    for case in suite.e2e:
+        if progress is not None:
+            progress(f"e2e:{case.name}")
+        config = case.build_config()
+        faults = case.build_faults()
+
+        def one_run() -> int:
+            result = run_workload(
+                case.workload, case.policy, config=config,
+                scale=case.scale, seed=case.seed, faults=faults,
+            )
+            return result.events_executed
+
+        wall, work, alloc = _measure(one_run, repeats)
+        report.cases.append(CaseResult(
+            name=case.name, kind="e2e", wall_seconds=wall, work=work,
+            work_unit="events", per_sec=work / wall if wall > 0 else 0.0,
+            alloc_blocks_delta=alloc, repeats=repeats,
+        ))
+    report.peak_rss_kb = _peak_rss_kb()
+    return report
+
+
+# ----------------------------------------------------------------------
+# Persistence + diffing
+# ----------------------------------------------------------------------
+
+def save_report(report: BenchReport, out_dir: Path | str = ".") -> Path:
+    """Write ``BENCH_<date>_<label>.json`` into ``out_dir``."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    date = report.created.split("T")[0]
+    safe_label = "".join(
+        ch if ch.isalnum() or ch in "-_" else "-" for ch in report.label
+    )
+    path = out / f"BENCH_{date}_{safe_label}.json"
+    path.write_text(json.dumps(report.to_dict(), indent=1, sort_keys=True))
+    return path
+
+
+def load_report(path: Path | str) -> BenchReport:
+    """Load a previously saved report."""
+    data = json.loads(Path(path).read_text())
+    if data.get("schema") != _SCHEMA_VERSION:
+        raise ValueError(f"unsupported bench schema {data.get('schema')!r}")
+    cases = [CaseResult(**c) for c in data["cases"]]
+    return BenchReport(
+        suite=data["suite"], label=data["label"], created=data["created"],
+        fingerprint=data["fingerprint"], python=data["python"],
+        platform=data["platform"], repeats=data["repeats"], cases=cases,
+        peak_rss_kb=data["peak_rss_kb"],
+    )
+
+
+def find_previous_report(out_dir: Path | str, exclude: Optional[Path] = None) -> Optional[Path]:
+    """The most recent ``BENCH_*.json`` in ``out_dir`` (by name, newest last)."""
+    out = Path(out_dir)
+    candidates = sorted(p for p in out.glob("BENCH_*.json") if p != exclude)
+    return candidates[-1] if candidates else None
+
+
+@dataclass
+class BenchComparison:
+    """Old-vs-new report comparison, with a generous regression verdict."""
+
+    baseline_label: str
+    current_label: str
+    speedup_e2e: float  # current e2e events/sec over baseline's
+    speedup_normalized: float  # same, normalized by each run's calibration
+    same_fingerprint: bool
+    case_speedups: dict = field(default_factory=dict)
+    regressed: bool = False
+    fail_factor: float = 2.0
+
+    def render(self) -> str:
+        from repro.metrics.report import format_table
+
+        rows = [
+            [name, f"{ratio:.2f}x"]
+            for name, ratio in self.case_speedups.items()
+        ]
+        rows.append(["e2e events/sec", f"{self.speedup_e2e:.2f}x"])
+        rows.append(["e2e normalized", f"{self.speedup_normalized:.2f}x"])
+        table = format_table(
+            ["Case", f"{self.current_label} vs {self.baseline_label}"],
+            rows, "bench comparison (throughput ratios; >1 is faster)",
+        )
+        notes = []
+        if not self.same_fingerprint:
+            notes.append("note: suite fingerprints differ; "
+                         "ratios are indicative only")
+        notes.append(
+            f"regression gate (normalized e2e {self.fail_factor:.1f}x "
+            f"slower): {'FAIL' if self.regressed else 'ok'}"
+        )
+        return table + "\n" + "\n".join(notes)
+
+
+def compare_reports(
+    baseline: BenchReport,
+    current: BenchReport,
+    fail_factor: float = 2.0,
+) -> BenchComparison:
+    """Diff two reports; flags a regression only past ``fail_factor``.
+
+    The gate uses calibration-normalized end-to-end throughput so a slower
+    CI runner does not register as a simulator regression; ``fail_factor``
+    is deliberately generous (default 2x) so the gate cannot flake on
+    ordinary machine noise.
+    """
+    case_speedups = {}
+    for cur in current.cases:
+        base = baseline.case(cur.name)
+        if base is not None and base.per_sec > 0:
+            case_speedups[cur.name] = cur.per_sec / base.per_sec
+    speedup = (
+        current.e2e_events_per_sec / baseline.e2e_events_per_sec
+        if baseline.e2e_events_per_sec > 0 else 0.0
+    )
+    speedup_norm = (
+        current.normalized_e2e / baseline.normalized_e2e
+        if baseline.normalized_e2e > 0 else 0.0
+    )
+    regressed = 0.0 < speedup_norm < (1.0 / fail_factor)
+    return BenchComparison(
+        baseline_label=f"{baseline.label}@{baseline.created.split('T')[0]}",
+        current_label=f"{current.label}@{current.created.split('T')[0]}",
+        speedup_e2e=speedup,
+        speedup_normalized=speedup_norm,
+        same_fingerprint=baseline.fingerprint == current.fingerprint,
+        case_speedups=case_speedups,
+        regressed=regressed,
+        fail_factor=fail_factor,
+    )

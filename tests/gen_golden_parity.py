@@ -1,0 +1,80 @@
+"""Regenerate ``tests/golden_parity.json`` — the fast-path parity goldens.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/gen_golden_parity.py
+
+The file holds full serialized :class:`RunResult` dumps (via
+``result_to_dict``, including ``events_executed``) for a pinned grid of
+workloads x policies x fault plans.  The parity suite in
+``tests/property/test_perf_parity.py`` asserts that current code
+reproduces every dump byte-for-byte, which is what licenses hot-path
+optimizations: any change to event ordering, latency arithmetic, or
+counter accounting shows up as a diff here.
+
+Only regenerate this file for an *intentional* semantic change, never to
+make a perf optimization pass.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.config.faults import FaultConfig
+from repro.config.presets import small_system, tiny_system
+from repro.harness.io import result_to_dict
+from repro.harness.runner import run_workload
+
+PARITY_FAULTS = FaultConfig(
+    migration_drop_rate=0.3,
+    shootdown_ack_delay=25,
+    shootdown_timeout_rate=0.2,
+    link_faults=(),
+    max_migration_attempts=3,
+)
+
+# (key, workload, policy, config_name, scale, seed, faulted)
+PARITY_GRID = [
+    ("SC/baseline/tiny/clean", "SC", "baseline", "tiny", 0.008, 5, False),
+    ("SC/griffin/tiny/clean", "SC", "griffin", "tiny", 0.008, 5, False),
+    ("SC/griffin/tiny/faults", "SC", "griffin", "tiny", 0.008, 5, True),
+    ("MT/baseline/tiny/clean", "MT", "baseline", "tiny", 0.008, 5, False),
+    ("MT/griffin/tiny/clean", "MT", "griffin", "tiny", 0.008, 5, False),
+    ("MT/griffin/tiny/faults", "MT", "griffin", "tiny", 0.008, 5, True),
+    ("MT/griffin_flush/tiny/clean", "MT", "griffin_flush", "tiny", 0.008, 5, False),
+    ("BFS/baseline/tiny/clean", "BFS", "baseline", "tiny", 0.008, 5, False),
+    ("BFS/griffin/tiny/clean", "BFS", "griffin", "tiny", 0.008, 5, False),
+    ("BFS/griffin/tiny/faults", "BFS", "griffin", "tiny", 0.008, 5, True),
+    ("PR/griffin/tiny/clean", "PR", "griffin", "tiny", 0.008, 5, False),
+    ("PR/baseline/tiny/faults", "PR", "baseline", "tiny", 0.008, 5, True),
+    ("KM/griffin_adaptive/tiny/clean", "KM", "griffin_adaptive", "tiny", 0.008, 5, False),
+    ("FIR/griffin_predictive/tiny/clean", "FIR", "griffin_predictive", "tiny", 0.008, 5, False),
+    ("SC/griffin/small/clean", "SC", "griffin", "small", 0.015, 3, False),
+    ("MT/griffin/small/faults", "MT", "griffin", "small", 0.01, 9, True),
+]
+
+_CONFIGS = {"tiny": lambda: tiny_system(2), "small": lambda: small_system(4)}
+
+
+def run_grid() -> dict:
+    """Run every parity point and return key -> serialized RunResult."""
+    goldens = {}
+    for key, workload, policy, config_name, scale, seed, faulted in PARITY_GRID:
+        result = run_workload(
+            workload, policy, config=_CONFIGS[config_name](),
+            scale=scale, seed=seed,
+            faults=PARITY_FAULTS if faulted else None,
+        )
+        goldens[key] = result_to_dict(result)
+    return goldens
+
+
+def main() -> None:
+    out = Path(__file__).parent / "golden_parity.json"
+    out.write_text(json.dumps(run_grid(), indent=1, sort_keys=True))
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()
