@@ -37,6 +37,17 @@ class CacheConfig:
     def num_sets(self) -> int:
         return self.size_bytes // (self.ways * self.line_bytes)
 
+    @property
+    def set_mask(self) -> int:
+        """``num_sets - 1`` when sets are a power of two, else -1.
+
+        Validated here, at configuration time, so the cache can index
+        sets with a single AND instead of a modulo; -1 tells it to fall
+        back to modulo for exotic non-power-of-two geometries.
+        """
+        n = self.num_sets
+        return n - 1 if n & (n - 1) == 0 else -1
+
 
 @dataclass(frozen=True)
 class TLBConfig:
@@ -52,9 +63,19 @@ class TLBConfig:
     ways: int
     latency: int = 1
 
+    def __post_init__(self) -> None:
+        if self.num_sets < 1:
+            raise ValueError("num_sets must be >= 1")
+
     @property
     def capacity(self) -> int:
         return self.num_sets * self.ways
+
+    @property
+    def set_mask(self) -> int:
+        """``num_sets - 1`` when sets are a power of two, else -1 (modulo)."""
+        n = self.num_sets
+        return n - 1 if n & (n - 1) == 0 else -1
 
 
 @dataclass(frozen=True)

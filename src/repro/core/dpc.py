@@ -26,27 +26,26 @@ without a floor the ratio tests would classify a page with counts (2, 0)
 as Mostly Dedicated and migrate it on noise; a genuinely dedicated page
 always clears the streaming floor, so the two orderings agree on every
 page with meaningful traffic.
+
+Implementation: the filter state lives in dense per-row numpy arrays
+(``page -> row`` via ``_index``) so the per-epoch EWMA is one vectorized
+expression over every tracked page instead of a Python loop.  Elementwise
+float64 multiply/add round exactly like the scalar expressions they
+replace, so the filter values — and every migration decision derived from
+them — are bit-identical to the original per-page loop.  Scalar
+consumers (``classify`` and friends) convert a row with ``.tolist()``
+first, which is exact, and then run the original pure-Python logic.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import numpy as np
 
 from repro.config.hyperparams import GriffinHyperParams
 from repro.core.classification import MigrationCandidate, PageClass
 
 _FORGET_EPSILON = 1e-3
-
-
-@dataclass
-class _PageState:
-    """Filter state for one page: EWMA count, its trend, and the most
-    recent raw counts per GPU (the unfiltered signal the adaptive
-    controller audits against)."""
-
-    filtered: list[float]
-    trend: list[float]
-    last_raw: list[int]
+_INITIAL_ROWS = 256
 
 
 class DynamicPageClassifier:
@@ -55,9 +54,47 @@ class DynamicPageClassifier:
     def __init__(self, hyper: GriffinHyperParams, num_gpus: int) -> None:
         self.hyper = hyper
         self.num_gpus = num_gpus
-        self._pages: dict[int, _PageState] = {}
+        # page -> row in the state arrays; rows are recycled through _free.
+        self._index: dict[int, int] = {}
+        self._free: list[int] = []
+        self._used = 0
+        self._F = np.zeros((_INITIAL_ROWS, num_gpus))          # EWMA counts
+        self._T = np.zeros((_INITIAL_ROWS, num_gpus))          # per-epoch trend
+        self._R = np.zeros((_INITIAL_ROWS, num_gpus), np.int64)  # last raw counts
+        self._top = np.zeros(_INITIAL_ROWS)                    # max(F, axis=1)
+        self._page_of = np.full(_INITIAL_ROWS, -1, np.int64)   # row -> page
         self.updates = 0
-        self.class_counts: dict[PageClass, int] = {c: 0 for c in PageClass}
+        # id-keyed for the same reason as AccessPath._kc: a PageClass key
+        # would call the Python-level Enum.__hash__ per bump.
+        self._cc: dict[int, int] = {id(c): 0 for c in PageClass}
+
+    # ------------------------------------------------------------------
+    # Row management
+    # ------------------------------------------------------------------
+
+    def _grow(self) -> None:
+        cap = self._F.shape[0] * 2
+        for name in ("_F", "_T", "_R", "_top", "_page_of"):
+            old = getattr(self, name)
+            shape = (cap,) + old.shape[1:]
+            fill = -1 if name == "_page_of" else 0
+            new = np.full(shape, fill, old.dtype)
+            new[: old.shape[0]] = old
+            setattr(self, name, new)
+
+    def _alloc_row(self, page: int) -> int:
+        free = self._free
+        if free:
+            row = free.pop()
+        else:
+            row = self._used
+            if row >= self._F.shape[0]:
+                self._grow()
+            self._used = row + 1
+        self._F[row] = 0.0
+        self._page_of[row] = page
+        self._index[page] = row
+        return row
 
     # ------------------------------------------------------------------
     # Filtering
@@ -79,53 +116,73 @@ class DynamicPageClassifier:
         alpha = self.hyper.alpha
         keep = 1.0 - alpha
 
-        touched = set(self._pages)
+        # Allocate rows for unseen pages in the same order the scalar
+        # version inserted them (set of known ∪ reported pages): dict
+        # iteration order feeds downstream capped scans, so it is pinned.
+        index = self._index
+        touched = set(index)
         for counts in counts_per_gpu:
             touched.update(counts)
-
-        dead: list[int] = []
         for page in touched:
-            state = self._pages.get(page)
-            if state is None:
-                state = _PageState(
-                    [0.0] * self.num_gpus,
-                    [0.0] * self.num_gpus,
-                    [0] * self.num_gpus,
-                )
-                self._pages[page] = state
-            filtered = state.filtered
-            trend = state.trend
-            last_raw = state.last_raw
-            alive = False
-            for g in range(self.num_gpus):
-                raw = counts_per_gpu[g].get(page, 0)
-                last_raw[g] = raw
-                new = keep * filtered[g] + alpha * raw
-                trend[g] = new - filtered[g]
-                filtered[g] = new
-                if new > _FORGET_EPSILON:
-                    alive = True
-            if not alive:
-                dead.append(page)
-        for page in dead:
-            del self._pages[page]
+            if page not in index:
+                self._alloc_row(page)
+        used = self._used
+        if not used:
+            return
+        R = self._R
+        Rv = R[:used]
+        Rv[:] = 0
+        for g, counts in enumerate(counts_per_gpu):
+            for page, count in counts.items():
+                R[index[page], g] = count
+
+        # One vectorized EWMA step over every tracked page.  Elementwise
+        # float64 ops round identically to the scalar
+        # ``keep * f + alpha * raw`` they replace.
+        F = self._F
+        Fv = F[:used]
+        F2 = keep * Fv + alpha * Rv
+        self._T[:used] = F2 - Fv
+        Fv[:] = F2
+        top = F2.max(axis=1)
+        self._top[:used] = top
+
+        # Forget pages whose filter state decayed to noise (max <= eps,
+        # exactly the old per-GPU ``new > eps`` aliveness test).
+        page_of = self._page_of
+        dead_rows = np.nonzero(
+            (top <= _FORGET_EPSILON) & (page_of[:used] >= 0)
+        )[0]
+        if dead_rows.size:
+            free = self._free
+            for row in dead_rows.tolist():
+                del index[int(page_of[row])]
+                page_of[row] = -1
+                free.append(row)
+                F[row] = 0.0
 
     def filtered_counts(self, page: int) -> list[float]:
         """Current EWMA counts per GPU for ``page`` (zeros if unknown)."""
-        state = self._pages.get(page)
-        if state is None:
+        row = self._index.get(page)
+        if row is None:
             return [0.0] * self.num_gpus
-        return list(state.filtered)
+        return self._F[row].tolist()
 
     def last_raw_counts(self, page: int) -> list[int]:
         """The most recent collection period's raw counts for ``page``."""
-        state = self._pages.get(page)
-        if state is None:
+        row = self._index.get(page)
+        if row is None:
             return [0] * self.num_gpus
-        return list(state.last_raw)
+        return self._R[row].tolist()
 
     def tracked_pages(self) -> int:
-        return len(self._pages)
+        return len(self._index)
+
+    @property
+    def class_counts(self) -> dict:
+        """Classification outcomes by class (enum-keyed, enum order)."""
+        cc = self._cc
+        return {c: cc[id(c)] for c in PageClass}
 
     # ------------------------------------------------------------------
     # Classification
@@ -133,13 +190,21 @@ class DynamicPageClassifier:
 
     def classify(self, page: int, location: int) -> PageClass:
         """Classify one page given its current resident GPU."""
-        state = self._pages.get(page)
-        if state is None:
+        row = self._index.get(page)
+        if row is None:
             return PageClass.OUT_OF_INTEREST
-        filtered = state.filtered
-        order = sorted(range(self.num_gpus), key=filtered.__getitem__, reverse=True)
-        top, top_count = order[0], filtered[order[0]]
-        second_count = filtered[order[1]] if self.num_gpus > 1 else 0.0
+        filtered = self._F[row].tolist()
+        # Top two values by a linear scan (same tie handling as a stable
+        # descending sort: an equal later value lands in second place).
+        top_count = filtered[0]
+        second_count = 0.0
+        for g in range(1, self.num_gpus):
+            value = filtered[g]
+            if value > top_count:
+                second_count = top_count
+                top_count = value
+            elif value > second_count:
+                second_count = value
 
         streaming_floor = self.hyper.lambda_t * self.hyper.t_ac
         if top_count < streaming_floor:
@@ -148,22 +213,23 @@ class DynamicPageClassifier:
             return PageClass.MOSTLY_DEDICATED
         if second_count > 0 and top_count <= self.hyper.lambda_s * second_count:
             return PageClass.SHARED
-        if self._is_owner_shifting(state, location):
+        if self._is_owner_shifting(row, location):
             return PageClass.OWNER_SHIFTING
         return PageClass.OUT_OF_INTEREST
 
-    def _is_owner_shifting(self, state: _PageState, location: int) -> bool:
+    def _is_owner_shifting(self, row: int, location: int) -> bool:
         if location < 0 or location >= self.num_gpus:
             return False
-        top_count = max(state.filtered)
+        trend = self._T[row].tolist()
+        top_count = max(self._F[row].tolist())
         # A step from 0 to N moves the EWMA by alpha*N in one period, so
         # this threshold is scale-free in the access intensity.
         threshold = self.hyper.trend_fraction * self.hyper.alpha * top_count
         if threshold <= 0:
             return False
-        owner_falling = state.trend[location] < -threshold
+        owner_falling = trend[location] < -threshold
         challenger_rising = any(
-            state.trend[g] > threshold
+            trend[g] > threshold
             for g in range(self.num_gpus)
             if g != location
         )
@@ -184,16 +250,28 @@ class DynamicPageClassifier:
             Candidates sorted by descending expected benefit.
         """
         candidates: list[MigrationCandidate] = []
-        for page, state in self._pages.items():
+        num_gpus = self.num_gpus
+        streaming_floor = self.hyper.lambda_t * self.hyper.t_ac
+        cc = self._cc
+        id_streaming = id(PageClass.STREAMING)
+        F = self._F
+        top = self._top
+        for page, row in self._index.items():
             location = location_of(page)
-            if location < 0 or location >= self.num_gpus:
+            if location < 0 or location >= num_gpus:
+                continue
+            if top[row] < streaming_floor:
+                # classify() would return STREAMING from its first test;
+                # the cached row max lets the scan skip the call entirely.
+                cc[id_streaming] += 1
                 continue
             page_class = self.classify(page, location)
-            self.class_counts[page_class] += 1
-            dst = self._destination(state, location, page_class)
+            cc[id(page_class)] += 1
+            dst = self._destination(row, location, page_class)
             if dst is None or dst == location:
                 continue
-            benefit = state.filtered[dst] - state.filtered[location]
+            frow = F[row]
+            benefit = float(frow[dst]) - float(frow[location])
             if benefit <= 0:
                 continue
             candidates.append(
@@ -202,8 +280,8 @@ class DynamicPageClassifier:
         candidates.sort(key=lambda c: (-c.benefit, c.page))
         return candidates
 
-    def _destination(self, state: _PageState, location: int, page_class: PageClass):
-        filtered = state.filtered
+    def _destination(self, row: int, location: int, page_class: PageClass):
+        filtered = self._F[row].tolist()
         if page_class == PageClass.MOSTLY_DEDICATED:
             return max(range(self.num_gpus), key=filtered.__getitem__)
         if page_class == PageClass.SHARED:
@@ -214,6 +292,7 @@ class DynamicPageClassifier:
                 return None  # already on a reasonably hot GPU; not worth it
             return max(range(self.num_gpus), key=filtered.__getitem__)
         if page_class == PageClass.OWNER_SHIFTING:
+            trend = self._T[row].tolist()
             rising = [g for g in range(self.num_gpus) if g != location]
-            return max(rising, key=state.trend.__getitem__)
+            return max(rising, key=trend.__getitem__)
         return None

@@ -58,8 +58,9 @@ class PredictiveMigration:
         """Record this period's dominant accessor for every tracked page."""
         self._period += 1
         floor = self.hyper.lambda_t * self.hyper.t_ac
-        for page, state in dpc._pages.items():
-            filtered = state.filtered
+        F = dpc._F
+        for page, row in dpc._index.items():
+            filtered = F[row].tolist()
             top = max(range(self.num_gpus), key=filtered.__getitem__)
             if filtered[top] < floor:
                 continue

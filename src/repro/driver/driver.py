@@ -107,8 +107,8 @@ class GPUDriver(Component):
         self._active = True
         if self.policy.inter_gpu_migration:
             hyper = self.machine.hyper
-            self.engine.schedule(hyper.t_ac, self._collect_counts)
-            self.engine.schedule(hyper.migration_period, self._migration_phase)
+            self.engine.post(hyper.t_ac, self._collect_counts)
+            self.engine.post(hyper.migration_period, self._migration_phase)
 
     def stop(self) -> None:
         """Stop rescheduling periodic events (end of workload)."""
@@ -169,7 +169,7 @@ class GPUDriver(Component):
                     self._make_cpu_arrival(fault.dst_gpu),
                 )
 
-        self.engine.schedule_at(max(flush_done, self.now), start_transfers)
+        self.engine.post_at(max(flush_done, self.now), start_transfers)
 
     def _make_cpu_arrival(self, dst_gpu: int):
         def on_done(page: int, migrated: bool) -> None:
@@ -208,7 +208,7 @@ class GPUDriver(Component):
                     on_done(page, False)
                     return
                 self.bump("migration_retries")
-                self.engine.schedule(
+                self.engine.post(
                     self.backoff.delay(attempt),
                     self._reissue_transfer, page, src, dst, on_arrival,
                 )
@@ -262,7 +262,7 @@ class GPUDriver(Component):
         if self.adaptive is not None:
             self.adaptive.audit(self.dpc)
         self.bump("count_collections")
-        self.engine.schedule(machine.hyper.t_ac, self._collect_counts)
+        self.engine.post(machine.hyper.t_ac, self._collect_counts)
 
     # ------------------------------------------------------------------
     # Periodic inter-GPU migration rounds (CPMS + DPC + ACUD)
@@ -272,7 +272,7 @@ class GPUDriver(Component):
         if not self._active:
             return
         machine = self.machine
-        self.engine.schedule(machine.hyper.migration_period, self._migration_phase)
+        self.engine.post(machine.hyper.migration_period, self._migration_phase)
         if self._round_active:
             self.bump("rounds_skipped_busy")
             return
@@ -368,7 +368,7 @@ class GPUDriver(Component):
         delay += self._shootdown_ack_penalty()
         machine.shootdowns.record_gpu(src, invalidated)
         self.bump("inter_gpu_pages_selected", len(pages))
-        self.engine.schedule(delay, self._start_transfer, src, cands, pending_sources)
+        self.engine.post(delay, self._start_transfer, src, cands, pending_sources)
 
     def _start_transfer(self, src: int, cands: list, pending_sources: list) -> None:
         machine = self.machine

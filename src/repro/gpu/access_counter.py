@@ -33,10 +33,14 @@ class AccessCounterTable:
     def record(self, page: int) -> None:
         """Count one post-coalescing transaction touching ``page``."""
         self.recorded += 1
-        current = self._counts.get(page)
-        if current is not None:
+        counts = self._counts
+        try:
+            current = counts[page]
+        except KeyError:
+            pass
+        else:
             if current < self.max_count:
-                self._counts[page] = current + 1
+                counts[page] = current + 1
             return
         if len(self._counts) >= self.capacity:
             victim = min(self._counts, key=self._counts.__getitem__)

@@ -25,7 +25,7 @@ from collections import deque
 from typing import Callable, Optional
 
 from repro.config.system import GPUConfig, TimingConfig
-from repro.mem.access import MemoryTransaction
+from repro.mem.access import MemoryTransaction, _txn_ids
 from repro.sim.component import Component
 from repro.sim.engine import Engine
 
@@ -73,6 +73,12 @@ class ComputeUnit(Component):
 
         self.outstanding: dict[int, MemoryTransaction] = {}
         self._outstanding_by_page: dict[int, int] = {}
+        self._cursor_for: dict[int, _WavefrontCursor] = {}
+        self._max_inflight = config.max_inflight_per_cu
+        self._next_txn_id = _txn_ids.__next__
+        # One bound method shared by every issue, instead of a fresh
+        # closure per transaction.
+        self._completion = self._txn_done
 
         self.issue_paused = False
         self._drain_pending: Optional[set[int]] = None
@@ -94,7 +100,7 @@ class ComputeUnit(Component):
 
     def enqueue_workgroup(self, workgroup, start_time: float) -> None:
         """Queue a workgroup; it becomes eligible to start at start_time."""
-        self.engine.schedule_at(start_time, self._admit_workgroup, workgroup)
+        self.engine.post_at(start_time, self._admit_workgroup, workgroup)
 
     def _admit_workgroup(self, workgroup) -> None:
         self._wg_queue.append(workgroup)
@@ -113,8 +119,10 @@ class ComputeUnit(Component):
             for trace in live:
                 cursor = _WavefrontCursor(workgroup, trace.accesses)
                 self._active_cursors.add(cursor)
-                delay = self._issue_delay(trace.accesses[0][0])
-                self.engine.schedule(delay, self._ready_to_issue, cursor)
+                delay = trace.accesses[0][0]
+                if self.throttle_fn is not None:
+                    delay = delay * self.throttle_fn(self.engine._now)
+                self.engine.post(delay, self._ready_to_issue, cursor)
 
     def _finish_wavefront(self, cursor: _WavefrontCursor) -> None:
         self._active_cursors.discard(cursor)
@@ -133,40 +141,64 @@ class ComputeUnit(Component):
     # ------------------------------------------------------------------
 
     def _ready_to_issue(self, cursor: _WavefrontCursor) -> None:
-        if self.issue_paused or len(self.outstanding) >= self.config.max_inflight_per_cu:
+        if self.issue_paused or len(self.outstanding) >= self._max_inflight:
             self._ready.append(cursor)
             return
-        self._issue(cursor)
+        # Inlined _issue(cursor) — this event callback fires once per
+        # transaction and the extra frame is measurable.
+        _delay, address, is_write = cursor.accesses[cursor.index]
+        txn = MemoryTransaction.__new__(MemoryTransaction)
+        txn.gpu_id = self.gpu_id
+        txn.se_id = self.se_id
+        txn.cu_id = self.cu_id
+        txn.address = address
+        txn.is_write = is_write
+        txn.issue_time = self.engine._now
+        txn.page = -1
+        txn.complete_time = None
+        txn.kind = None
+        txn.workgroup_id = cursor.workgroup.wg_id
+        txn.txn_id = txn_id = self._next_txn_id()
+        self.outstanding[txn_id] = txn
+        self._cursor_for[txn_id] = cursor
+        stats = self.stats
+        try:
+            stats["transactions_issued"] += 1
+        except KeyError:
+            stats["transactions_issued"] = 1
+        self._issue_fn(txn, self._completion)
 
     def _issue(self, cursor: _WavefrontCursor) -> None:
         _delay, address, is_write = cursor.accesses[cursor.index]
-        txn = MemoryTransaction(
-            gpu_id=self.gpu_id,
-            se_id=self.se_id,
-            cu_id=self.cu_id,
-            address=address,
-            is_write=is_write,
-            issue_time=self.now,
-            workgroup_id=cursor.workgroup.wg_id,
-        )
-        self.outstanding[txn.txn_id] = txn
-        self.bump("transactions_issued")
-        self._issue_fn(txn, self._make_completion(cursor))
+        # Slot-for-slot equivalent of the dataclass constructor, minus the
+        # generated __init__ frame and the default-factory call.
+        txn = MemoryTransaction.__new__(MemoryTransaction)
+        txn.gpu_id = self.gpu_id
+        txn.se_id = self.se_id
+        txn.cu_id = self.cu_id
+        txn.address = address
+        txn.is_write = is_write
+        txn.issue_time = self.engine._now
+        txn.page = -1
+        txn.complete_time = None
+        txn.kind = None
+        txn.workgroup_id = cursor.workgroup.wg_id
+        txn.txn_id = txn_id = self._next_txn_id()
+        self.outstanding[txn_id] = txn
+        self._cursor_for[txn_id] = cursor
+        stats = self.stats
+        try:
+            stats["transactions_issued"] += 1
+        except KeyError:
+            stats["transactions_issued"] = 1
+        self._issue_fn(txn, self._completion)
 
-    def _make_completion(self, cursor: _WavefrontCursor):
-        def on_complete(txn: MemoryTransaction, complete_time: float) -> None:
-            self._on_txn_complete(txn, cursor)
-
-        return on_complete
-
-    def note_translated(self, txn: MemoryTransaction) -> None:
-        """Record the page of an in-flight transaction (ACUD's buffer scan
-        compares in-flight addresses at page granularity)."""
-        page = txn.page
-        self._outstanding_by_page[page] = self._outstanding_by_page.get(page, 0) + 1
-
-    def _on_txn_complete(self, txn: MemoryTransaction, cursor: _WavefrontCursor) -> None:
-        txn.complete_time = self.now
+    def _txn_done(self, txn: MemoryTransaction, complete_time: float) -> None:
+        # Full completion body lives here (one event-callback frame per
+        # transaction); _on_txn_complete remains as the named entry point
+        # for callers holding a cursor.
+        cursor = self._cursor_for.pop(txn.txn_id)
+        txn.complete_time = self.engine._now
         del self.outstanding[txn.txn_id]
         page = txn.page
         if page >= 0:
@@ -175,14 +207,20 @@ class ComputeUnit(Component):
                 self._outstanding_by_page[page] = count
             else:
                 self._outstanding_by_page.pop(page, None)
-        self.bump("transactions_completed")
+        stats = self.stats
+        try:
+            stats["transactions_completed"] += 1
+        except KeyError:
+            stats["transactions_completed"] = 1
 
-        self._check_drain_progress(page)
-        self._check_flush_progress()
+        if self._drain_pending is not None:
+            self._check_drain_progress(page)
+        if self._flush_callback is not None:
+            self._check_flush_progress()
 
         # A slot freed: release a blocked wavefront if issue is allowed.
         if not self.issue_paused and self._ready:
-            if len(self.outstanding) < self.config.max_inflight_per_cu:
+            if len(self.outstanding) < self._max_inflight:
                 self._issue(self._ready.popleft())
 
         # Advance this wavefront's chain.
@@ -190,8 +228,52 @@ class ComputeUnit(Component):
         if cursor.index >= len(cursor.accesses):
             self._finish_wavefront(cursor)
             return
-        delay = self._issue_delay(cursor.accesses[cursor.index][0])
-        self.engine.schedule(delay, self._ready_to_issue, cursor)
+        delay = cursor.accesses[cursor.index][0]
+        if self.throttle_fn is not None:
+            delay = delay * self.throttle_fn(self.engine._now)
+        self.engine.post(delay, self._ready_to_issue, cursor)
+
+    def note_translated(self, txn: MemoryTransaction) -> None:
+        """Record the page of an in-flight transaction (ACUD's buffer scan
+        compares in-flight addresses at page granularity)."""
+        page = txn.page
+        self._outstanding_by_page[page] = self._outstanding_by_page.get(page, 0) + 1
+
+    def _on_txn_complete(self, txn: MemoryTransaction, cursor: _WavefrontCursor) -> None:
+        txn.complete_time = self.engine._now
+        del self.outstanding[txn.txn_id]
+        page = txn.page
+        if page >= 0:
+            count = self._outstanding_by_page.get(page, 0) - 1
+            if count > 0:
+                self._outstanding_by_page[page] = count
+            else:
+                self._outstanding_by_page.pop(page, None)
+        stats = self.stats
+        try:
+            stats["transactions_completed"] += 1
+        except KeyError:
+            stats["transactions_completed"] = 1
+
+        if self._drain_pending is not None:
+            self._check_drain_progress(page)
+        if self._flush_callback is not None:
+            self._check_flush_progress()
+
+        # A slot freed: release a blocked wavefront if issue is allowed.
+        if not self.issue_paused and self._ready:
+            if len(self.outstanding) < self._max_inflight:
+                self._issue(self._ready.popleft())
+
+        # Advance this wavefront's chain.
+        cursor.index += 1
+        if cursor.index >= len(cursor.accesses):
+            self._finish_wavefront(cursor)
+            return
+        delay = cursor.accesses[cursor.index][0]
+        if self.throttle_fn is not None:
+            delay = delay * self.throttle_fn(self.engine._now)
+        self.engine.post(delay, self._ready_to_issue, cursor)
 
     # ------------------------------------------------------------------
     # ACUD drain
@@ -247,7 +329,7 @@ class ComputeUnit(Component):
         self._flush_discarded = len(self.outstanding)
         self.bump("flush_discarded_txns", self._flush_discarded)
         if self._flush_discarded == 0:
-            self.engine.schedule(self.timing.gpu_flush_cycles, callback)
+            self.engine.post(self.timing.gpu_flush_cycles, callback)
             return
         self._flush_callback = callback
 
@@ -260,7 +342,7 @@ class ComputeUnit(Component):
             self.timing.gpu_flush_cycles
             + self._flush_discarded * self.timing.gpu_flush_replay_per_txn
         )
-        self.engine.schedule(penalty, callback)
+        self.engine.post(penalty, callback)
 
     # ------------------------------------------------------------------
 

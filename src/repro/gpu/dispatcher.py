@@ -103,7 +103,7 @@ class Dispatcher(Component):
         self._kernel_index += 1
         if self._kernel_index < len(self._kernels):
             # A small launch gap models the host enqueueing the next kernel.
-            self.engine.schedule(10, self._dispatch_current_kernel)
+            self.engine.post(10, self._dispatch_current_kernel)
             return
         self.finish_time = self.now
         if self.on_all_done is not None:

@@ -48,7 +48,7 @@ class DrainController(Component):
             for cu in cus:
                 cu.request_drain(pages, cu_done)
 
-        self.engine.schedule(self.timing.drain_request_cycles, deliver)
+        self.engine.post(self.timing.drain_request_cycles, deliver)
 
     def drain_flush(self, callback: Callable[[float], None]) -> None:
         """Pipeline flush: discard and replay all in-flight work."""
@@ -65,7 +65,7 @@ class DrainController(Component):
             for cu in cus:
                 cu.request_flush(cu_done)
 
-        self.engine.schedule(self.timing.drain_request_cycles, deliver)
+        self.engine.post(self.timing.drain_request_cycles, deliver)
 
     def resume_all(self) -> None:
         """Send *Continue* to every CU."""

@@ -52,10 +52,10 @@ class PageMigrationController(Component):
             arrival = self.fabric.transfer(t, src, dst, self.page_size)
             self.bump("pages_transferred")
             self.bump("bytes_transferred", self.page_size)
-            self.engine.schedule_at(
+            self.engine.post_at(
                 max(arrival, self.now), on_page_arrival, page, arrival
             )
             last = max(last, arrival)
         if on_batch_done is not None:
-            self.engine.schedule_at(max(last, self.now), on_batch_done, last)
+            self.engine.post_at(max(last, self.now), on_batch_done, last)
         return last

@@ -44,6 +44,11 @@ class InterconnectFabric:
         }
         for g in range(num_gpus):
             self._ports[g] = DuplexLink(f"link.gpu{g}", rate, config.latency)
+        self._latency = config.latency
+        # Dense port lookup: index ``device + 1`` (CPU_PORT == -1 -> 0).
+        self._port_seq: list[DuplexLink] = [
+            self._ports[g] for g in range(-1, num_gpus)
+        ]
         self.transfers = 0
         self.total_bytes = 0
         # Optional FaultInjector; wired by Machine when faults are enabled.
@@ -67,12 +72,16 @@ class InterconnectFabric:
         Serialization is charged on the sender's TX pipe and the receiver's
         RX pipe; the payload then pays the one-way latency.
         """
-        src_port = self._require_port(src, "source")
-        dst_port = self._require_port(dst, "destination")
+        seq = self._port_seq
+        n = len(seq)
+        i = src + 1
+        src_port = seq[i] if 0 <= i < n else self._require_port(src, "source")
+        i = dst + 1
+        dst_port = seq[i] if 0 <= i < n else self._require_port(dst, "destination")
         if src == dst:
             return now
         tx_size = rx_size = size_bytes
-        latency = self.config.latency
+        latency = self._latency
         if self.injector is not None:
             # Degraded bandwidth drains the pipe proportionally slower;
             # stalls/latency faults add one-way delay.
@@ -80,13 +89,27 @@ class InterconnectFabric:
             if tx_factor < 1.0:
                 tx_size = size_bytes / tx_factor
             latency += self.injector.link_extra_latency(src, now)
-        tx_done = src_port.tx.acquire(now, tx_size)
+        # Inlined ThroughputResource.acquire (same arithmetic/stats) for
+        # the two per-transfer pipe acquisitions.
+        tx = src_port.tx
+        start = now if now > tx.busy_until else tx.busy_until
+        tx.total_wait += start - now
+        tx_done = start + tx_size / tx.bytes_per_cycle
+        tx.busy_until = tx_done
+        tx.total_bytes += tx_size
+        tx.total_jobs += 1
         if self.injector is not None:
             rx_factor = self.injector.link_bandwidth_factor(dst, tx_done)
             if rx_factor < 1.0:
                 rx_size = size_bytes / rx_factor
             latency += self.injector.link_extra_latency(dst, tx_done)
-        rx_done = dst_port.rx.acquire(tx_done, rx_size)
+        rx = dst_port.rx
+        start = tx_done if tx_done > rx.busy_until else rx.busy_until
+        rx.total_wait += start - tx_done
+        rx_done = start + rx_size / rx.bytes_per_cycle
+        rx.busy_until = rx_done
+        rx.total_bytes += rx_size
+        rx.total_jobs += 1
         self.transfers += 1
         self.total_bytes += size_bytes
         return rx_done + latency

@@ -26,7 +26,7 @@ class AccessKind(enum.Enum):
     FAULT_MIGRATE = "fault_migrate"  # triggered a CPU->GPU page migration
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryTransaction:
     """One post-coalescing memory access issued by a CU.
 

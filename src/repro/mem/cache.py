@@ -8,9 +8,9 @@ the migrating pages, charging the per-line flush latency configured in
 
 from __future__ import annotations
 
-from collections import OrderedDict
-
 from repro.config.system import CacheConfig
+
+_MISS = object()
 
 
 class Cache:
@@ -24,18 +24,27 @@ class Cache:
 
     __slots__ = (
         "name", "config", "_sets", "_page_lines", "_line_shift",
-        "_page_shift", "hits", "misses", "evictions", "flushed_lines",
+        "_page_shift", "_num_sets", "_set_mask", "_ways",
+        "_mru_line", "_mru_entries",
+        "hits", "misses", "evictions", "flushed_lines",
     )
 
     def __init__(self, name: str, config: CacheConfig, page_size: int = 4096) -> None:
         self.name = name
         self.config = config
-        self._sets: list[OrderedDict[int, bool]] = [
-            OrderedDict() for _ in range(config.num_sets)
+        # Plain dicts: insertion order is the LRU order (see TLB); the
+        # first key is the victim.
+        self._sets: list[dict[int, bool]] = [
+            {} for _ in range(config.num_sets)
         ]
         self._page_lines: dict[int, set[int]] = {}
         self._line_shift = config.line_bytes.bit_length() - 1
         self._page_shift = page_size.bit_length() - 1
+        self._num_sets = config.num_sets
+        self._set_mask = config.set_mask
+        self._ways = config.ways
+        self._mru_line = -1
+        self._mru_entries: dict[int, bool] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -61,34 +70,54 @@ class Cache:
         Returns True on hit.  Writes mark the line dirty, which only
         matters for flush accounting (dirty lines cost a writeback).
         """
-        line = self.line_id(address)
-        entries = self._sets[line % self.config.num_sets]
-        if line in entries:
-            entries.move_to_end(line)
+        line = address >> self._line_shift
+        if line == self._mru_line:
+            # Already most-recent in its set; reordering would be a no-op.
             if is_write:
-                entries[line] = True
+                self._mru_entries[line] = True
+            self.hits += 1
+            return True
+        mask = self._set_mask
+        entries = self._sets[line & mask if mask >= 0 else line % self._num_sets]
+        # Single probe: pop tells us hit/miss and yields the dirty bit.
+        dirty = entries.pop(line, _MISS)
+        if dirty is not _MISS:
+            entries[line] = True if is_write else dirty
+            self._mru_line = line
+            self._mru_entries = entries
             self.hits += 1
             return True
         self.misses += 1
-        if len(entries) >= self.config.ways:
-            victim, _dirty = entries.popitem(last=False)
+        if len(entries) >= self._ways:
+            victim = next(iter(entries))
+            del entries[victim]
             self._unindex(victim)
             self.evictions += 1
         entries[line] = is_write
+        self._mru_line = line
+        self._mru_entries = entries
         self._page_lines.setdefault(self._page_of_line(line), set()).add(line)
         return False
+
+    def _set_for(self, line: int) -> dict:
+        mask = self._set_mask
+        if mask >= 0:
+            return self._sets[line & mask]
+        return self._sets[line % self._num_sets]
 
     def contains(self, address: int) -> bool:
         """Non-destructive probe (no LRU update, no stats)."""
         line = self.line_id(address)
-        return line in self._sets[line % self.config.num_sets]
+        return line in self._set_for(line)
 
     def invalidate_address(self, address: int) -> bool:
         """Drop the single line holding ``address`` if present."""
         line = self.line_id(address)
-        entries = self._sets[line % self.config.num_sets]
+        entries = self._set_for(line)
         if line not in entries:
             return False
+        if line == self._mru_line:
+            self._mru_line = -1
         del entries[line]
         self._unindex(line)
         self.flushed_lines += 1
@@ -100,6 +129,7 @@ class Cache:
         Returns ``(lines_flushed, dirty_lines)``; dirty lines require a
         writeback before the page data can transfer.
         """
+        self._mru_line = -1
         flushed = 0
         dirty = 0
         for page in pages:
@@ -107,7 +137,7 @@ class Cache:
             if not lines:
                 continue
             for line in lines:
-                entries = self._sets[line % self.config.num_sets]
+                entries = self._set_for(line)
                 was_dirty = entries.pop(line, False)
                 flushed += 1
                 if was_dirty:
@@ -117,6 +147,7 @@ class Cache:
 
     def flush_all(self) -> int:
         """Invalidate the whole cache (full pipeline-flush path)."""
+        self._mru_line = -1
         flushed = sum(len(s) for s in self._sets)
         for entries in self._sets:
             entries.clear()

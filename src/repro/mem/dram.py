@@ -23,17 +23,36 @@ class DRAM:
             ThroughputResource(f"{name}.ch{i}", config.bytes_per_cycle)
             for i in range(config.channels)
         ]
+        self._line_shift = (
+            line_bytes.bit_length() - 1
+            if line_bytes & (line_bytes - 1) == 0 else -1
+        )
+        n = config.channels
+        self._channel_mask = n - 1 if n & (n - 1) == 0 else -1
         self.accesses = 0
 
     def channel_for(self, address: int) -> ThroughputResource:
-        line = address // self.line_bytes
-        return self._channels[line % self.config.channels]
+        shift = self._line_shift
+        line = address >> shift if shift >= 0 else address // self.line_bytes
+        mask = self._channel_mask
+        return self._channels[line & mask if mask >= 0 else line % self.config.channels]
 
     def access(self, now: float, address: int, size_bytes: int) -> float:
         """Service one access; returns the completion time."""
         self.accesses += 1
-        channel = self.channel_for(address)
-        finish = channel.acquire(now, size_bytes)
+        shift = self._line_shift
+        line = address >> shift if shift >= 0 else address // self.line_bytes
+        mask = self._channel_mask
+        channel = self._channels[
+            line & mask if mask >= 0 else line % self.config.channels
+        ]
+        # Inlined ThroughputResource.acquire (same arithmetic/stats).
+        start = now if now > channel.busy_until else channel.busy_until
+        channel.total_wait += start - now
+        finish = start + size_bytes / channel.bytes_per_cycle
+        channel.busy_until = finish
+        channel.total_bytes += size_bytes
+        channel.total_jobs += 1
         return finish + self.config.latency
 
     def bulk_read(self, now: float, address: int, size_bytes: int) -> float:

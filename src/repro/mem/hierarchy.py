@@ -50,6 +50,13 @@ class GPUMemoryHierarchy:
                 page_size,
             )
         self._line_bytes = config.l2.line_bytes
+        self._line_shift = config.l2.line_bytes.bit_length() - 1
+        n_slices = config.l2_slices
+        self._slice_mask = n_slices - 1 if n_slices & (n_slices - 1) == 0 else -1
+        self._l1_latency = config.l1v.latency
+        # Matches the original `xbar_latency + l2.latency` int sum exactly.
+        self._l2_step = config.xbar_latency + config.l2.latency
+        self._l2_latency = config.l2.latency
         # MSHR-style miss merging: line -> completion time of the
         # outstanding fill.  A miss on a line already being fetched
         # completes with that fill instead of issuing another DRAM access.
@@ -60,13 +67,14 @@ class GPUMemoryHierarchy:
         self.mshr_merges = 0
 
     def _l2_slice(self, address: int) -> Cache:
-        line = address // self._line_bytes
-        return self.l2[line % len(self.l2)]
+        line = address >> self._line_shift
+        mask = self._slice_mask
+        return self.l2[line & mask if mask >= 0 else line % len(self.l2)]
 
     def _fill_from_dram(self, t: float, address: int) -> float:
         """Fetch a line from DRAM and register the outstanding fill."""
         finish = self.dram.access(t, address, self._line_bytes)
-        self._pending_fills[address // self._line_bytes] = finish
+        self._pending_fills[address >> self._line_shift] = finish
         if len(self._pending_fills) > 4096:
             self._pending_fills = {
                 line: f for line, f in self._pending_fills.items() if f > t
@@ -77,7 +85,7 @@ class GPUMemoryHierarchy:
         """MSHR semantics: a hit on a line whose fill is still in flight
         completes with the fill, not instantly (the tag was installed at
         miss time, but the data arrives with the DRAM response)."""
-        pending = self._pending_fills.get(address // self._line_bytes)
+        pending = self._pending_fills.get(address >> self._line_shift)
         if pending is not None and pending > t:
             self.mshr_merges += 1
             return pending
@@ -86,10 +94,15 @@ class GPUMemoryHierarchy:
     def local_access(self, now: float, cu_index: int, address: int, is_write: bool) -> float:
         """A CU access to this GPU's own memory; returns completion time."""
         self.local_accesses += 1
-        t = now + self.config.l1v.latency
+        t = now + self._l1_latency
         if self.l1v[cu_index].access(address, is_write):
-            return self._hit_under_fill(t, address)
-        t += self.config.xbar_latency + self.config.l2.latency
+            # Inlined _hit_under_fill: this is the hottest branch.
+            pending = self._pending_fills.get(address >> self._line_shift)
+            if pending is not None and pending > t:
+                self.mshr_merges += 1
+                return pending
+            return t
+        t += self._l2_step
         if self._l2_slice(address).access(address, is_write):
             return self._hit_under_fill(t, address)
         return self._fill_from_dram(t, address)
@@ -97,7 +110,7 @@ class GPUMemoryHierarchy:
     def remote_service(self, now: float, address: int, is_write: bool) -> float:
         """Service an incoming DCA request at the L2 (paper Fig. 4 step 3)."""
         self.remote_services += 1
-        t = now + self.config.l2.latency
+        t = now + self._l2_latency
         if self._l2_slice(address).access(address, is_write):
             return self._hit_under_fill(t, address)
         return self._fill_from_dram(t, address)

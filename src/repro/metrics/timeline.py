@@ -47,14 +47,20 @@ class PageAccessTimeline:
         self._series: dict[int, dict[int, list[int]]] = {
             p: {} for p in self.watch_pages
         }
+        # The watch set is fixed at construction; precompute the common
+        # nothing-watched case so record() can return early.
+        self._watch_none = not self.watch_all and not self.watch_pages
 
     def record(self, now: float, gpu_id: int, page: int) -> None:
         """Count one access to ``page`` from ``gpu_id`` at time ``now``."""
-        totals = self._totals.get(page)
-        if totals is None:
+        try:
+            self._totals[page][gpu_id] += 1
+        except KeyError:
             totals = [0] * self.num_gpus
+            totals[gpu_id] = 1
             self._totals[page] = totals
-        totals[gpu_id] += 1
+        if self._watch_none:
+            return
         series = self._series
         if self.watch_all and page not in series:
             series[page] = {}

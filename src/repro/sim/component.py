@@ -27,7 +27,10 @@ class Component:
 
     def bump(self, stat: str, amount: float = 1) -> None:
         """Increment a named statistic counter."""
-        self.stats[stat] = self.stats.get(stat, 0) + amount
+        try:
+            self.stats[stat] += amount
+        except KeyError:
+            self.stats[stat] = amount
 
     def stat(self, name: str) -> float:
         """Read a statistic counter (0 if never bumped)."""

@@ -1,10 +1,29 @@
-"""The simulation engine: clock plus event loop."""
+"""The simulation engine: clock plus event loop.
+
+The run loop is the hottest code in the simulator, so it is written
+against the queue's internal entry representation (plain lists, a heap
+plus a same-cycle FIFO lane — see :mod:`repro.sim.event`) with bound
+functions cached in locals.  Semantics are identical to the classic
+peek-then-pop loop: events fire in exact ``(time, priority, seq)`` order,
+the golden/parity suites pin this byte-for-byte.
+
+Two scheduling surfaces:
+
+* :meth:`Engine.schedule` / :meth:`Engine.schedule_at` return an
+  :class:`Event` cancel handle, as always.
+* :meth:`Engine.post` / :meth:`Engine.post_at` are the hot-path variants
+  for the overwhelmingly common case where the caller never cancels:
+  they allocate no Event object at all (recycled list entries only), and
+  zero-delay posts go to the FIFO lane instead of the heap.
+"""
 
 from __future__ import annotations
 
+import heapq
+from heapq import heappush as _heappush
 from typing import Any, Callable, Optional
 
-from repro.sim.event import Event, EventQueue
+from repro.sim.event import _POOL_MAX, Event, EventQueue
 
 
 class SimulationError(RuntimeError):
@@ -30,7 +49,8 @@ class Engine:
 
     Time is measured in cycles of the system clock (1 GHz in the paper's
     configuration, Table II).  All hardware components hold a reference to
-    the engine and schedule work through :meth:`schedule`.
+    the engine and schedule work through :meth:`schedule` (cancellable)
+    or :meth:`post` (fire-and-forget fast path).
     """
 
     def __init__(self) -> None:
@@ -58,8 +78,35 @@ class Engine:
         """Schedule ``callback(*args)`` to run ``delay`` cycles from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        event = Event(self._now + delay, callback, args, priority)
-        return self._queue.push(event)
+        # Build the Event and its queue entry directly (no __init__ frame,
+        # no push() call): identical (time, priority, seq) ordering.
+        queue = self._queue
+        event = Event.__new__(Event)
+        event.time = time = self._now + delay
+        event.priority = priority
+        event.callback = callback
+        event.args = args
+        event.cancelled = False
+        event._queue = queue
+        event.seq = seq = queue._seq
+        queue._seq = seq + 1
+        pool = queue._pool
+        if pool:
+            entry = pool.pop()
+            entry[0] = time
+            entry[1] = priority
+            entry[2] = seq
+            entry[3] = callback
+            entry[4] = args
+            entry[5] = event
+        else:
+            entry = [time, priority, seq, callback, args, event]
+        if delay == 0 and priority == 0:
+            queue._lane.append(entry)
+        else:
+            _heappush(queue._heap, entry)
+        queue._live += 1
+        return event
 
     def schedule_at(
         self,
@@ -69,12 +116,103 @@ class Engine:
         priority: int = 0,
     ) -> Event:
         """Schedule ``callback(*args)`` to run at absolute time ``time``."""
-        if time < self._now:
+        now = self._now
+        if time < now:
             raise SimulationError(
-                f"cannot schedule at t={time}, current time is {self._now}"
+                f"cannot schedule at t={time}, current time is {now}"
             )
-        event = Event(time, callback, args, priority)
-        return self._queue.push(event)
+        queue = self._queue
+        event = Event.__new__(Event)
+        event.time = time
+        event.priority = priority
+        event.callback = callback
+        event.args = args
+        event.cancelled = False
+        event._queue = queue
+        event.seq = seq = queue._seq
+        queue._seq = seq + 1
+        pool = queue._pool
+        if pool:
+            entry = pool.pop()
+            entry[0] = time
+            entry[1] = priority
+            entry[2] = seq
+            entry[3] = callback
+            entry[4] = args
+            entry[5] = event
+        else:
+            entry = [time, priority, seq, callback, args, event]
+        if time == now and priority == 0:
+            queue._lane.append(entry)
+        else:
+            _heappush(queue._heap, entry)
+        queue._live += 1
+        return event
+
+    def post(self, delay: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Hot-path :meth:`schedule`: priority 0, no cancel handle.
+
+        Allocates no Event; zero-delay posts take the same-cycle FIFO lane.
+        """
+        queue = self._queue
+        seq = queue._seq
+        queue._seq = seq + 1
+        if delay <= 0:
+            if delay < 0:
+                raise SimulationError(
+                    f"cannot schedule in the past (delay={delay})"
+                )
+            time = self._now
+            lane = True
+        else:
+            time = self._now + delay
+            lane = False
+        pool = queue._pool
+        if pool:
+            entry = pool.pop()
+            entry[0] = time
+            entry[1] = 0
+            entry[2] = seq
+            entry[3] = callback
+            entry[4] = args
+        else:
+            entry = [time, 0, seq, callback, args, None]
+        if lane:
+            queue._lane.append(entry)
+        else:
+            _heappush(queue._heap, entry)
+        queue._live += 1
+
+    def post_at(self, time: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Hot-path :meth:`schedule_at`: priority 0, no cancel handle."""
+        now = self._now
+        queue = self._queue
+        seq = queue._seq
+        queue._seq = seq + 1
+        if time <= now:
+            if time < now:
+                raise SimulationError(
+                    f"cannot schedule at t={time}, current time is {now}"
+                )
+            time = now
+            lane = True
+        else:
+            lane = False
+        pool = queue._pool
+        if pool:
+            entry = pool.pop()
+            entry[0] = time
+            entry[1] = 0
+            entry[2] = seq
+            entry[3] = callback
+            entry[4] = args
+        else:
+            entry = [time, 0, seq, callback, args, None]
+        if lane:
+            queue._lane.append(entry)
+        else:
+            _heappush(queue._heap, entry)
+        queue._live += 1
 
     def stop(self) -> None:
         """Request that :meth:`run` return after the current event."""
@@ -112,39 +250,91 @@ class Engine:
         self.exhausted = False
         executed = 0
         stalled_events = 0
+        queue = self._queue
+        # The loop aliases the queue's backing stores; EventQueue mutates
+        # them only in place (compaction included), so these stay valid
+        # across arbitrary callback activity.
+        heap = queue._heap
+        lane = queue._lane
+        pool = queue._pool
+        heappop = heapq.heappop
+        lane_popleft = lane.popleft
+        recycle = queue._recycle
+        check_stall = stall_threshold is not None
+        bound = float("inf") if until is None else until
+        budget = float("inf") if max_events is None else max_events
         try:
-            while True:
-                if self._stopped:
+            while not self._stopped:
+                # Skip cancelled heads so the head comparison below only
+                # sees live entries (only worth scanning when something is
+                # actually cancelled).
+                if queue._cancelled:
+                    while heap:
+                        event = heap[0][5]
+                        if event is not None and event.cancelled:
+                            recycle(heappop(heap))
+                            queue._cancelled -= 1
+                        else:
+                            break
+                    while lane:
+                        event = lane[0][5]
+                        if event is not None and event.cancelled:
+                            recycle(lane_popleft())
+                            queue._cancelled -= 1
+                        else:
+                            break
+                # The next event is the smaller of the two heads: the lane
+                # is sorted by construction (engine clock never moves
+                # backwards), the heap by heap order.
+                if lane:
+                    head = lane[0]
+                    from_heap = bool(heap) and heap[0] < head
+                    if from_heap:
+                        head = heap[0]
+                elif heap:
+                    head = heap[0]
+                    from_heap = True
+                else:
                     break
-                next_time = self._queue.peek_time()
-                if next_time is None:
+                time = head[0]
+                if time > bound:
+                    self._now = bound
                     break
-                if until is not None and next_time > until:
-                    self._now = until
-                    break
-                event = self._queue.pop()
-                assert event is not None
-                if stall_threshold is not None:
-                    if event.time > self._now:
+                entry = heappop(heap) if from_heap else lane_popleft()
+                queue._live -= 1
+                if check_stall:
+                    if time > self._now:
                         stalled_events = 0
                     else:
                         stalled_events += 1
                         if stalled_events >= stall_threshold:
                             # The event being executed is already popped, so
                             # name it explicitly alongside the queue dump.
+                            event = entry[5]
+                            if event is None:
+                                event = Event(
+                                    time, entry[3], entry[4], entry[1]
+                                )
                             raise SimulationStall(
                                 f"no-progress livelock: {stalled_events} "
                                 f"consecutive events at t={self._now} "
                                 "without the clock advancing",
                                 self._format_event(event, " <- executing")
                                 + ("\n" + self.dump_pending()
-                                   if len(self._queue) else ""),
+                                   if queue._live else ""),
                             )
-                self._now = event.time
-                event.callback(*event.args)
-                self.events_executed += 1
+                self._now = time
+                callback = entry[3]
+                args = entry[4]
+                event = entry[5]
+                if event is not None:
+                    event._queue = None
+                entry[3] = entry[4] = entry[5] = None
+                if len(pool) < _POOL_MAX:
+                    pool.append(entry)
+                callback(*args)
                 executed += 1
-                if max_events is not None and executed >= max_events:
+                if executed >= budget:
                     self.exhausted = True
                     if strict_budget:
                         raise SimulationStall(
@@ -155,6 +345,7 @@ class Engine:
                         )
                     break
         finally:
+            self.events_executed += executed
             self._running = False
         return self._now
 

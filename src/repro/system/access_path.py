@@ -29,6 +29,8 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable
 
 from repro.interconnect.link import CPU_PORT
+from heapq import heappush as _heappush
+
 from repro.mem.access import AccessKind, MemoryTransaction
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -42,17 +44,66 @@ class MemoryAccessPath:
 
     def __init__(self, machine: "Machine") -> None:
         self.machine = machine
+        self._engine = machine.engine
+        self._equeue = machine.engine._queue
         self._page_shift = machine.config.page_size.bit_length() - 1
-        self.kind_counts: dict[AccessKind, int] = {k: 0 for k in AccessKind}
+        self._l1_tlb_latency = machine.config.gpu.l1_tlb.latency
+        self._l2_tlb_latency = machine.config.gpu.l2_tlb.latency
+        self._cpu_mem_latency = machine.config.timing.cpu_mem_latency
+        self._cpu_memory = machine.cpu_memory
+        self._fabric_transfer = machine.fabric.transfer
+        self._timeline_record = machine.timeline.record
+        # With no watch set, a timeline record is just a totals bump; the
+        # dict is prebound so issue() can do it without the call.
+        timeline = machine.timeline
+        self._tl_totals = timeline._totals if timeline._watch_none else None
+        self._reply_time = machine.iommu.reply_time
+        self._page_table = machine.page_table
+        # Per-device dispatch tables (bound methods and components indexed
+        # by gpu_id / cu_id).  The GPUs are built after this object — each
+        # receives ``issue`` as its issue_fn — so the tables are filled
+        # lazily on the first transaction.
+        self._push_entry = machine.engine._queue.push_entry
+        self._push_lane = machine.engine._queue.push_lane
+        self._se_record: list = []
+        self._note: list = []
+        self._l1: list = []
+        self._l2: list = []
+        self._hier: list = []
+        self._rdma_service: list = []
+        # Counters keyed by member identity: ``id(kind)`` hashes at C
+        # speed, where an AccessKind key would call the Python-level
+        # ``Enum.__hash__`` on every bump.  ``kind_counts`` rebuilds the
+        # enum-keyed view (in enum order, as before) on demand.
+        self._kc: dict[int, int] = {id(k): 0 for k in AccessKind}
         self.l1_tlb_hits = 0
         self.l2_tlb_hits = 0
         self.iommu_trips = 0
         self.total_issued = 0
 
+    def _bind_gpus(self) -> None:
+        """Snapshot per-GPU hot references (topology is fixed after build)."""
+        for gpu in self.machine.gpus:
+            recs, notes = [], []
+            for se in gpu.shader_engines:
+                for cu in se.cus:
+                    recs.append(se.counters.record)
+                    notes.append(cu._outstanding_by_page)
+            self._se_record.append(recs)
+            self._note.append(notes)
+            self._l1.append(gpu.l1_tlbs)
+            self._l2.append(gpu.l2_tlb)
+            self._hier.append(gpu.hierarchy)
+            self._rdma_service.append(gpu.rdma.service)
+
     def _at(self, time: float, callback: Callable, *args) -> None:
         """Schedule a leg at ``time`` (clamped to the present)."""
-        engine = self.machine.engine
-        engine.schedule_at(max(time, engine.now), callback, *args)
+        engine = self._engine
+        now = engine._now
+        if time <= now:
+            self._equeue.push_lane(now, callback, args)
+        else:
+            self._equeue.push_entry(time, 0, callback, args)
 
     # ------------------------------------------------------------------
     # Issue side (called synchronously by CUs)
@@ -60,31 +111,90 @@ class MemoryAccessPath:
 
     def issue(self, txn: MemoryTransaction, on_complete: Callable) -> None:
         """Entry point handed to every CU as its ``issue_fn``."""
-        machine = self.machine
+        se_record = self._se_record
+        if not se_record:
+            self._bind_gpus()
+            se_record = self._se_record
         page = txn.address >> self._page_shift
         txn.page = page
         self.total_issued += 1
 
-        gpu = machine.gpus[txn.gpu_id]
-        gpu.record_se_access(txn.cu_id, page)
-        gpu.cu(txn.cu_id).note_translated(txn)
-        machine.timeline.record(machine.engine.now, txn.gpu_id, page)
+        gpu_id = txn.gpu_id
+        cu_id = txn.cu_id
+        se_record[gpu_id][cu_id](page)
+        # Inlined ComputeUnit.note_translated (ACUD's in-flight page scan).
+        obp = self._note[gpu_id][cu_id]
+        try:
+            obp[page] += 1
+        except KeyError:
+            obp[page] = 1
+        now = self._engine._now
+        tl_totals = self._tl_totals
+        if tl_totals is not None:
+            # Inlined PageAccessTimeline.record for the no-watch case.
+            try:
+                tl_totals[page][gpu_id] += 1
+            except KeyError:
+                self._timeline_record(now, gpu_id, page)
+        else:
+            self._timeline_record(now, gpu_id, page)
 
-        now = machine.engine.now
-        l1_tlb = gpu.l1_tlbs[txn.cu_id]
-        t = now + gpu.config.l1_tlb.latency
-        if l1_tlb.lookup(page):
+        l1_tlb = self._l1[gpu_id][cu_id]
+        t = now + self._l1_tlb_latency
+        # Inline the TLB's MRU memo probe; fall back to the full lookup.
+        if page == l1_tlb._mru_page:
+            l1_tlb.hits += 1
+            hit = True
+        else:
+            hit = l1_tlb.lookup(page)
+        if hit:
             self.l1_tlb_hits += 1
-            self._at(t, self._local_leg, txn, on_complete)
+            # t > now always (positive TLB latency): straight to the heap
+            # (entry build inlined; this is the hottest schedule site).
+            q = self._equeue
+            seq = q._seq
+            q._seq = seq + 1
+            pool = q._pool
+            if pool:
+                entry = pool.pop()
+                entry[0] = t
+                entry[1] = 0
+                entry[2] = seq
+                entry[3] = self._local_leg
+                entry[4] = (txn, on_complete)
+            else:
+                entry = [t, 0, seq, self._local_leg, (txn, on_complete), None]
+            _heappush(q._heap, entry)
+            q._live += 1
             return
-        t += gpu.config.l2_tlb.latency
-        if gpu.l2_tlb.lookup(page):
+        t += self._l2_tlb_latency
+        l2_tlb = self._l2[gpu_id]
+        if page == l2_tlb._mru_page:
+            l2_tlb.hits += 1
+            hit = True
+        else:
+            hit = l2_tlb.lookup(page)
+        if hit:
             self.l2_tlb_hits += 1
-            l1_tlb.insert(page, txn.gpu_id)
-            self._at(t, self._local_leg, txn, on_complete)
+            l1_tlb.insert(page, gpu_id)
+            q = self._equeue
+            seq = q._seq
+            q._seq = seq + 1
+            pool = q._pool
+            if pool:
+                entry = pool.pop()
+                entry[0] = t
+                entry[1] = 0
+                entry[2] = seq
+                entry[3] = self._local_leg
+                entry[4] = (txn, on_complete)
+            else:
+                entry = [t, 0, seq, self._local_leg, (txn, on_complete), None]
+            _heappush(q._heap, entry)
+            q._live += 1
             return
         self.iommu_trips += 1
-        machine.iommu.translate(txn, t, on_complete)
+        self.machine.iommu.translate(txn, t, on_complete)
 
     # ------------------------------------------------------------------
     # IOMMU resolution (wired as machine.iommu.resolver; fires at
@@ -93,29 +203,29 @@ class MemoryAccessPath:
 
     def resolve(self, txn: MemoryTransaction, walk_done: float, on_complete: Callable) -> None:
         """Translation walked; route by page residency."""
-        machine = self.machine
-        entry = machine.page_table.entry(txn.page)
+        if not self._l2:
+            self._bind_gpus()
+        entry = self._page_table.entry(txn.page)
 
         if entry.migrating:
-            machine.driver.wait_for_page(txn.page, txn, on_complete)
+            self.machine.driver.wait_for_page(txn.page, txn, on_complete)
             return
 
         location = entry.device
         if location == txn.gpu_id:
-            reply = machine.iommu.reply_time(machine.engine.now, txn.gpu_id)
-            gpu = machine.gpus[txn.gpu_id]
-            gpu.l2_tlb.insert(txn.page, location)
-            gpu.l1_tlbs[txn.cu_id].insert(txn.page, location)
+            reply = self._reply_time(self._engine._now, txn.gpu_id)
+            self._l2[txn.gpu_id].insert(txn.page, location)
+            self._l1[txn.gpu_id][txn.cu_id].insert(txn.page, location)
             self._at(reply, self._local_leg, txn, on_complete)
             return
         if location >= 0:
             # Remote GPU: physical address returned but never cached.
-            reply = machine.iommu.reply_time(machine.engine.now, txn.gpu_id)
+            reply = self._reply_time(self._engine._now, txn.gpu_id)
             if txn.kind is None:
                 txn.kind = AccessKind.REMOTE_DCA
             self._at(reply, self._remote_request_leg, txn, location, on_complete)
             return
-        machine.driver.handle_cpu_fault(txn, machine.engine.now, on_complete)
+        self.machine.driver.handle_cpu_fault(txn, self._engine._now, on_complete)
 
     # ------------------------------------------------------------------
     # Access legs (each fires at its own start time)
@@ -127,89 +237,233 @@ class MemoryAccessPath:
     def _local_leg(self, txn: MemoryTransaction, on_complete: Callable) -> None:
         if txn.kind is None:
             txn.kind = AccessKind.LOCAL
-        self.kind_counts[txn.kind] += 1
-        machine = self.machine
-        gpu = machine.gpus[txn.gpu_id]
-        finish = gpu.hierarchy.local_access(
-            machine.engine.now, txn.cu_id, txn.address, txn.is_write
+        self._kc[id(txn.kind)] += 1
+        finish = self._hier[txn.gpu_id].local_access(
+            self._engine._now, txn.cu_id, txn.address, txn.is_write
         )
-        self._finish(txn, finish, on_complete)
+        now = self._engine._now
+        q = self._equeue
+        seq = q._seq
+        q._seq = seq + 1
+        pool = q._pool
+        if pool:
+            entry = pool.pop()
+            entry[0] = finish if finish > now else now
+            entry[1] = 0
+            entry[2] = seq
+            entry[3] = on_complete
+            entry[4] = (txn, finish)
+        else:
+            entry = [finish if finish > now else now, 0, seq, on_complete,
+                     (txn, finish), None]
+        if finish <= now:
+            q._lane.append(entry)
+        else:
+            _heappush(q._heap, entry)
+        q._live += 1
 
     def _remote_request_leg(self, txn: MemoryTransaction, owner: int, on_complete: Callable) -> None:
-        machine = self.machine
-        hierarchy = machine.gpus[txn.gpu_id].hierarchy
+        hierarchy = self._hier[txn.gpu_id]
         if not txn.is_write:
             # CARVE-style remote cache: serve remote reads locally.
-            hit = hierarchy.remote_cache_lookup(machine.engine.now, txn.address)
+            hit = hierarchy.remote_cache_lookup(self._engine._now, txn.address)
             if hit >= 0:
                 txn.kind = AccessKind.REMOTE_CACHE
-                self.kind_counts[AccessKind.REMOTE_CACHE] += 1
-                self._finish(txn, hit, on_complete)
+                self._kc[id(AccessKind.REMOTE_CACHE)] += 1
+                now = self._engine._now
+                q = self._equeue
+                seq = q._seq
+                q._seq = seq + 1
+                pool = q._pool
+                if pool:
+                    entry = pool.pop()
+                    entry[0] = hit if hit > now else now
+                    entry[1] = 0
+                    entry[2] = seq
+                    entry[3] = on_complete
+                    entry[4] = (txn, hit)
+                else:
+                    entry = [hit if hit > now else now, 0, seq, on_complete,
+                             (txn, hit), None]
+                if hit <= now:
+                    q._lane.append(entry)
+                else:
+                    _heappush(q._heap, entry)
+                q._live += 1
                 return
         elif hierarchy.remote_cache is not None:
             # Remote write: any locally cached copy becomes stale.
             hierarchy.remote_cache.invalidate_address(txn.address)
-        self.kind_counts[AccessKind.REMOTE_DCA] += 1
-        arrive = machine.fabric.transfer(
-            machine.engine.now, txn.gpu_id, owner, DATA_MSG_BYTES
+        self._kc[id(AccessKind.REMOTE_DCA)] += 1
+        arrive = self._fabric_transfer(
+            self._engine._now, txn.gpu_id, owner, DATA_MSG_BYTES
         )
-        self._at(arrive, self._remote_service_leg, txn, owner, on_complete)
+        now = self._engine._now
+        q = self._equeue
+        seq = q._seq
+        q._seq = seq + 1
+        pool = q._pool
+        if pool:
+            entry = pool.pop()
+            entry[0] = arrive if arrive > now else now
+            entry[1] = 0
+            entry[2] = seq
+            entry[3] = self._remote_service_leg
+            entry[4] = (txn, owner, on_complete)
+        else:
+            entry = [arrive if arrive > now else now, 0, seq,
+                     self._remote_service_leg, (txn, owner, on_complete), None]
+        if arrive <= now:
+            q._lane.append(entry)
+        else:
+            _heappush(q._heap, entry)
+        q._live += 1
 
     def _remote_service_leg(self, txn: MemoryTransaction, owner: int, on_complete: Callable) -> None:
-        machine = self.machine
-        served = machine.gpus[owner].rdma.service(
-            machine.engine.now, txn.address, txn.is_write
+        served = self._rdma_service[owner](
+            self._engine._now, txn.address, txn.is_write
         )
-        self._at(served, self._remote_response_leg, txn, owner, on_complete)
+        now = self._engine._now
+        q = self._equeue
+        seq = q._seq
+        q._seq = seq + 1
+        pool = q._pool
+        if pool:
+            entry = pool.pop()
+            entry[0] = served if served > now else now
+            entry[1] = 0
+            entry[2] = seq
+            entry[3] = self._remote_response_leg
+            entry[4] = (txn, owner, on_complete)
+        else:
+            entry = [served if served > now else now, 0, seq,
+                     self._remote_response_leg, (txn, owner, on_complete), None]
+        if served <= now:
+            q._lane.append(entry)
+        else:
+            _heappush(q._heap, entry)
+        q._live += 1
 
     def _remote_response_leg(self, txn: MemoryTransaction, owner: int, on_complete: Callable) -> None:
-        machine = self.machine
-        arrive = machine.fabric.transfer(
-            machine.engine.now, owner, txn.gpu_id, DATA_MSG_BYTES
+        arrive = self._fabric_transfer(
+            self._engine._now, owner, txn.gpu_id, DATA_MSG_BYTES
         )
         if not txn.is_write:
-            machine.gpus[txn.gpu_id].hierarchy.remote_cache_fill(txn.address)
-        self._finish(txn, arrive, on_complete)
+            self._hier[txn.gpu_id].remote_cache_fill(txn.address)
+        now = self._engine._now
+        q = self._equeue
+        seq = q._seq
+        q._seq = seq + 1
+        pool = q._pool
+        if pool:
+            entry = pool.pop()
+            entry[0] = arrive if arrive > now else now
+            entry[1] = 0
+            entry[2] = seq
+            entry[3] = on_complete
+            entry[4] = (txn, arrive)
+        else:
+            entry = [arrive if arrive > now else now, 0, seq, on_complete,
+                     (txn, arrive), None]
+        if arrive <= now:
+            q._lane.append(entry)
+        else:
+            _heappush(q._heap, entry)
+        q._live += 1
 
     # CPU DCA (DFTM denial path) -----------------------------------------
 
     def cpu_dca_access(self, txn: MemoryTransaction, start: float, on_complete: Callable) -> None:
         """DCA to CPU memory; ``start`` is when the translation reply lands."""
-        self.kind_counts[AccessKind.CPU_DCA] += 1
+        self._kc[id(AccessKind.CPU_DCA)] += 1
         self._at(start, self._cpu_request_leg, txn, on_complete)
 
     def _cpu_request_leg(self, txn: MemoryTransaction, on_complete: Callable) -> None:
-        machine = self.machine
-        arrive = machine.fabric.transfer(
-            machine.engine.now, txn.gpu_id, CPU_PORT, DATA_MSG_BYTES
+        arrive = self._fabric_transfer(
+            self._engine._now, txn.gpu_id, CPU_PORT, DATA_MSG_BYTES
         )
-        self._at(arrive, self._cpu_service_leg, txn, on_complete)
+        now = self._engine._now
+        q = self._equeue
+        seq = q._seq
+        q._seq = seq + 1
+        pool = q._pool
+        if pool:
+            entry = pool.pop()
+            entry[0] = arrive if arrive > now else now
+            entry[1] = 0
+            entry[2] = seq
+            entry[3] = self._cpu_service_leg
+            entry[4] = (txn, on_complete)
+        else:
+            entry = [arrive if arrive > now else now, 0, seq,
+                     self._cpu_service_leg, (txn, on_complete), None]
+        if arrive <= now:
+            q._lane.append(entry)
+        else:
+            _heappush(q._heap, entry)
+        q._live += 1
 
     def _cpu_service_leg(self, txn: MemoryTransaction, on_complete: Callable) -> None:
-        machine = self.machine
         served = (
-            machine.cpu_memory.acquire(machine.engine.now, DATA_MSG_BYTES)
-            + machine.config.timing.cpu_mem_latency
+            self._cpu_memory.acquire(self._engine._now, DATA_MSG_BYTES)
+            + self._cpu_mem_latency
         )
-        self._at(served, self._cpu_response_leg, txn, on_complete)
+        now = self._engine._now
+        q = self._equeue
+        seq = q._seq
+        q._seq = seq + 1
+        pool = q._pool
+        if pool:
+            entry = pool.pop()
+            entry[0] = served if served > now else now
+            entry[1] = 0
+            entry[2] = seq
+            entry[3] = self._cpu_response_leg
+            entry[4] = (txn, on_complete)
+        else:
+            entry = [served if served > now else now, 0, seq,
+                     self._cpu_response_leg, (txn, on_complete), None]
+        if served <= now:
+            q._lane.append(entry)
+        else:
+            _heappush(q._heap, entry)
+        q._live += 1
 
     def _cpu_response_leg(self, txn: MemoryTransaction, on_complete: Callable) -> None:
-        machine = self.machine
-        arrive = machine.fabric.transfer(
-            machine.engine.now, CPU_PORT, txn.gpu_id, DATA_MSG_BYTES
+        arrive = self._fabric_transfer(
+            self._engine._now, CPU_PORT, txn.gpu_id, DATA_MSG_BYTES
         )
-        self._finish(txn, arrive, on_complete)
+        now = self._engine._now
+        q = self._equeue
+        seq = q._seq
+        q._seq = seq + 1
+        pool = q._pool
+        if pool:
+            entry = pool.pop()
+            entry[0] = arrive if arrive > now else now
+            entry[1] = 0
+            entry[2] = seq
+            entry[3] = on_complete
+            entry[4] = (txn, arrive)
+        else:
+            entry = [arrive if arrive > now else now, 0, seq, on_complete,
+                     (txn, arrive), None]
+        if arrive <= now:
+            q._lane.append(entry)
+        else:
+            _heappush(q._heap, entry)
+        q._live += 1
 
     # Post-migration routing ----------------------------------------------
 
     def route_after_migration(self, txn: MemoryTransaction, start: float, on_complete: Callable) -> None:
         """Resume an access that waited for a page migration."""
-        machine = self.machine
-        location = machine.page_table.location(txn.page)
+        location = self._page_table.location(txn.page)
         if location == txn.gpu_id:
-            gpu = machine.gpus[txn.gpu_id]
-            gpu.l2_tlb.insert(txn.page, location)
-            gpu.l1_tlbs[txn.cu_id].insert(txn.page, location)
+            if not self._l2:
+                self._bind_gpus()
+            self._l2[txn.gpu_id].insert(txn.page, location)
+            self._l1[txn.gpu_id][txn.cu_id].insert(txn.page, location)
             if txn.kind is None:
                 txn.kind = AccessKind.FAULT_MIGRATE
             self._at(start, self._local_leg, txn, on_complete)
@@ -220,10 +474,16 @@ class MemoryAccessPath:
             return
         # Still CPU-resident (page bounced back); serve via CPU DCA.
         txn.kind = AccessKind.CPU_DCA
-        self.kind_counts[AccessKind.CPU_DCA] += 1
+        self._kc[id(AccessKind.CPU_DCA)] += 1
         self._at(start, self._cpu_request_leg, txn, on_complete)
 
     # ------------------------------------------------------------------
+
+    @property
+    def kind_counts(self) -> dict:
+        """Transactions by service kind (enum-keyed, enum order)."""
+        kc = self._kc
+        return {k: kc[id(k)] for k in AccessKind}
 
     def local_fraction(self) -> float:
         """Fraction of transactions serviced from local GPU memory."""

@@ -56,6 +56,8 @@ class IOMMU(Component):
         self.arbiter = arbiter
         self.walkers = SlotResource("iommu.ptw", config.num_walkers)
         self.resolver: Optional[Resolver] = None
+        self._post_at = engine.post_at
+        self._walk_latency = config.walk_latency
 
     def translate(self, txn: MemoryTransaction, request_time: float, on_data_complete: Callable) -> None:
         """Walk the page table for ``txn``; hand off to the resolver.
@@ -69,21 +71,30 @@ class IOMMU(Component):
         if self.resolver is None:
             raise RuntimeError("IOMMU resolver not wired; build via Machine")
         self.bump("translation_requests")
-        fire = max(request_time, self.now)
-        self.engine.schedule_at(fire, self._send_request, txn, on_data_complete)
+        now = self.engine._now
+        self._post_at(
+            request_time if request_time > now else now,
+            self._send_request, txn, on_data_complete,
+        )
 
     def _send_request(self, txn: MemoryTransaction, on_data_complete: Callable) -> None:
-        effective = self.arbiter.effective_time(txn.gpu_id, self.now)
+        effective = self.arbiter.effective_time(txn.gpu_id, self.engine._now)
         self.arbiter.grant(txn.gpu_id)
         arrive = self.fabric.transfer(
             effective, txn.gpu_id, CPU_PORT, TRANSLATION_MSG_BYTES
         )
-        self.engine.schedule_at(max(arrive, self.now), self._start_walk, txn, on_data_complete)
+        now = self.engine._now
+        self._post_at(
+            arrive if arrive > now else now,
+            self._start_walk, txn, on_data_complete,
+        )
 
     def _start_walk(self, txn: MemoryTransaction, on_data_complete: Callable) -> None:
-        walk_done = self.walkers.acquire(self.now, self.config.walk_latency)
-        self.engine.schedule_at(
-            max(walk_done, self.now), self.resolver, txn, walk_done, on_data_complete
+        now = self.engine._now
+        walk_done = self.walkers.acquire(now, self._walk_latency)
+        self._post_at(
+            walk_done if walk_done > now else now, self.resolver, txn,
+            walk_done, on_data_complete,
         )
 
     def reply_time(self, send_time: float, gpu_id: int) -> float:

@@ -4,6 +4,18 @@ Griffin's shootdowns invalidate only the entries of migrating pages
 ("Our TLB shootdown invalidates only the entries for pages involved in the
 current migration process as opposed to invalidating the entire TLB"),
 so the TLB exposes both :meth:`invalidate_pages` and :meth:`flush_all`.
+
+Hot-path notes: set indexing uses a bitmask when ``num_sets`` is a power
+of two (validated at configuration time via ``TLBConfig.set_mask``), and
+:meth:`lookup` keeps a one-entry MRU memo.  The memo is only consulted
+for the page that most recently went through the full hit path — for
+that page the LRU reorder is a no-op by construction, so skipping it is
+exactly equivalent — and it is dropped on any operation that reorders or
+removes entries (insert, invalidate, flush).
+
+Sets are ``OrderedDict``s: for the TLB's reorder-dominated access mix
+``move_to_end`` beats a plain-dict pop/re-insert, so the classic
+container stays.
 """
 
 from __future__ import annotations
@@ -21,7 +33,10 @@ class TLB:
     hardware-coherent across devices).
     """
 
-    __slots__ = ("name", "config", "_sets", "hits", "misses", "invalidations")
+    __slots__ = (
+        "name", "config", "_sets", "_num_sets", "_set_mask", "_mru_page",
+        "hits", "misses", "invalidations",
+    )
 
     def __init__(self, name: str, config: TLBConfig) -> None:
         self.name = name
@@ -29,18 +44,30 @@ class TLB:
         self._sets: list[OrderedDict[int, int]] = [
             OrderedDict() for _ in range(config.num_sets)
         ]
+        self._num_sets = config.num_sets
+        self._set_mask = config.set_mask
+        self._mru_page = -1
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
 
-    def _set_for(self, page: int) -> OrderedDict:
-        return self._sets[page % self.config.num_sets]
+    def _set_for(self, page: int) -> dict:
+        mask = self._set_mask
+        if mask >= 0:
+            return self._sets[page & mask]
+        return self._sets[page % self._num_sets]
 
     def lookup(self, page: int) -> bool:
         """Probe for ``page``; updates LRU order and hit/miss counters."""
-        entries = self._set_for(page)
+        if page == self._mru_page:
+            # Already most-recent in its set; reordering would be a no-op.
+            self.hits += 1
+            return True
+        mask = self._set_mask
+        entries = self._sets[page & mask if mask >= 0 else page % self._num_sets]
         if page in entries:
             entries.move_to_end(page)
+            self._mru_page = page
             self.hits += 1
             return True
         self.misses += 1
@@ -52,13 +79,18 @@ class TLB:
         if page in entries:
             entries.move_to_end(page)
             entries[page] = device
+            self._mru_page = page
             return
         if len(entries) >= self.config.ways:
-            entries.popitem(last=False)
+            evicted, _ = entries.popitem(last=False)
+            if evicted == self._mru_page:
+                self._mru_page = -1
         entries[page] = device
+        self._mru_page = page
 
     def invalidate_pages(self, pages) -> int:
         """Drop entries for the given pages; returns how many were present."""
+        self._mru_page = -1
         dropped = 0
         for page in pages:
             entries = self._set_for(page)
@@ -70,6 +102,7 @@ class TLB:
 
     def flush_all(self) -> int:
         """Drop every entry (full shootdown); returns entries dropped."""
+        self._mru_page = -1
         dropped = sum(len(s) for s in self._sets)
         for entries in self._sets:
             entries.clear()

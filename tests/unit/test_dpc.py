@@ -126,7 +126,7 @@ class TestClassification:
         dpc, _ = make()
         self._steady(dpc, [100, 0, 0, 0], rounds=40)
         dpc.update([{1: 10}, {1: 90}, {}, {}])
-        assert dpc._is_owner_shifting(dpc._pages[1], -1) is False
+        assert dpc._is_owner_shifting(dpc._index[1], -1) is False
 
 
 class TestCandidates:
