@@ -168,6 +168,16 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="grid points submitted per process task "
                               "(0 = auto); larger chunks amortize pickling "
                               "on big grids")
+    sweep_p.add_argument("--no-fork", action="store_true",
+                         help="disable snapshot-fork warm-state reuse and "
+                              "run every cell from cycle zero (results are "
+                              "byte-identical either way)")
+    sweep_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="cache completed cells and prefix snapshots "
+                              "on disk, keyed by config + code fingerprint")
+    sweep_p.add_argument("--resume", action="store_true",
+                         help="serve cells already in --cache-dir from disk; "
+                              "a killed sweep re-runs only unfinished cells")
     add_sim_options(sweep_p)
     add_fault_options(sweep_p)
 
@@ -379,10 +389,31 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         configs={"default": _make_config(args)},
         faults={"injected": faults} if faults is not None else None,
     )
+    if args.resume and args.cache_dir is None:
+        print("error: --resume requires --cache-dir", file=sys.stderr)
+        return 2
     result = sweep.run(scale=args.scale, seed=args.seed, workers=workers,
                        max_events_per_run=args.max_events,
-                       chunk_size=args.chunk_size)
+                       chunk_size=args.chunk_size,
+                       fork=not args.no_fork,
+                       cache_dir=args.cache_dir, resume=args.resume)
     print(result.table(args.metric))
+    stats = (
+        f"cells: {len(result.points) + len(result.failures)} "
+        f"(forked {result.forked_cells}, cold {result.cold_cells}, "
+        f"cached {result.cache_hits})"
+    )
+    if args.cache_dir is not None:
+        stats += (
+            f" | cache: {result.cache_hits} hits, "
+            f"{result.cache_misses} misses"
+        )
+    if result.fork_groups:
+        stats += (
+            f" | {result.fork_groups} shared prefixes, "
+            f"{result.prefix_events:,} prefix events"
+        )
+    print(stats)
     policies = [p.strip() for p in args.policies.split(",") if p.strip()]
     if len(policies) >= 2 and not result.failures:
         print()

@@ -184,6 +184,19 @@ class DynamicPageClassifier:
         cc = self._cc
         return {c: cc[id(c)] for c in PageClass}
 
+    def __getstate__(self) -> dict:
+        """Snapshot support: ``id()`` keys are process-local, so ``_cc``
+        travels as a plain list in ``PageClass`` order."""
+        state = self.__dict__.copy()
+        state["_cc"] = [self._cc[id(c)] for c in PageClass]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._cc = {
+            id(c): count for c, count in zip(PageClass, state["_cc"])
+        }
+
     # ------------------------------------------------------------------
     # Classification
     # ------------------------------------------------------------------

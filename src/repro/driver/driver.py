@@ -28,6 +28,7 @@ access (the paper's own baseline path) instead of hanging its waiters.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import TYPE_CHECKING, Callable
 
 from repro.core.acud import DrainStrategy
@@ -47,6 +48,10 @@ from repro.sim.resource import SlotResource
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.system.machine import Machine
+
+
+def _discard_arrival(page: int, arrival: float) -> None:
+    """Writeback arrivals need no action; the page table already moved."""
 
 
 class GPUDriver(Component):
@@ -162,23 +167,22 @@ class GPUDriver(Component):
         self.bump("fault_batches")
         self.bump("fault_pages_migrated", len(batch))
 
-        def start_transfers() -> None:
-            for fault in batch:
-                self._transfer_with_retry(
-                    [fault.page], CPU_PORT, fault.dst_gpu,
-                    self._make_cpu_arrival(fault.dst_gpu),
-                )
+        self.engine.post_at(
+            max(flush_done, self.now), self._start_fault_transfers, batch
+        )
 
-        self.engine.post_at(max(flush_done, self.now), start_transfers)
+    def _start_fault_transfers(self, batch: list) -> None:
+        for fault in batch:
+            self._transfer_with_retry(
+                [fault.page], CPU_PORT, fault.dst_gpu,
+                partial(self._cpu_fault_done, fault.dst_gpu),
+            )
 
-    def _make_cpu_arrival(self, dst_gpu: int):
-        def on_done(page: int, migrated: bool) -> None:
-            if migrated:
-                self._complete_migration(page, CPU_PORT, dst_gpu)
-            else:
-                self._abandon_migration(page)
-
-        return on_done
+    def _cpu_fault_done(self, dst_gpu: int, page: int, migrated: bool) -> None:
+        if migrated:
+            self._complete_migration(page, CPU_PORT, dst_gpu)
+        else:
+            self._abandon_migration(page)
 
     # ------------------------------------------------------------------
     # Fault-aware transfer: retry with backoff, then degrade to DCA
@@ -195,28 +199,32 @@ class GPUDriver(Component):
         backoff; when the attempt budget is exhausted the page is reported
         un-migrated (``migrated=False``) so the caller can degrade.
         """
-
-        def on_arrival(page: int, arrival: float) -> None:
-            if self.injector is not None and not self.injector.migration_transfer_ok(
-                page, src, dst
-            ):
-                attempt = self._attempts.get(page, 0) + 1
-                self._attempts[page] = attempt
-                if self.backoff.exhausted(attempt):
-                    del self._attempts[page]
-                    self.bump("migration_fallbacks")
-                    on_done(page, False)
-                    return
-                self.bump("migration_retries")
-                self.engine.post(
-                    self.backoff.delay(attempt),
-                    self._reissue_transfer, page, src, dst, on_arrival,
-                )
-                return
-            self._attempts.pop(page, None)
-            on_done(page, True)
-
+        on_arrival = partial(self._transfer_arrival, src, dst, on_done)
         self.machine.pmc.transfer_pages(self.now, pages, src, dst, on_arrival)
+
+    def _transfer_arrival(
+        self, src: int, dst: int, on_done: Callable[[int, bool], None],
+        page: int, arrival: float,
+    ) -> None:
+        if self.injector is not None and not self.injector.migration_transfer_ok(
+            page, src, dst
+        ):
+            attempt = self._attempts.get(page, 0) + 1
+            self._attempts[page] = attempt
+            if self.backoff.exhausted(attempt):
+                del self._attempts[page]
+                self.bump("migration_fallbacks")
+                on_done(page, False)
+                return
+            self.bump("migration_retries")
+            self.engine.post(
+                self.backoff.delay(attempt),
+                self._reissue_transfer, page, src, dst,
+                partial(self._transfer_arrival, src, dst, on_done),
+            )
+            return
+        self._attempts.pop(page, None)
+        on_done(page, True)
 
     def _reissue_transfer(self, page: int, src: int, dst: int, on_arrival) -> None:
         self.machine.pmc.transfer_pages(self.now, [page], src, dst, on_arrival)
@@ -343,13 +351,16 @@ class GPUDriver(Component):
         gpu = machine.gpus[src]
         pages = {c.page for c in cands}
 
-        def drained(_t: float) -> None:
-            self._after_drain(src, cands, pending_sources)
-
+        drained = partial(self._drained, src, cands, pending_sources)
         if self.policy.drain == DrainStrategy.ACUD:
             gpu.drain_controller.drain_acud(pages, drained)
         else:
             gpu.drain_controller.drain_flush(drained)
+
+    def _drained(
+        self, src: int, cands: list, pending_sources: list, _t: float
+    ) -> None:
+        self._after_drain(src, cands, pending_sources)
 
     def _after_drain(self, src: int, cands: list, pending_sources: list) -> None:
         machine = self.machine
@@ -385,20 +396,25 @@ class GPUDriver(Component):
             by_dst.setdefault(cand.dst, []).append(cand.page)
 
         outstanding = [len(destinations)]
-
-        def page_done(page: int, migrated: bool) -> None:
-            if migrated:
-                self._complete_migration(page, src, destinations[page])
-            else:
-                self._abandon_migration(page)
-            outstanding[0] -= 1
-            if outstanding[0] == 0:
-                pending_sources[0] -= 1
-                if pending_sources[0] == 0:
-                    self._round_active = False
-
+        page_done = partial(
+            self._round_page_done, src, destinations, outstanding, pending_sources
+        )
         for dst, pages in by_dst.items():
             self._transfer_with_retry(pages, src, dst, page_done)
+
+    def _round_page_done(
+        self, src: int, destinations: dict, outstanding: list,
+        pending_sources: list, page: int, migrated: bool,
+    ) -> None:
+        if migrated:
+            self._complete_migration(page, src, destinations[page])
+        else:
+            self._abandon_migration(page)
+        outstanding[0] -= 1
+        if outstanding[0] == 0:
+            pending_sources[0] -= 1
+            if pending_sources[0] == 0:
+                self._round_active = False
 
     def _complete_migration(self, page: int, src: int, dst: int) -> None:
         machine = self.machine
@@ -451,8 +467,7 @@ class GPUDriver(Component):
                 other.hierarchy.remote_cache_invalidate([victim])
             self.bump("capacity_evictions")
             machine.pmc.transfer_pages(
-                self.now, [victim], gpu_id, CPU_PORT,
-                lambda page, arrival: None,
+                self.now, [victim], gpu_id, CPU_PORT, _discard_arrival
             )
 
     # ------------------------------------------------------------------

@@ -25,7 +25,7 @@ from collections import deque
 from typing import Callable, Optional
 
 from repro.config.system import GPUConfig, TimingConfig
-from repro.mem.access import MemoryTransaction, _txn_ids
+from repro.mem.access import MemoryTransaction
 from repro.sim.component import Component
 from repro.sim.engine import Engine
 
@@ -75,7 +75,10 @@ class ComputeUnit(Component):
         self._outstanding_by_page: dict[int, int] = {}
         self._cursor_for: dict[int, _WavefrontCursor] = {}
         self._max_inflight = config.max_inflight_per_cu
-        self._next_txn_id = _txn_ids.__next__
+        # Per-CU id stream (ids only key this CU's in-flight dicts).  A
+        # process-global itertools.count would make restored snapshots
+        # diverge from the run they were captured from.
+        self._txn_seq = 0
         # One bound method shared by every issue, instead of a fresh
         # closure per transaction.
         self._completion = self._txn_done
@@ -158,7 +161,8 @@ class ComputeUnit(Component):
         txn.complete_time = None
         txn.kind = None
         txn.workgroup_id = cursor.workgroup.wg_id
-        txn.txn_id = txn_id = self._next_txn_id()
+        txn.txn_id = txn_id = self._txn_seq
+        self._txn_seq = txn_id + 1
         self.outstanding[txn_id] = txn
         self._cursor_for[txn_id] = cursor
         stats = self.stats
@@ -183,7 +187,8 @@ class ComputeUnit(Component):
         txn.complete_time = None
         txn.kind = None
         txn.workgroup_id = cursor.workgroup.wg_id
-        txn.txn_id = txn_id = self._next_txn_id()
+        txn.txn_id = txn_id = self._txn_seq
+        self._txn_seq = txn_id + 1
         self.outstanding[txn_id] = txn
         self._cursor_for[txn_id] = cursor
         stats = self.stats

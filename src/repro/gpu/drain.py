@@ -18,6 +18,7 @@ completes, so shootdown accounting stays in one place
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable
 
 from repro.config.system import TimingConfig
@@ -26,7 +27,12 @@ from repro.sim.engine import Engine
 
 
 class DrainController(Component):
-    """Coordinates draining/flushing all CUs of one GPU."""
+    """Coordinates draining/flushing all CUs of one GPU.
+
+    Completion callbacks are ``functools.partial`` objects over bound
+    methods (never closures) so an in-flight drain survives the machine
+    snapshot/fork pickle round-trip.
+    """
 
     def __init__(self, engine: Engine, gpu) -> None:
         super().__init__(engine, f"gpu{gpu.gpu_id}.drain")
@@ -36,36 +42,33 @@ class DrainController(Component):
     def drain_acud(self, pages: set, callback: Callable[[float], None]) -> None:
         """ACUD: selective drain of transactions touching ``pages``."""
         self.bump("acud_drains")
-        cus = self.gpu.all_cus()
-        remaining = [len(cus)]
-
-        def cu_done() -> None:
-            remaining[0] -= 1
-            if remaining[0] == 0:
-                callback(self.now)
-
-        def deliver() -> None:
-            for cu in cus:
-                cu.request_drain(pages, cu_done)
-
-        self.engine.post(self.timing.drain_request_cycles, deliver)
+        self.engine.post(
+            self.timing.drain_request_cycles, self._deliver_drain, pages, callback
+        )
 
     def drain_flush(self, callback: Callable[[float], None]) -> None:
         """Pipeline flush: discard and replay all in-flight work."""
         self.bump("pipeline_flushes")
+        self.engine.post(
+            self.timing.drain_request_cycles, self._deliver_flush, callback
+        )
+
+    def _deliver_drain(self, pages: set, callback: Callable[[float], None]) -> None:
         cus = self.gpu.all_cus()
-        remaining = [len(cus)]
+        cu_done = partial(self._cu_done, [len(cus)], callback)
+        for cu in cus:
+            cu.request_drain(pages, cu_done)
 
-        def cu_done() -> None:
-            remaining[0] -= 1
-            if remaining[0] == 0:
-                callback(self.now)
+    def _deliver_flush(self, callback: Callable[[float], None]) -> None:
+        cus = self.gpu.all_cus()
+        cu_done = partial(self._cu_done, [len(cus)], callback)
+        for cu in cus:
+            cu.request_flush(cu_done)
 
-        def deliver() -> None:
-            for cu in cus:
-                cu.request_flush(cu_done)
-
-        self.engine.post(self.timing.drain_request_cycles, deliver)
+    def _cu_done(self, remaining: list, callback: Callable[[float], None]) -> None:
+        remaining[0] -= 1
+        if remaining[0] == 0:
+            callback(self.now)
 
     def resume_all(self) -> None:
         """Send *Continue* to every CU."""

@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 import json
+import pickle
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 from repro.harness.results import RunResult
 from repro.mem.access import AccessKind
@@ -97,3 +98,58 @@ def save_result(result: RunResult, path: Union[str, Path]) -> Path:
 def load_result(path: Union[str, Path]) -> RunResult:
     """Read a run result back from :func:`save_result` output."""
     return result_from_dict(json.loads(Path(path).read_text()))
+
+
+class SweepResultCache:
+    """On-disk per-cell cache behind ``Sweep.run(cache_dir=...)``.
+
+    Layout: ``<root>/results/<fingerprint>.json`` holds one
+    :func:`save_result` file per completed cell and
+    ``<root>/snapshots/<fingerprint>.pkl`` one pickled
+    ``(MachineSnapshot, meta)`` pair per shared prefix.  Fingerprints
+    (see :func:`repro.harness.sweep.cell_fingerprint`) already include
+    the source-tree fingerprint, so entries from older code are simply
+    never looked up; a corrupt or truncated entry reads as a miss.
+    Failures are never stored — a flaky cell gets re-run, not replayed.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        (self.root / "results").mkdir(parents=True, exist_ok=True)
+        (self.root / "snapshots").mkdir(parents=True, exist_ok=True)
+
+    def _result_path(self, fingerprint: str) -> Path:
+        return self.root / "results" / f"{fingerprint}.json"
+
+    def _snapshot_path(self, fingerprint: str) -> Path:
+        return self.root / "snapshots" / f"{fingerprint}.pkl"
+
+    def load(self, fingerprint: str) -> Optional[RunResult]:
+        """The cached result for a cell fingerprint, or None on miss."""
+        path = self._result_path(fingerprint)
+        if not path.exists():
+            return None
+        try:
+            return load_result(path)
+        except Exception:
+            return None
+
+    def store(self, fingerprint: str, result: RunResult) -> Path:
+        """Persist one completed cell under its fingerprint."""
+        return save_result(result, self._result_path(fingerprint))
+
+    def load_snapshot(self, fingerprint: str):
+        """The cached ``(snapshot, meta)`` for a group, or None on miss."""
+        path = self._snapshot_path(fingerprint)
+        if not path.exists():
+            return None
+        try:
+            return pickle.loads(path.read_bytes())
+        except Exception:
+            return None
+
+    def store_snapshot(self, fingerprint: str, payload) -> None:
+        """Persist one group's prefix snapshot under its fingerprint."""
+        self._snapshot_path(fingerprint).write_bytes(
+            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        )

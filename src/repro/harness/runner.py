@@ -55,6 +55,46 @@ def run_workload(
             :class:`~repro.sim.engine.SimulationStall` instead of hanging.
         stall_threshold: Engine livelock watchdog (None disables).
     """
+    machine, workload, kernels = prepare_run(
+        workload,
+        policy=policy,
+        config=config,
+        hyper=hyper,
+        scale=scale,
+        seed=seed,
+        watch_pages=watch_pages,
+        timeline_bucket=timeline_bucket,
+        dispatch_strategy=dispatch_strategy,
+        faults=faults,
+    )
+    machine.run(kernels, max_events=max_events, stall_threshold=stall_threshold)
+    return harvest_result(
+        machine,
+        workload,
+        keep_timeline=keep_timeline,
+        collect_detail=collect_detail,
+    )
+
+
+def prepare_run(
+    workload: Union[str, WorkloadBase],
+    policy: Union[str, PolicyConfig] = "baseline",
+    config: Optional[SystemConfig] = None,
+    hyper: Optional[GriffinHyperParams] = None,
+    scale: float = 0.02,
+    seed: int = 7,
+    watch_pages=None,
+    timeline_bucket: int = 10_000,
+    dispatch_strategy: str = "round_robin",
+    faults: Optional[FaultConfig] = None,
+) -> tuple[Machine, WorkloadBase, list]:
+    """Validate inputs and build (machine, workload, kernels) unrun.
+
+    This is :func:`run_workload` minus the run itself, split out so the
+    sweep's snapshot-fork path can drive the machine in stages
+    (``start`` / ``run_until`` / ``snapshot`` / ``finish``) while sharing
+    every validation and construction rule with the cold path.
+    """
     # Validate the cheap knobs eagerly, with the valid choices in the
     # error, instead of failing deep inside Machine construction.
     if isinstance(policy, str):
@@ -97,17 +137,25 @@ def run_workload(
         fault_seed=workload.seed,
     )
     kernels = workload.build_kernels(config.num_gpus)
-    cycles = machine.run(
-        kernels, max_events=max_events, stall_threshold=stall_threshold
-    )
+    return machine, workload, kernels
 
+
+def harvest_result(
+    machine: Machine,
+    workload: WorkloadBase,
+    keep_timeline: bool = False,
+    collect_detail: bool = False,
+) -> RunResult:
+    """Turn a completed machine into a :class:`RunResult`."""
+    if machine.finish_time is None:
+        raise RuntimeError("cannot harvest an unfinished machine")
     driver = machine.driver
     page_table = machine.page_table
     injector = machine.fault_injector
     result = RunResult(
         workload=workload.spec.abbrev,
         policy=machine.policy.name,
-        cycles=cycles,
+        cycles=machine.finish_time,
         transactions=machine.access_path.total_issued,
         occupancy=machine.occupancy_snapshot(),
         cpu_shootdowns=machine.shootdowns.cpu_shootdowns,

@@ -14,19 +14,60 @@ of what the benchmark files do by hand, available to library users::
     result = sweep.run(scale=0.01, seed=3)
     print(result.table("cycles"))
     print(result.speedup_table("baseline", "griffin"))
+
+Snapshot-fork execution
+-----------------------
+
+Most sweeps vary *late-binding* knobs — hyperparameters and policy
+fields the simulation first consults at its periodic migration phase
+(see ``LATE_HYPER_FIELDS`` / ``LATE_POLICY_FIELDS`` in
+:mod:`repro.system.machine`).  Every cell in such a group replays an
+identical warm-up: same trace, same faults, same event stream up to the
+first migration decision.  With ``fork=True`` (the default) the sweep
+runs that shared prefix **once** per group, snapshots the machine at
+``migration_period - 1`` cycles, and forks each cell from the snapshot
+via :class:`repro.sim.snapshot.MachineSnapshot`.  Forked cells are
+byte-identical to cold runs — the parity suite pins this — so results
+never depend on ``fork``, ``workers``, or ``chunk_size``.
+
+Cells that cannot share a prefix run cold, exactly as before: object
+workloads (no stable fingerprint), predictive policies (they consume
+``lambda_t`` during warm-up), unknown policies (the cold path owns the
+error message), and groups of one (nothing to amortize).
+
+One observable asymmetry: a forked cell that exhausts ``max_events``
+reports the *continuation* budget in its failure message, not the full
+one.  The stall happens after the same total event count either way.
+
+Caching
+-------
+
+``cache_dir`` enables an on-disk cache keyed by a cell fingerprint
+(canonical JSON of the cell's full configuration) combined with
+:func:`repro.perf.fingerprint.code_fingerprint`, so any source change
+invalidates every entry.  ``resume=True`` loads completed cells from the
+cache instead of re-running them — a killed sweep re-runs only what it
+had not finished.  Group snapshots are cached the same way; failures are
+never cached.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import enum
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.config.hyperparams import GriffinHyperParams
 from repro.config.presets import small_system
 from repro.config.system import SystemConfig
+from repro.core.policies import get_policy
 from repro.harness.results import FailedRun, RunResult
-from repro.harness.runner import run_workload
+from repro.harness.runner import harvest_result, prepare_run, run_workload
 from repro.metrics.report import format_table, geometric_mean
+from repro.system.machine import LATE_HYPER_FIELDS, LATE_POLICY_FIELDS
 
 _METRICS = {
     "cycles": lambda r: r.cycles,
@@ -58,10 +99,23 @@ class SweepResult:
         failures: SweepKey -> :class:`FailedRun` for points that stalled,
             blew their event budget, or raised.  A sweep always completes;
             a bad cell never takes the grid down with it.
+        cache_hits: Cells served from the on-disk result cache.
+        cache_misses: Cells executed while a cache was attached.
+        forked_cells: Cells continued from a shared prefix snapshot.
+        cold_cells: Cells simulated from cycle zero.
+        fork_groups: Shared-prefix groups actually forked.
+        prefix_events: Events executed across all shared prefixes; each
+            group's other members skipped roughly this many each.
     """
 
     points: dict = field(default_factory=dict)  # SweepKey -> RunResult
     failures: dict = field(default_factory=dict)  # SweepKey -> FailedRun
+    cache_hits: int = 0
+    cache_misses: int = 0
+    forked_cells: int = 0
+    cold_cells: int = 0
+    fork_groups: int = 0
+    prefix_events: int = 0
 
     def get(self, workload: str, policy: str, config: str = "default",
             hyper: str = "default", fault: str = "none") -> RunResult:
@@ -129,6 +183,132 @@ class SweepResult:
         )
 
 
+# ----------------------------------------------------------------------
+# Fingerprints and fork planning
+# ----------------------------------------------------------------------
+
+
+def _canon(value):
+    """Reduce configs to canonical JSON-able structure for hashing."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _canon(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, (list, tuple)):
+        return [_canon(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _canon(item) for key, item in value.items()}
+    return value
+
+
+def _digest(payload: dict) -> str:
+    text = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _resolve_variant(args):
+    """(PolicyConfig, GriffinHyperParams) for a cell, or None if the cell
+    cannot be resolved eagerly (the cold path owns its error message)."""
+    (workload, policy, _config, hyper, _scale, _seed,
+     _fault, _max_events, _stall) = args
+    if not isinstance(workload, str):
+        return None
+    try:
+        policy = get_policy(policy) if isinstance(policy, str) else policy
+    except KeyError:
+        return None
+    if hyper is None:
+        hyper = GriffinHyperParams.calibrated()
+    return policy, hyper
+
+
+def cell_fingerprint(args, code_fp: str = "") -> Optional[str]:
+    """Stable identity of one grid cell, or None if it has none.
+
+    Hashes every input that reaches the simulation — workload name,
+    policy, system config, hyperparameters, faults, scale, seed, and the
+    run budgets — plus the source-tree fingerprint, so a cached result is
+    valid exactly when a fresh run would be byte-identical to it.
+    """
+    resolved = _resolve_variant(args)
+    if resolved is None:
+        return None
+    policy, hyper = resolved
+    (workload, _policy, config, _hyper, scale, seed,
+     fault, max_events, stall_threshold) = args
+    return _digest({
+        "workload": workload,
+        "policy": _canon(policy),
+        "config": _canon(config),
+        "hyper": _canon(hyper),
+        "fault": _canon(fault),
+        "scale": scale,
+        "seed": seed,
+        "max_events": max_events,
+        "stall_threshold": stall_threshold,
+        "code": code_fp,
+    })
+
+
+def group_fingerprint(args, code_fp: str = "") -> Optional[str]:
+    """Shared-prefix identity of a cell, or None if it cannot fork.
+
+    Masks the late-binding fields — two cells with the same group
+    fingerprint replay an identical event stream up to the migration
+    phase, so one prefix snapshot serves both.  Predictive policies
+    consume ``lambda_t`` during warm-up and therefore never group.
+    """
+    resolved = _resolve_variant(args)
+    if resolved is None:
+        return None
+    policy, hyper = resolved
+    if policy.predictive:
+        return None
+    (workload, _policy, config, _hyper, scale, seed,
+     fault, max_events, stall_threshold) = args
+    return _digest({
+        "workload": workload,
+        "policy": {
+            f.name: _canon(getattr(policy, f.name))
+            for f in dataclasses.fields(policy)
+            if f.name not in LATE_POLICY_FIELDS
+        },
+        "hyper": {
+            f.name: _canon(getattr(hyper, f.name))
+            for f in dataclasses.fields(hyper)
+            if f.name not in LATE_HYPER_FIELDS
+        },
+        "config": _canon(config),
+        "fault": _canon(fault),
+        "scale": scale,
+        "seed": seed,
+        "max_events": max_events,
+        "stall_threshold": stall_threshold,
+        "code": code_fp,
+    })
+
+
+@dataclass(frozen=True)
+class _WorkloadMeta:
+    """Just enough workload identity for :func:`harvest_result`.
+
+    Forked machines travel without their workload object; harvesting
+    needs only ``spec.abbrev`` / ``seed`` / ``scale``, so this shim
+    stands in (``spec`` resolves to the instance itself).
+    """
+
+    abbrev: str
+    seed: int
+    scale: float
+
+    @property
+    def spec(self) -> "_WorkloadMeta":
+        return self
+
+
 @dataclass
 class Sweep:
     """A sweep definition: the cross-product of four axes.
@@ -162,11 +342,22 @@ class Sweep:
         hypers = self.hypers or {"default": GriffinHyperParams.calibrated()}
         faults = self.faults or {"none": None}
         for config_name, config in configs.items():
+            if config is None:
+                config = small_system()
             for hyper_name, hyper in hypers.items():
+                if hyper is None:
+                    hyper = GriffinHyperParams.calibrated()
                 for fault_name, fault in faults.items():
                     for workload in self.workloads:
+                        wl_name = (
+                            workload if isinstance(workload, str)
+                            else getattr(
+                                getattr(workload, "spec", None),
+                                "abbrev", str(workload),
+                            )
+                        )
                         for policy in self.policies:
-                            key = SweepKey(workload, policy, config_name,
+                            key = SweepKey(wl_name, policy, config_name,
                                            hyper_name, fault_name)
                             yield key, (workload, policy, config, hyper,
                                         scale, seed, fault, max_events,
@@ -176,13 +367,14 @@ class Sweep:
             progress=None, workers: int = 1,
             max_events_per_run: Optional[int] = None,
             stall_threshold: Optional[int] = 1_000_000,
-            chunk_size: int = 0) -> SweepResult:
+            chunk_size: int = 0, fork: bool = True,
+            cache_dir=None, resume: bool = False) -> SweepResult:
         """Execute every grid point; optionally report progress.
 
         Args:
             scale / seed: Forwarded to every run.
-            progress: Optional callable ``(done, total, key)`` invoked
-                after each point.
+            progress: Optional callable ``(done, total, key)`` invoked as
+                each point completes (completion order, not grid order).
             workers: Process count.  Grid points are independent
                 simulations, so they parallelize perfectly; results are
                 identical regardless of worker count (every run is
@@ -196,45 +388,181 @@ class Sweep:
                 few chunks (load balance) while pickling overhead is
                 amortized on large grids.  Results are identical at any
                 chunk size.
+            fork: Share warm-up across cells that differ only in
+                late-binding knobs (see module docstring).  Results are
+                byte-identical either way; False forces every cell cold.
+            cache_dir: Directory for the on-disk result + snapshot cache;
+                None disables caching.
+            resume: Serve cells already present in ``cache_dir`` from
+                disk instead of re-running them.
 
         A point that raises is recorded as a :class:`FailedRun` in
-        ``SweepResult.failures``; the rest of the grid still runs.
+        ``SweepResult.failures``; the rest of the grid still runs.  A
+        worker task that dies wholesale (e.g. OOM-kill, unpicklable
+        input) is retried cell-by-cell in the parent, so only the truly
+        bad cells fail.
         """
         result = SweepResult()
         total = self.size()
         grid = list(self._grid(scale, seed, max_events_per_run,
                                stall_threshold))
+        outcomes: dict[int, object] = {}
+        from_cache: set[int] = set()
+        done = 0
 
+        def land(index: int, outcome) -> None:
+            nonlocal done
+            outcomes[index] = outcome
+            done += 1
+            if progress is not None:
+                progress(done, total, grid[index][0])
+
+        # --- cache: resolve fingerprints, maybe resume completed cells
+        cache = None
+        code_fp = ""
+        fingerprints: list[Optional[str]] = [None] * len(grid)
+        if cache_dir is not None:
+            from repro.harness.io import SweepResultCache
+            from repro.perf.fingerprint import code_fingerprint
+
+            cache = SweepResultCache(cache_dir)
+            code_fp = code_fingerprint()
+            for index, (_key, args) in enumerate(grid):
+                fingerprints[index] = cell_fingerprint(args, code_fp)
+            if resume:
+                for index, fingerprint in enumerate(fingerprints):
+                    if fingerprint is None:
+                        continue
+                    cached = cache.load(fingerprint)
+                    if cached is not None:
+                        result.cache_hits += 1
+                        from_cache.add(index)
+                        land(index, cached)
+
+        # --- plan: split the remaining cells into fork groups and colds
+        pending = [i for i in range(len(grid)) if i not in outcomes]
+        groups: list[tuple[Optional[str], list[int]]] = []
+        cold: list[int] = []
+        if fork:
+            by_prefix: dict[str, list[int]] = {}
+            for index in pending:
+                group_fp = group_fingerprint(grid[index][1], code_fp)
+                if group_fp is None:
+                    cold.append(index)
+                else:
+                    by_prefix.setdefault(group_fp, []).append(index)
+            for group_fp, members in by_prefix.items():
+                if len(members) < 2:
+                    # A group of one amortizes nothing; run it cold.
+                    cold.extend(members)
+                else:
+                    groups.append((group_fp, members))
+            cold.sort()
+        else:
+            cold = pending
+
+        # --- execute
         if workers <= 1:
-            for done, (key, args) in enumerate(grid, start=1):
-                self._record(result, key, _run_point_safe(args))
-                if progress is not None:
-                    progress(done, total, key)
-            return result
+            for group_fp, members in groups:
+                self._run_group_serial(
+                    grid, group_fp, members, cache, result, land
+                )
+            for index in cold:
+                land(index, _run_point_safe(grid[index][1]))
+                result.cold_cells += 1
+        else:
+            self._run_parallel(
+                grid, groups, cold, workers, chunk_size, total,
+                cache, result, land,
+            )
 
+        # --- record in grid order; store fresh successes in the cache
+        for index, (key, _args) in enumerate(grid):
+            outcome = outcomes[index]
+            self._record(result, key, outcome)
+            if (cache is not None and index not in from_cache
+                    and fingerprints[index] is not None):
+                result.cache_misses += 1
+                if isinstance(outcome, RunResult):
+                    cache.store(fingerprints[index], outcome)
+        return result
+
+    # ------------------------------------------------------------------
+    # Fork-group execution
+    # ------------------------------------------------------------------
+
+    def _run_group_serial(self, grid, group_fp, members, cache,
+                          result, land) -> None:
+        """Prefix once, fork every member, in this process."""
+        try:
+            snap, meta = _prepare_group(grid[members[0]][1], cache, group_fp)
+        except Exception:
+            # The shared prefix failed; each cell re-runs cold so its
+            # failure (or success) is exactly what a plain run reports.
+            for index in members:
+                land(index, _run_point_safe(grid[index][1]))
+                result.cold_cells += 1
+            return
+        result.fork_groups += 1
+        result.prefix_events += snap.events_executed
+        for index in members:
+            land(index, _finish_fork_safe(snap, meta, _fork_cell(grid[index][1])))
+            result.forked_cells += 1
+
+    def _run_parallel(self, grid, groups, cold, workers, chunk_size,
+                      total, cache, result, land) -> None:
+        """Fan chunks out to persistent workers; snapshots ship per chunk."""
         from concurrent.futures import ProcessPoolExecutor
 
         if chunk_size <= 0:
             chunk_size = max(1, total // (4 * workers))
-        chunks = [grid[i:i + chunk_size]
-                  for i in range(0, len(grid), chunk_size)]
-        done = 0
+
+        # Prefixes run in the parent: each group's snapshot is computed
+        # once and pickled into every chunk submitted for that group.
+        fork_tasks: list[tuple[list[int], object, object]] = []
+        for group_fp, members in groups:
+            try:
+                snap, meta = _prepare_group(
+                    grid[members[0]][1], cache, group_fp
+                )
+            except Exception:
+                cold = cold + members
+                continue
+            result.fork_groups += 1
+            result.prefix_events += snap.events_executed
+            for part in _chunked(members, chunk_size):
+                fork_tasks.append((part, snap, meta))
+        cold = sorted(cold)
+
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                (chunk, pool.submit(_run_chunk, [args for _, args in chunk]))
-                for chunk in chunks
-            ]
-            for chunk, future in futures:
+            futures = []
+            for part, snap, meta in fork_tasks:
+                cells = [_fork_cell(grid[index][1]) for index in part]
+                futures.append(
+                    (part, True, pool.submit(_run_fork_chunk, snap, meta, cells))
+                )
+            for part in _chunked(cold, chunk_size):
+                args_list = [grid[index][1] for index in part]
+                futures.append(
+                    (part, False, pool.submit(_run_chunk, args_list))
+                )
+            for part, forked, future in futures:
                 try:
-                    outcomes = future.result()
-                except Exception as exc:  # worker died (e.g. OOM-kill)
-                    outcomes = [exc] * len(chunk)
-                for (key, _), outcome in zip(chunk, outcomes):
-                    self._record(result, key, outcome)
-                    done += 1
-                    if progress is not None:
-                        progress(done, total, key)
-        return result
+                    chunk_outcomes = future.result()
+                except Exception:
+                    # The whole task died (worker killed, inputs failed
+                    # to pickle...).  Retry cell-by-cell in the parent so
+                    # only the genuinely bad cells become FailedRuns.
+                    for index in part:
+                        land(index, _run_point_safe(grid[index][1]))
+                        result.cold_cells += 1
+                    continue
+                for index, outcome in zip(part, chunk_outcomes):
+                    land(index, outcome)
+                    if forked:
+                        result.forked_cells += 1
+                    else:
+                        result.cold_cells += 1
 
     @staticmethod
     def _record(result: SweepResult, key: SweepKey, outcome) -> None:
@@ -244,6 +572,71 @@ class Sweep:
             )
         else:
             result.points[key] = outcome
+
+
+def _chunked(items: list, size: int) -> list:
+    return [items[i:i + size] for i in range(0, len(items), size)]
+
+
+def _fork_cell(args):
+    """The per-cell payload a fork continuation needs."""
+    (_workload, policy, _config, hyper, _scale, _seed,
+     _fault, max_events, stall_threshold) = args
+    return policy, hyper, max_events, stall_threshold
+
+
+def _prepare_group(args, cache=None, group_fp=None):
+    """Run one group's shared prefix and snapshot it (cache-aware)."""
+    if cache is not None and group_fp is not None:
+        cached = cache.load_snapshot(group_fp)
+        if cached is not None:
+            return cached
+    (workload, policy, config, hyper, scale, seed,
+     fault, max_events, stall_threshold) = args
+    machine, built, kernels = prepare_run(
+        workload, policy=policy, config=config, hyper=hyper,
+        scale=scale, seed=seed, faults=fault,
+    )
+    machine.start(kernels)
+    machine.run_until(
+        machine.hyper.migration_period - 1,
+        max_events=max_events, stall_threshold=stall_threshold,
+    )
+    snap = machine.snapshot()
+    meta = _WorkloadMeta(built.spec.abbrev, built.seed, built.scale)
+    if cache is not None and group_fp is not None:
+        cache.store_snapshot(group_fp, (snap, meta))
+    return snap, meta
+
+
+def _finish_fork(snap, meta: _WorkloadMeta, cell) -> RunResult:
+    """Fork one cell off a prefix snapshot and run it to completion."""
+    policy, hyper, max_events, stall_threshold = cell
+    machine = snap.fork()
+    machine.adopt_variant(policy, hyper)
+    if machine.finish_time is None:
+        budget = None
+        if max_events is not None:
+            # The budget spans prefix + continuation, like a cold run's.
+            budget = max_events - snap.events_executed
+        machine.finish(max_events=budget, stall_threshold=stall_threshold)
+    return harvest_result(machine, meta)
+
+
+def _finish_fork_safe(snap, meta, cell):
+    try:
+        return _finish_fork(snap, meta, cell)
+    except Exception as exc:
+        return exc
+
+
+def _run_fork_chunk(snap, meta, cells: list) -> list:
+    """Continue several cells from one snapshot in one worker task.
+
+    The pickled snapshot crosses the process boundary once per chunk;
+    every cell in the chunk forks from the worker's in-memory copy.
+    """
+    return [_finish_fork_safe(snap, meta, cell) for cell in cells]
 
 
 def _run_point_safe(args):

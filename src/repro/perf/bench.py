@@ -27,7 +27,9 @@ from typing import Callable, Optional
 
 from repro.perf.suite import BenchSuite, bench_suite
 
-_SCHEMA_VERSION = 1
+# v2 added "sweep" cases and the per-case ``extra`` dict.
+_SCHEMA_VERSION = 2
+_READABLE_SCHEMAS = frozenset({1, 2})
 
 
 def _peak_rss_kb() -> int:
@@ -54,13 +56,16 @@ class CaseResult:
     """Measurements for one benchmark case."""
 
     name: str
-    kind: str  # "micro" | "e2e"
+    kind: str  # "micro" | "e2e" | "sweep"
     wall_seconds: float
-    work: int  # engine events (e2e) or ops (micro)
+    work: int  # engine events (e2e), ops (micro), or grid cells (sweep)
     work_unit: str
     per_sec: float
     alloc_blocks_delta: int
     repeats: int
+    # Kind-specific measurements; sweep cases record the cold-vs-forked
+    # comparison and the cache hit/miss exercise here.
+    extra: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -152,7 +157,20 @@ class BenchReport:
             f"normalized e2e (vs calibration): {self.normalized_e2e:.4f} | "
             f"fingerprint: {self.fingerprint[:12]}"
         )
-        return table + "\n" + extra
+        sweep_lines = [
+            (
+                f"sweep '{c.name}': {c.extra.get('fork_speedup', 0.0):.2f}x "
+                f"cells/sec forked vs cold "
+                f"({c.per_sec:.2f} vs {c.extra.get('cold_cells_per_sec', 0.0):.2f}), "
+                f"{c.extra.get('forked_cells', 0)}/{c.extra.get('cells', 0)} "
+                f"cells forked, cache resume "
+                f"{c.extra.get('cache_resume_hits', 0)} hits / "
+                f"{c.extra.get('cache_resume_misses', 0)} misses"
+            )
+            for c in self.cases
+            if c.kind == "sweep"
+        ]
+        return "\n".join([table, extra] + sweep_lines)
 
 
 # ----------------------------------------------------------------------
@@ -243,8 +261,65 @@ def run_bench(
             work_unit="events", per_sec=work / wall if wall > 0 else 0.0,
             alloc_blocks_delta=alloc, repeats=repeats,
         ))
+    for case in suite.sweeps:
+        if progress is not None:
+            progress(f"sweep:{case.name}")
+        report.cases.append(_measure_sweep(case, repeats))
     report.peak_rss_kb = _peak_rss_kb()
     return report
+
+
+def _measure_sweep(case, repeats: int) -> CaseResult:
+    """Time one pinned sweep grid cold vs snapshot-forked.
+
+    The headline figure (``per_sec``) is forked cells/sec — the
+    throughput a knob sweep actually gets.  ``extra`` records the cold
+    baseline, the resulting fork speedup, and a result-cache exercise
+    (a cold-cache sweep followed by a warm-cache resume) so hit/miss
+    accounting lands in ``BENCH_*.json``.  Both orderings simulate
+    identical work; forked results are byte-identical to cold ones.
+    """
+    import tempfile
+
+    sweep = case.build_sweep()
+    cells = sweep.size()
+
+    def cold_run() -> int:
+        sweep.run(scale=case.scale, seed=case.seed, fork=False)
+        return cells
+
+    def fork_run() -> int:
+        sweep.run(scale=case.scale, seed=case.seed, fork=True)
+        return cells
+
+    cold_wall, _, _ = _measure(cold_run, repeats)
+    fork_wall, _, alloc = _measure(fork_run, repeats)
+    fork_stats = sweep.run(scale=case.scale, seed=case.seed, fork=True)
+    with tempfile.TemporaryDirectory() as tmp:
+        first = sweep.run(scale=case.scale, seed=case.seed, cache_dir=tmp)
+        second = sweep.run(
+            scale=case.scale, seed=case.seed, cache_dir=tmp, resume=True
+        )
+    return CaseResult(
+        name=case.name, kind="sweep", wall_seconds=fork_wall, work=cells,
+        work_unit="cells",
+        per_sec=cells / fork_wall if fork_wall > 0 else 0.0,
+        alloc_blocks_delta=alloc, repeats=repeats,
+        extra={
+            "cells": cells,
+            "cold_wall_seconds": cold_wall,
+            "cold_cells_per_sec": cells / cold_wall if cold_wall > 0 else 0.0,
+            "fork_speedup": cold_wall / fork_wall if fork_wall > 0 else 0.0,
+            "forked_cells": fork_stats.forked_cells,
+            "cold_cells": fork_stats.cold_cells,
+            "fork_groups": fork_stats.fork_groups,
+            "prefix_events": fork_stats.prefix_events,
+            "cache_cold_hits": first.cache_hits,
+            "cache_cold_misses": first.cache_misses,
+            "cache_resume_hits": second.cache_hits,
+            "cache_resume_misses": second.cache_misses,
+        },
+    )
 
 
 # ----------------------------------------------------------------------
@@ -267,7 +342,7 @@ def save_report(report: BenchReport, out_dir: Path | str = ".") -> Path:
 def load_report(path: Path | str) -> BenchReport:
     """Load a previously saved report."""
     data = json.loads(Path(path).read_text())
-    if data.get("schema") != _SCHEMA_VERSION:
+    if data.get("schema") not in _READABLE_SCHEMAS:
         raise ValueError(f"unsupported bench schema {data.get('schema')!r}")
     cases = [CaseResult(**c) for c in data["cases"]]
     return BenchReport(

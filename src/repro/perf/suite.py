@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.config.faults import FaultConfig
+from repro.config.hyperparams import GriffinHyperParams
 from repro.config.presets import small_system, tiny_system
 from repro.config.system import CacheConfig, TLBConfig
 
@@ -65,12 +66,58 @@ class E2ECase:
 
 
 @dataclass(frozen=True)
+class SweepCase:
+    """One pinned knob-only sweep grid, measured cold vs snapshot-forked.
+
+    The grid varies only late-binding knobs (policy drain strategy plus
+    ``hyper_variants`` overrides of late hyperparameters), so every cell
+    shares one warm-up prefix — the configuration the snapshot-fork
+    scheduler is built to accelerate.  The harness times the same grid
+    with ``fork=False`` and ``fork=True`` and reports cells/sec for both.
+    """
+
+    name: str
+    workload: str
+    policies: tuple  # late-compatible policy names, e.g. griffin+flush
+    gpus: int
+    scale: float
+    seed: int
+    config_name: str = "tiny"  # "small" | "tiny"
+    # Applied to every variant (shared prefix): non-late fields such as
+    # migration_period, as (field, value) pairs.
+    base_overrides: tuple = ()
+    # Each variant: a tuple of (late_hyper_field, value) pairs.
+    hyper_variants: tuple = ()
+
+    def build_sweep(self):
+        """Materialize the pinned :class:`repro.harness.sweep.Sweep`."""
+        # Imported lazily: repro.harness.sweep reaches back into
+        # repro.perf for the code fingerprint.
+        from repro.harness.sweep import Sweep
+
+        factory = {"small": small_system, "tiny": tiny_system}[self.config_name]
+        base = GriffinHyperParams.calibrated().with_overrides(
+            **dict(self.base_overrides)
+        )
+        hypers = {"default": base}
+        for index, overrides in enumerate(self.hyper_variants):
+            hypers[f"v{index}"] = base.with_overrides(**dict(overrides))
+        return Sweep(
+            workloads=[self.workload],
+            policies=list(self.policies),
+            configs={self.config_name: factory(self.gpus)},
+            hypers=hypers,
+        )
+
+
+@dataclass(frozen=True)
 class BenchSuite:
-    """The full pinned suite (micro + e2e) at one size."""
+    """The full pinned suite (micro + e2e + sweep) at one size."""
 
     name: str
     micro: tuple = field(default_factory=tuple)
     e2e: tuple = field(default_factory=tuple)
+    sweeps: tuple = field(default_factory=tuple)
 
     def fingerprint_payload(self) -> dict:
         """The suite definition, as data, for the config fingerprint."""
@@ -89,6 +136,23 @@ class BenchSuite:
                     "faults": c.faults,
                 }
                 for c in self.e2e
+            ],
+            "sweeps": [
+                {
+                    "name": c.name,
+                    "workload": c.workload,
+                    "policies": list(c.policies),
+                    "gpus": c.gpus,
+                    "scale": c.scale,
+                    "seed": c.seed,
+                    "config": c.config_name,
+                    "base_overrides": [list(pair) for pair in c.base_overrides],
+                    "hyper_variants": [
+                        [list(pair) for pair in variant]
+                        for variant in c.hyper_variants
+                    ],
+                }
+                for c in self.sweeps
             ],
         }
 
@@ -206,6 +270,25 @@ MICRO_CASES = (
 # Pinned suites
 # ----------------------------------------------------------------------
 
+# A knob-only grid in the regime snapshot-forking targets: warm-up is
+# most of each MT run, and ``migration_period=45000`` (shared by every
+# variant, so it does not split the fork group) leaves one migration
+# phase in the continuation.  ``min_pages_per_source=1`` lets that phase
+# actually migrate at this scale, so the late knobs produce genuinely
+# divergent cells rather than eight replays of the same run.
+_MT_KNOB_SWEEP = SweepCase(
+    "mt_knob_sweep", "MT", ("griffin", "griffin_flush"),
+    gpus=4, scale=0.015, seed=3, config_name="small",
+    base_overrides=(("migration_period", 45000),),
+    hyper_variants=(
+        (("min_pages_per_source", 1),),
+        (("min_pages_per_source", 1), ("lambda_d", 1.5),
+         ("max_pages_per_round", 64)),
+        (("min_pages_per_source", 1), ("lambda_s", 1.1),
+         ("shared_min_share", 0.25)),
+    ),
+)
+
 FULL_SUITE = BenchSuite(
     name="full",
     micro=MICRO_CASES,
@@ -218,6 +301,7 @@ FULL_SUITE = BenchSuite(
         E2ECase("mt_griffin_faults", "MT", "griffin", gpus=2, scale=0.01,
                 seed=9, config_name="small", faults=True),
     ),
+    sweeps=(_MT_KNOB_SWEEP,),
 )
 
 QUICK_SUITE = BenchSuite(
@@ -231,6 +315,7 @@ QUICK_SUITE = BenchSuite(
         E2ECase("mt_griffin_faults_tiny", "MT", "griffin", gpus=2,
                 scale=0.008, seed=9, config_name="tiny", faults=True),
     ),
+    sweeps=(_MT_KNOB_SWEEP,),
 )
 
 

@@ -68,6 +68,22 @@ class Engine:
         """Current simulation time in cycles."""
         return self._now
 
+    def __getstate__(self) -> dict:
+        """State capture: an engine is only picklable while paused.
+
+        Mid-callback capture would lose the run loop's local aliases (the
+        entry being executed, the executed-event count in flight), so a
+        snapshot taken from inside an event is a bug, not a degraded copy.
+        Pause first via ``run(until=...)`` — the clock parks at the bound
+        with every later event still queued.
+        """
+        if self._running:
+            raise SimulationError(
+                "cannot snapshot a running engine; pause it with "
+                "run(until=...) and snapshot between events"
+            )
+        return self.__dict__.copy()
+
     def schedule(
         self,
         delay: float,

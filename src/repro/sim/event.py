@@ -294,3 +294,23 @@ class EventQueue:
 
     def __bool__(self) -> bool:
         return self._live > 0
+
+    # ------------------------------------------------------------------
+    # State capture (snapshot/fork support)
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Pickle everything observable; drop the free pool.
+
+        Pooled entries are recycled storage whose contents can never be
+        observed again, so a restored queue starts with an empty pool:
+        entry allocation order is not part of simulation state, and
+        scheduling behaviour is byte-identical either way.
+        """
+        state = self.__dict__.copy()
+        state["_pool"] = []
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._pool = []

@@ -22,3 +22,19 @@ def stream_seed(base_seed: int, *labels: object) -> int:
 def make_rng(base_seed: int, *labels: object) -> np.random.Generator:
     """Create an independent numpy Generator for a labelled stream."""
     return np.random.default_rng(stream_seed(base_seed, *labels))
+
+
+def capture_rng_state(rng: np.random.Generator) -> dict:
+    """The stream's exact position, as plain picklable data.
+
+    numpy Generators already pickle with their full bit-generator state —
+    a restored snapshot continues every stream where the original left
+    off.  These helpers exist so tests (and diagnostics) can assert that
+    without comparing whole Generator objects.
+    """
+    return rng.bit_generator.state
+
+
+def restore_rng_state(rng: np.random.Generator, state: dict) -> None:
+    """Rewind/advance ``rng`` to a state captured by ``capture_rng_state``."""
+    rng.bit_generator.state = state

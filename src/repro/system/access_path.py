@@ -485,6 +485,29 @@ class MemoryAccessPath:
         kc = self._kc
         return {k: kc[id(k)] for k in AccessKind}
 
+    # ------------------------------------------------------------------
+    # State capture (snapshot/fork support)
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """``id()`` keys are process-local, so ``_kc`` travels as a plain
+        list in ``AccessKind`` order.
+
+        The per-GPU dispatch tables pickle as-is: they hold bound methods
+        and component sub-objects the pickle memo keeps aliased to the
+        live components, and a restored run's first event may be a mid-
+        chain leg that indexes them without the lazy-rebuild check.
+        """
+        state = self.__dict__.copy()
+        state["_kc"] = [self._kc[id(k)] for k in AccessKind]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._kc = {
+            id(k): count for k, count in zip(AccessKind, state["_kc"])
+        }
+
     def local_fraction(self) -> float:
         """Fraction of transactions serviced from local GPU memory."""
         total = sum(self.kind_counts.values())

@@ -7,6 +7,8 @@ completion, and exposes the collectors the harness turns into results.
 
 from __future__ import annotations
 
+import dataclasses
+from functools import partial
 from typing import Optional
 
 from repro.config.faults import FaultConfig
@@ -28,6 +30,57 @@ from repro.system.access_path import MemoryAccessPath
 from repro.vm.iommu import IOMMU
 from repro.vm.page_table import PageTable
 from repro.vm.shootdown import ShootdownAccounting
+
+# Knobs consumed exclusively by the periodic migration phase — i.e. read
+# for the first time at t = migration_period, never during warm-up.  Two
+# (policy, hyper) variants that agree on everything *except* these fields
+# produce byte-identical simulations up to any cycle before the first
+# migration phase, so a warm prefix can be shared and forked per variant
+# (see docs/performance.md, "Sweep throughput").
+#
+# Deliberately absent: ``alpha`` and ``t_ac`` feed the EWMA during every
+# collection period; ``n_ptw``/``fault_batch_timeout`` shape CPU fault
+# batching from cycle 0; ``counter_*`` are baked into the Shader Engine
+# tables at construction; ``migration_period`` determines the fork point
+# itself.  ``PredictiveMigration.observe`` reads ``lambda_t`` each
+# collection period, so predictive policies must not fork across
+# lambda variants (the sweep runs them cold).
+LATE_HYPER_FIELDS = frozenset({
+    "lambda_d",
+    "lambda_s",
+    "lambda_t",
+    "shared_min_share",
+    "trend_fraction",
+    "max_pages_per_round",
+    "min_pages_per_source",
+    "max_source_gpus_per_round",
+})
+
+# Policy fields a forked variant may change: the drain strategy is first
+# consulted when the first migration round executes, and the name is
+# display-only.
+LATE_POLICY_FIELDS = frozenset({"name", "drain"})
+
+
+def variant_mismatches(
+    policy_a: PolicyConfig,
+    hyper_a: GriffinHyperParams,
+    policy_b: PolicyConfig,
+    hyper_b: GriffinHyperParams,
+) -> list[str]:
+    """Fields that make two variants unsafe to fork from one prefix."""
+    bad: list[str] = []
+    for f in dataclasses.fields(GriffinHyperParams):
+        if f.name in LATE_HYPER_FIELDS:
+            continue
+        if getattr(hyper_a, f.name) != getattr(hyper_b, f.name):
+            bad.append(f"hyper.{f.name}")
+    for f in dataclasses.fields(PolicyConfig):
+        if f.name in LATE_POLICY_FIELDS:
+            continue
+        if getattr(policy_a, f.name) != getattr(policy_b, f.name):
+            bad.append(f"policy.{f.name}")
+    return bad
 
 
 class Machine:
@@ -102,7 +155,7 @@ class Machine:
             injector = self.fault_injector
             for gpu in self.gpus:
                 if injector.has_throttle(gpu.gpu_id):
-                    fn = self._make_throttle(injector, gpu.gpu_id)
+                    fn = partial(injector.throttle_factor, gpu.gpu_id)
                     for cu in gpu.all_cus():
                         cu.throttle_fn = fn
         self.pmc = PageMigrationController(
@@ -113,13 +166,6 @@ class Machine:
         self.finish_time: Optional[float] = None
 
     # ------------------------------------------------------------------
-
-    @staticmethod
-    def _make_throttle(injector: FaultInjector, gpu_id: int):
-        def throttle(now: float) -> float:
-            return injector.throttle_factor(gpu_id, now)
-
-        return throttle
 
     def record_migration(self, now: float, page: int, src: int, dst: int) -> None:
         """Log one completed page migration (Figure 10 overlay data)."""
@@ -148,8 +194,45 @@ class Machine:
 
         Returns the makespan in cycles.
         """
+        self.start(kernels)
+        return self.finish(max_events=max_events, stall_threshold=stall_threshold)
+
+    def start(self, kernels: list[Kernel]) -> None:
+        """Arm the driver and dispatch; pair with ``run_until``/``finish``."""
         self.driver.start()
         self.dispatcher.run_kernels(kernels)
+
+    def run_until(
+        self,
+        cycle: float,
+        max_events: Optional[int] = None,
+        stall_threshold: Optional[int] = 1_000_000,
+    ) -> None:
+        """Advance the simulation up to and including cycle ``cycle``.
+
+        Executes every event with ``time <= cycle`` and pauses; events
+        scheduled later stay queued, so a subsequent ``finish`` (possibly
+        on a forked copy) continues byte-identically to an uninterrupted
+        run.  Returns early if the workload completes first.
+        """
+        self.engine.run(
+            until=cycle, max_events=max_events, stall_threshold=stall_threshold
+        )
+        if self.engine.exhausted:
+            raise SimulationStall(
+                f"simulation exhausted its event budget ({max_events} events) "
+                f"before reaching cycle {cycle:.0f} "
+                f"(t={self.engine.now:.0f}, "
+                f"pending: {self.engine.pending_events()})",
+                self.engine.dump_pending(),
+            )
+
+    def finish(
+        self,
+        max_events: Optional[int] = None,
+        stall_threshold: Optional[int] = 1_000_000,
+    ) -> float:
+        """Run the (possibly already-started) simulation to completion."""
         self.engine.run(max_events=max_events, stall_threshold=stall_threshold)
         if self.engine.exhausted:
             raise SimulationStall(
@@ -166,6 +249,65 @@ class Machine:
                 f"pending: {self.engine.pending_events()})"
             )
         return self.finish_time
+
+    # ------------------------------------------------------------------
+    # Snapshot / fork support
+    # ------------------------------------------------------------------
+
+    def shared_snapshot_objects(self) -> list:
+        """Objects a snapshot stores by reference instead of by value.
+
+        The workload trace — kernels, workgroups, wavefront traces and
+        their access lists — is immutable once built (only the per-CU
+        cursor *index* advances), so every fork of a prefix can share one
+        copy instead of re-pickling what is by far the largest part of
+        the machine state.
+        """
+        shared: list = []
+        for kernel in self.dispatcher._kernels:
+            shared.append(kernel)
+            for wg in kernel.workgroups:
+                shared.append(wg)
+                for trace in wg.wavefronts:
+                    shared.append(trace)
+                    shared.append(trace.accesses)
+        return shared
+
+    def snapshot(self):
+        """Capture full simulation state as a picklable, forkable value."""
+        from repro.sim.snapshot import MachineSnapshot
+
+        return MachineSnapshot.capture(self)
+
+    def adopt_variant(
+        self,
+        policy: PolicyConfig | str,
+        hyper: Optional[GriffinHyperParams] = None,
+    ) -> None:
+        """Swap in a (policy, hyper) variant on a forked machine.
+
+        Only fields first consulted by the periodic migration phase
+        (``LATE_HYPER_FIELDS`` / ``LATE_POLICY_FIELDS``) may differ from
+        the values the prefix ran with; anything else would make the
+        shared prefix a lie, so it raises instead.
+        """
+        if isinstance(policy, str):
+            policy = get_policy(policy)
+        hyper = hyper or GriffinHyperParams()
+        bad = variant_mismatches(self.policy, self.hyper, policy, hyper)
+        if bad:
+            raise ValueError(
+                "variant differs from the prefix in fields the warm-up "
+                f"already consumed: {', '.join(bad)}"
+            )
+        self.policy = policy
+        self.hyper = hyper
+        driver = self.driver
+        driver.policy = policy
+        driver.dpc.hyper = hyper
+        driver.planner.hyper = hyper
+        if driver.predictor is not None:
+            driver.predictor.hyper = hyper
 
     # ------------------------------------------------------------------
     # Collected results

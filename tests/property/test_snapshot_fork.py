@@ -1,0 +1,134 @@
+"""Snapshot/fork byte-parity: a forked run IS the run it forked from.
+
+Two layers, mirroring ``test_perf_parity.py``:
+
+1. ``test_forked_cell_matches_golden`` drives every pinned golden cell
+   through the staged path — ``prepare_run`` / ``start`` /
+   ``run_until(migration_period - 1)`` / ``snapshot`` / pickle round-trip
+   (the exact payload a sweep ships to a worker) / ``fork`` /
+   ``adopt_variant`` / ``finish`` — and compares the serialized result
+   byte-for-byte against ``tests/golden_parity.json``.  The golden file
+   is the cold ``workers=1`` truth, so this pins forked == cold for the
+   whole grid, fault plans and all policies included.
+
+2. ``test_snapshot_restore_continues_identically`` is the property form:
+   snapshot at an arbitrary pause point, fork, run both the original and
+   the fork to completion — the uninterrupted run and the forked run
+   must serialize identically (``events_executed`` included, so the
+   event streams matched step for step).
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.config.presets import tiny_system
+from repro.harness.io import result_to_dict
+from repro.harness.runner import harvest_result, prepare_run, run_workload
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+from gen_golden_parity import PARITY_GRID, _CONFIGS, PARITY_FAULTS  # noqa: E402
+
+_GOLDEN_PATH = Path(__file__).resolve().parents[1] / "golden_parity.json"
+GOLDENS = json.loads(_GOLDEN_PATH.read_text())
+
+
+def _fork_cell(workload, policy, config, scale, seed, faults,
+               fork_cycle=None):
+    """Run one cell via prefix -> snapshot -> pickled fork -> finish."""
+    machine, built, kernels = prepare_run(
+        workload, policy, config=config, scale=scale, seed=seed,
+        faults=faults,
+    )
+    if fork_cycle is None:
+        fork_cycle = machine.hyper.migration_period - 1
+    machine.start(kernels)
+    machine.run_until(fork_cycle)
+    snap = machine.snapshot()
+    # Round-trip through pickle: the exact bytes a parallel sweep ships
+    # to a worker process once per chunk.
+    snap = pickle.loads(pickle.dumps(snap))
+    forked = snap.fork()
+    forked.adopt_variant(forked.policy, forked.hyper)
+    if forked.finish_time is None:
+        forked.finish()
+    return result_to_dict(harvest_result(forked, built))
+
+
+@pytest.mark.parametrize("key", sorted(GOLDENS))
+def test_forked_cell_matches_golden(key):
+    """Forking at the migration fork point reproduces the cold golden."""
+    spec = next(row for row in PARITY_GRID if row[0] == key)
+    _, workload, policy, config_name, scale, seed, faulted = spec
+    forked = _fork_cell(
+        workload, policy, _CONFIGS[config_name](), scale, seed,
+        PARITY_FAULTS if faulted else None,
+    )
+    golden = GOLDENS[key]
+    assert forked == golden, (
+        f"forked run of {key} diverged from the cold golden; "
+        "snapshot/fork must be byte-exact (see docs/architecture.md)"
+    )
+    assert (json.dumps(forked, sort_keys=True)
+            == json.dumps(golden, sort_keys=True))
+
+
+@pytest.mark.parametrize("faulted", [False, True], ids=["clean", "faults"])
+@pytest.mark.parametrize("workload", ["MT", "SC", "BFS"])
+@pytest.mark.parametrize("fork_cycle", [500, None],
+                         ids=["early", "fork_point"])
+def test_snapshot_restore_continues_identically(workload, faulted,
+                                                fork_cycle):
+    """snapshot() -> fork() -> run() == one uninterrupted run."""
+    faults = PARITY_FAULTS if faulted else None
+    config = tiny_system(2)
+    cold = result_to_dict(run_workload(
+        workload, "griffin", config=tiny_system(2), scale=0.008, seed=5,
+        faults=faults,
+    ))
+    forked = _fork_cell(
+        workload, "griffin", config, 0.008, 5, faults,
+        fork_cycle=fork_cycle,
+    )
+    assert forked == cold
+
+
+def test_snapshot_shares_trace_by_reference():
+    """Payload excludes the workload trace; forks share one copy."""
+    machine, _built, kernels = prepare_run(
+        "MT", "griffin", config=tiny_system(2), scale=0.008, seed=5,
+    )
+    machine.start(kernels)
+    machine.run_until(machine.hyper.migration_period - 1)
+    snap = machine.snapshot()
+    assert snap.shared, "expected shared trace objects"
+    fork_a, fork_b = snap.fork(), snap.fork()
+    trace_a = fork_a.dispatcher._kernels[0].workgroups[0].wavefronts[0]
+    trace_b = fork_b.dispatcher._kernels[0].workgroups[0].wavefronts[0]
+    assert trace_a is trace_b, "forks must share the immutable trace"
+    # And the payload shrinks because of it: a plain pickle of the same
+    # machine carries the trace by value.
+    assert len(snap.payload) < len(pickle.dumps(machine))
+
+
+def test_running_engine_refuses_snapshot():
+    """Capture mid-callback would tear state; the engine rejects it."""
+    from repro.sim.engine import Engine, SimulationError
+
+    engine = Engine()
+    failures = []
+
+    def grab() -> None:
+        try:
+            pickle.dumps(engine)
+        except SimulationError:
+            failures.append(True)
+
+    engine.schedule(1, grab)
+    engine.run()
+    assert failures == [True]
