@@ -1,0 +1,41 @@
+"""Runtime sanitizer: protocol monitors, crash bundles, replay/bisect.
+
+See docs/resilience.md for the workflow.  Public surface:
+
+* :class:`CheckConfig` / :class:`CorruptionSpec` — what to monitor, and
+  the seeded corruption drills used to prove monitors fire.
+* :class:`CheckRuntime` — per-run monitor fan-out (attached by the
+  harness when ``checks=`` is passed).
+* :class:`InvariantViolation` / :class:`ViolationReport` — what a fired
+  monitor raises/carries.
+* :func:`write_crash_bundle` / :func:`load_bundle` — crash evidence.
+* :func:`replay_bundle` / :func:`bisect_bundle` — deterministic
+  re-execution and cycle-window narrowing.
+"""
+
+from repro.check.bundle import CrashBundle, load_bundle, write_crash_bundle
+from repro.check.config import CORRUPTION_KINDS, CheckConfig, CorruptionSpec
+from repro.check.monitors import InvariantViolation, ViolationReport
+from repro.check.replay import (
+    BisectResult,
+    ReplayOutcome,
+    bisect_bundle,
+    replay_bundle,
+)
+from repro.check.runtime import CheckRuntime
+
+__all__ = [
+    "CORRUPTION_KINDS",
+    "BisectResult",
+    "CheckConfig",
+    "CheckRuntime",
+    "CorruptionSpec",
+    "CrashBundle",
+    "InvariantViolation",
+    "ReplayOutcome",
+    "ViolationReport",
+    "bisect_bundle",
+    "load_bundle",
+    "replay_bundle",
+    "write_crash_bundle",
+]

@@ -1,0 +1,151 @@
+"""Configuration of the runtime sanitizer (see docs/resilience.md).
+
+A :class:`CheckConfig` selects which protocol monitors run and how crash
+evidence is collected.  The contract mirrors :class:`FaultConfig`: a run
+with no config attached (``checks=None``) has *zero* hooks installed and
+stays byte-identical to the pre-sanitizer simulator; a run with all
+monitors enabled must also stay byte-identical, because monitors are pure
+observers — they never schedule events or mutate simulation state.
+
+:class:`CorruptionSpec` is the sanitizer's drill mode: a seeded,
+deterministic state corruption applied at an absolute cycle, used by the
+test suite and the chaos CI job to prove each monitor actually fires.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+CORRUPTION_KINDS = frozenset({
+    "ownership_count",
+    "ownership_device",
+    "tlb_stale",
+    "past_event",
+})
+
+
+@dataclass(frozen=True)
+class CorruptionSpec:
+    """One seeded state corruption, applied at an absolute cycle.
+
+    The corruption is scheduled as an ordinary engine event (a bound
+    method of :class:`repro.check.corrupt.StateCorruptor`), so a warm
+    :class:`~repro.sim.snapshot.MachineSnapshot` taken before ``at_cycle``
+    carries the pending corruption with it — replaying the snapshot
+    reproduces both the corruption and its detection deterministically.
+
+    Kinds:
+        ownership_count: skew one GPU's resident-page count without
+            moving any page (breaks page-ownership conservation).
+        ownership_device: flip one page's owner in its
+            :class:`~repro.vm.page_table.PageEntry` without maintaining
+            the occupancy counts (a lost/duplicated page).
+        tlb_stale: insert a TLB translation the page table contradicts
+            (breaks VM coherence).
+        past_event: push an event timestamped before the current cycle
+            straight into the queue (breaks monotonic time).
+
+    Attributes:
+        kind: One of :data:`CORRUPTION_KINDS`.
+        at_cycle: Absolute cycle at which the corruption is applied.
+        gpu: Target GPU id (count/device/TLB corruptions).
+        page: Target page, or None to pick a live page at apply time.
+    """
+
+    kind: str
+    at_cycle: float
+    gpu: int = 0
+    page: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in CORRUPTION_KINDS:
+            raise ValueError(
+                f"unknown corruption kind {self.kind!r}; valid choices: "
+                f"{', '.join(sorted(CORRUPTION_KINDS))}"
+            )
+        if self.at_cycle < 0:
+            raise ValueError(f"at_cycle must be >= 0, got {self.at_cycle}")
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclass(frozen=True)
+class CheckConfig:
+    """Which invariant monitors run, and how crash evidence is collected.
+
+    All monitors default to enabled; ``CheckConfig()`` is the ordinary
+    "check everything" configuration.  Attach one via
+    ``run_workload(checks=...)`` or ``Sweep.run(checks=...)``.
+
+    Attributes:
+        ownership: Page-ownership conservation — exactly one owner per
+            page, occupancy counts consistent with the entries, CPMS
+            fault batches never lose or duplicate a queued fault.
+        vm_coherence: No TLB entry maps a page the page table says lives
+            elsewhere; targeted shootdowns leave no stale entry behind.
+        drain: ACUD drain protocol — no CU issues while its GPU drains,
+            *Continue* never precedes drain completion, the page copy
+            only starts from the ``drained`` state.
+        event_queue: Engine sanity — event timestamps never move
+            backwards, and nothing is scheduled on a finished, paused
+            engine.
+        retry: Fault-retry lifecycle — every dropped page transfer is
+            retried or explicitly degraded to pinned-DCA, never silently
+            forgotten.
+        ring_size: Events kept in the crash-bundle ring buffer
+            (0 disables the ring).
+        snapshot_interval: Cadence (cycles) of warm
+            :class:`~repro.sim.snapshot.MachineSnapshot` captures for
+            crash bundles; None keeps only the initial cycle-0 snapshot.
+        bundle_on_exhaustion: Also write an (informational) bundle when
+            a migration exhausts its retry budget, without aborting the
+            run.
+        corruptions: Seeded corruption drills to arm (tests/chaos CI).
+    """
+
+    ownership: bool = True
+    vm_coherence: bool = True
+    drain: bool = True
+    event_queue: bool = True
+    retry: bool = True
+    ring_size: int = 256
+    snapshot_interval: Optional[int] = None
+    bundle_on_exhaustion: bool = True
+    corruptions: Tuple[CorruptionSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.ring_size < 0:
+            raise ValueError(f"ring_size must be >= 0, got {self.ring_size}")
+        if self.snapshot_interval is not None and self.snapshot_interval <= 0:
+            raise ValueError(
+                f"snapshot_interval must be positive, got "
+                f"{self.snapshot_interval}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """True when at least one monitor is on (hooks get installed)."""
+        return (self.ownership or self.vm_coherence or self.drain
+                or self.event_queue or self.retry)
+
+    def to_dict(self) -> dict:
+        """JSON-able form (crash-bundle manifests)."""
+        data = dataclasses.asdict(self)
+        data["corruptions"] = [c.to_dict() for c in self.corruptions]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CheckConfig":
+        """Rebuild from :meth:`to_dict` output.
+
+        Corruption specs are *not* re-armed: a replayed snapshot already
+        carries any pending corruption event inside its queue, so arming
+        them again would apply each corruption twice.
+        """
+        fields = {f.name for f in dataclasses.fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in fields}
+        kwargs["corruptions"] = ()
+        return cls(**kwargs)

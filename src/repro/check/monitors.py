@@ -1,0 +1,505 @@
+"""The protocol monitors behind the sanitizer (paper §III invariants).
+
+Each monitor is a pure observer over one protocol seam: it receives hook
+calls (or walks live state during an audit) and returns a
+:class:`ViolationReport` when an invariant is broken, None otherwise.
+Monitors never schedule events and never mutate simulation state — that
+is what keeps checks-enabled runs byte-identical to unchecked runs, and
+the parity suite pins it.
+
+The five monitors map onto the tentpole invariants:
+
+* :class:`OwnershipMonitor` — page-ownership conservation across
+  DFTM/CPMS/DPC migration rounds (one owner per page, occupancy counts
+  consistent, no CPMS batch loses or duplicates a queued fault).
+* :class:`VMCoherenceMonitor` — no TLB entry maps a page the page table
+  says lives elsewhere; targeted shootdowns leave nothing stale behind.
+* :class:`DrainMonitor` — the ACUD state machine: ``idle`` →
+  ``draining`` → ``drained`` → (*Continue*) → ``idle``; no CU issues
+  during a drain, and the page copy only begins from ``drained``.
+* :class:`EventQueueMonitor` — simulated time is monotonic; nothing is
+  scheduled on a finished, paused engine.
+* :class:`RetryMonitor` — every dropped page transfer is either retried
+  or degraded to pinned-DCA before its handling event ends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.engine import SimulationError
+from repro.vm.address import CPU_DEVICE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system.machine import Machine
+
+
+@dataclass
+class ViolationReport:
+    """One detected invariant violation (JSON-able for bundle manifests)."""
+
+    monitor: str
+    cycle: float
+    message: str
+    details: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "monitor": self.monitor,
+            "cycle": self.cycle,
+            "message": self.message,
+            "details": self.details,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ViolationReport":
+        return cls(
+            monitor=data["monitor"],
+            cycle=data["cycle"],
+            message=data["message"],
+            details=data.get("details", {}),
+        )
+
+    def render(self) -> str:
+        lines = [f"[{self.monitor}] t={self.cycle:.0f}: {self.message}"]
+        for key, value in self.details.items():
+            lines.append(f"  {key}: {value}")
+        return "\n".join(lines)
+
+
+class InvariantViolation(SimulationError):
+    """A protocol monitor detected a broken invariant.
+
+    Carries the structured :class:`ViolationReport`; the checked runner
+    additionally attaches ``bundle_path`` when a crash bundle was
+    written, so :class:`~repro.harness.results.FailedRun` can surface it.
+    """
+
+    def __init__(self, report: ViolationReport) -> None:
+        super().__init__(report.render())
+        self.report = report
+        self.bundle_path: Optional[str] = None
+
+
+# ----------------------------------------------------------------------
+# (a) Page-ownership conservation
+# ----------------------------------------------------------------------
+
+
+class OwnershipMonitor:
+    """One owner per page; counts conserved; CPMS batches lose nothing."""
+
+    name = "ownership"
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+        # page -> times queued for CPU-fault migration and not yet flushed.
+        self._queued_faults: dict[int, int] = {}
+
+    def note_fault_queued(self, page: int) -> None:
+        self._queued_faults[page] = self._queued_faults.get(page, 0) + 1
+
+    def check_batch(self, batch: list) -> Optional[ViolationReport]:
+        """A CPMS batch flushed: every fault must have been queued once."""
+        now = self.machine.engine.now
+        for fault in batch:
+            queued = self._queued_faults.get(fault.page, 0)
+            if queued <= 0:
+                return ViolationReport(
+                    self.name, now,
+                    f"CPMS flushed a fault for page {fault.page} that was "
+                    "never queued (duplicated or fabricated fault)",
+                    {"page": fault.page, "batch": [f.page for f in batch]},
+                )
+            if queued == 1:
+                del self._queued_faults[fault.page]
+            else:
+                self._queued_faults[fault.page] = queued - 1
+        return None
+
+    def check_completion(self, page: int, src: int,
+                         dst: int) -> Optional[ViolationReport]:
+        """A migration reported complete: the table must agree."""
+        table = self.machine.page_table
+        entry = table._entries.get(page)
+        now = self.machine.engine.now
+        if entry is None:
+            return ViolationReport(
+                self.name, now,
+                f"migration completed for unknown page {page}",
+                {"page": page, "src": src, "dst": dst},
+            )
+        if entry.device != dst:
+            return ViolationReport(
+                self.name, now,
+                f"page {page} migrated {src}->{dst} but the page table "
+                f"says it lives on device {entry.device}",
+                {"page": page, "src": src, "dst": dst,
+                 "table_device": entry.device},
+            )
+        if entry.migrating:
+            return ViolationReport(
+                self.name, now,
+                f"page {page} still marked migrating after its migration "
+                f"completed",
+                {"page": page, "src": src, "dst": dst},
+            )
+        return None
+
+    def audit(self) -> Optional[ViolationReport]:
+        """Full conservation audit: recount residency from the entries."""
+        table = self.machine.page_table
+        now = self.machine.engine.now
+        counts = [0] * table.num_gpus
+        for page, entry in table._entries.items():
+            device = entry.device
+            if device < CPU_DEVICE or device >= table.num_gpus:
+                return ViolationReport(
+                    self.name, now,
+                    f"page {page} owned by nonexistent device {device}",
+                    {"page": page, "device": device,
+                     "num_gpus": table.num_gpus},
+                )
+            if device >= 0:
+                counts[device] += 1
+        tracked = table.gpu_page_counts()
+        if counts != tracked:
+            return ViolationReport(
+                self.name, now,
+                "per-GPU resident-page counts diverged from the page "
+                "table (a page was lost or duplicated)",
+                {"recounted": counts, "tracked": tracked},
+            )
+        return None
+
+    def finalize(self) -> Optional[ViolationReport]:
+        """End of run: every queued fault must still be in the batcher.
+
+        A batch pending at the end of the workload is legitimate (the run
+        ended mid-protocol); a fault this monitor saw queued that the
+        batcher no longer holds — and that never flushed — was lost.
+        """
+        now = self.machine.engine.now
+        pending: dict[int, int] = {}
+        for fault in self.machine.driver.batcher._queue:
+            pending[fault.page] = pending.get(fault.page, 0) + 1
+        for page, queued in self._queued_faults.items():
+            if pending.get(page, 0) < queued:
+                return ViolationReport(
+                    self.name, now,
+                    f"CPMS lost a queued fault for page {page}: it was "
+                    "neither flushed nor left pending",
+                    {"page": page, "queued": queued,
+                     "still_pending": pending.get(page, 0)},
+                )
+        return self.audit()
+
+
+# ----------------------------------------------------------------------
+# (b) VM coherence
+# ----------------------------------------------------------------------
+
+
+class VMCoherenceMonitor:
+    """TLB contents always agree with the page table."""
+
+    name = "vm_coherence"
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+
+    def _gpu_tlbs(self, gpu):
+        yield "l2", gpu.l2_tlb
+        for cu_id, tlb in enumerate(gpu.l1_tlbs):
+            yield f"l1[{cu_id}]", tlb
+
+    def audit(self) -> Optional[ViolationReport]:
+        """Every cached translation must be local and table-confirmed."""
+        table = self.machine.page_table
+        now = self.machine.engine.now
+        for gpu in self.machine.gpus:
+            gid = gpu.gpu_id
+            for label, tlb in self._gpu_tlbs(gpu):
+                for page, device in tlb.entries():
+                    entry = table._entries.get(page)
+                    resident = entry.device if entry is not None else None
+                    if device != gid or resident != gid:
+                        return ViolationReport(
+                            self.name, now,
+                            f"GPU {gid} {label} TLB caches page {page} -> "
+                            f"device {device}, but the page table says it "
+                            f"lives on {resident}",
+                            {"gpu": gid, "tlb": label, "page": page,
+                             "cached_device": device,
+                             "table_device": resident},
+                        )
+        return None
+
+    def check_shootdown(self, gpu_id: int,
+                        pages) -> Optional[ViolationReport]:
+        """Post-shootdown cleanliness: the invalidated pages are gone.
+
+        ``pages=None`` means a full flush (pipeline-flush strategy): the
+        GPU's TLBs must be completely empty.
+        """
+        gpu = self.machine.gpus[gpu_id]
+        now = self.machine.engine.now
+        if pages is None:
+            for label, tlb in self._gpu_tlbs(gpu):
+                if tlb.occupancy():
+                    return ViolationReport(
+                        self.name, now,
+                        f"GPU {gpu_id} {label} TLB still holds "
+                        f"{tlb.occupancy()} entries after a full flush",
+                        {"gpu": gpu_id, "tlb": label},
+                    )
+            return None
+        for label, tlb in self._gpu_tlbs(gpu):
+            for page in pages:
+                if tlb.contains(page):
+                    return ViolationReport(
+                        self.name, now,
+                        f"GPU {gpu_id} {label} TLB still maps page {page} "
+                        "after a targeted shootdown",
+                        {"gpu": gpu_id, "tlb": label, "page": page},
+                    )
+        return None
+
+    def check_migrated(self, page: int, dst: int) -> Optional[ViolationReport]:
+        """After a migration commits, no other GPU may still map the page."""
+        now = self.machine.engine.now
+        for gpu in self.machine.gpus:
+            if gpu.gpu_id == dst:
+                continue
+            for label, tlb in self._gpu_tlbs(gpu):
+                if tlb.contains(page):
+                    return ViolationReport(
+                        self.name, now,
+                        f"GPU {gpu.gpu_id} {label} TLB still maps page "
+                        f"{page} after it migrated to device {dst}",
+                        {"gpu": gpu.gpu_id, "tlb": label, "page": page,
+                         "new_owner": dst},
+                    )
+        return None
+
+
+# ----------------------------------------------------------------------
+# (c) ACUD drain protocol
+# ----------------------------------------------------------------------
+
+_IDLE, _DRAINING, _DRAINED = "idle", "draining", "drained"
+
+
+class DrainMonitor:
+    """Per-GPU drain state machine: idle -> draining -> drained -> idle."""
+
+    name = "drain"
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+        self._state = [_IDLE] * machine.num_gpus
+
+    def state(self, gpu_id: int) -> str:
+        return self._state[gpu_id]
+
+    def _now(self) -> float:
+        return self.machine.engine.now
+
+    def on_drain_start(self, gpu_id: int) -> Optional[ViolationReport]:
+        if self._state[gpu_id] != _IDLE:
+            return ViolationReport(
+                self.name, self._now(),
+                f"GPU {gpu_id} drain requested while already "
+                f"{self._state[gpu_id]} (overlapping drains)",
+                {"gpu": gpu_id, "state": self._state[gpu_id]},
+            )
+        self._state[gpu_id] = _DRAINING
+        return None
+
+    def on_drain_complete(self, gpu_id: int) -> Optional[ViolationReport]:
+        if self._state[gpu_id] != _DRAINING:
+            return ViolationReport(
+                self.name, self._now(),
+                f"GPU {gpu_id} reported drain completion from state "
+                f"{self._state[gpu_id]!r}",
+                {"gpu": gpu_id, "state": self._state[gpu_id]},
+            )
+        self._state[gpu_id] = _DRAINED
+        return None
+
+    def on_resume(self, gpu_id: int) -> Optional[ViolationReport]:
+        state = self._state[gpu_id]
+        if state == _DRAINING:
+            return ViolationReport(
+                self.name, self._now(),
+                f"GPU {gpu_id} received *Continue* before its drain "
+                "completed",
+                {"gpu": gpu_id},
+            )
+        self._state[gpu_id] = _IDLE
+        return None
+
+    def check_issue(self, txn) -> Optional[ViolationReport]:
+        state = self._state[txn.gpu_id]
+        if state != _IDLE:
+            return ViolationReport(
+                self.name, self._now(),
+                f"CU {txn.cu_id} on GPU {txn.gpu_id} issued a transaction "
+                f"for page {txn.page} while the GPU is {state}",
+                {"gpu": txn.gpu_id, "cu": txn.cu_id, "page": txn.page,
+                 "state": state},
+            )
+        return None
+
+    def check_copy_start(self, gpu_id: int,
+                         pages: list) -> Optional[ViolationReport]:
+        if self._state[gpu_id] != _DRAINED:
+            return ViolationReport(
+                self.name, self._now(),
+                f"page copy from GPU {gpu_id} started in state "
+                f"{self._state[gpu_id]!r}; the drain must complete before "
+                "the copy begins",
+                {"gpu": gpu_id, "state": self._state[gpu_id],
+                 "pages": list(pages)[:16]},
+            )
+        return None
+
+
+# ----------------------------------------------------------------------
+# (d) Event-queue sanity
+# ----------------------------------------------------------------------
+
+
+class EventQueueMonitor:
+    """Monotonic time; no scheduling on a finished, paused engine."""
+
+    name = "event_queue"
+
+    def __init__(self, engine) -> None:
+        self.engine = engine
+        self._last_time = 0.0
+        self._finished_at: Optional[float] = None
+
+    def check_time(self, time: float) -> Optional[ViolationReport]:
+        last = self._last_time
+        if time < last:
+            return ViolationReport(
+                self.name, time,
+                f"event executed at t={time:.1f} after the clock already "
+                f"reached t={last:.1f} (time moved backwards)",
+                {"event_time": time, "last_time": last},
+            )
+        self._last_time = time
+        return None
+
+    def on_finish(self, now: float) -> None:
+        self._finished_at = now
+
+    def check_schedule(self, callback) -> Optional[ViolationReport]:
+        """Scheduling on a finished engine *between* runs is a bug.
+
+        Scheduling from inside the final event's own callback stack (the
+        engine is still ``_running`` while it unwinds) is legitimate —
+        those events simply never execute.  Anything scheduled after the
+        run loop exited on a finished machine would silently never run,
+        so it is flagged.
+        """
+        if self._finished_at is None or self.engine._running:
+            return None
+        name = getattr(callback, "__qualname__", repr(callback))
+        return ViolationReport(
+            self.name, self.engine.now,
+            f"{name} scheduled on a finished engine (workload completed "
+            f"at t={self._finished_at:.1f}); the event would never run",
+            {"callback": name, "finished_at": self._finished_at},
+        )
+
+
+# ----------------------------------------------------------------------
+# (e) Fault-retry lifecycle
+# ----------------------------------------------------------------------
+
+
+class RetryMonitor:
+    """Dropped transfers are retried or degraded, never forgotten.
+
+    The driver resolves every injected drop within the event that
+    observed it: either a backoff retry is scheduled or the page is
+    pinned to DCA.  The monitor tracks unresolved drops and flags any
+    that survive past their handling event.  Pages whose retry event is
+    still queued when the workload completes are *not* violations — the
+    run simply ended mid-retry.
+    """
+
+    name = "retry"
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+        # page -> phase ("dropped" | "exhausted") pending same-event
+        # resolution.  Empty at every event boundary in a correct run.
+        self._open: dict[int, str] = {}
+        self._awaiting_retry: set[int] = set()
+
+    def _now(self) -> float:
+        return self.machine.engine.now
+
+    def on_dropped(self, page: int) -> Optional[ViolationReport]:
+        self._awaiting_retry.discard(page)
+        self._open[page] = "dropped"
+        return None
+
+    def on_retry(self, page: int) -> Optional[ViolationReport]:
+        if self._open.get(page) != "dropped":
+            return ViolationReport(
+                self.name, self._now(),
+                f"retry scheduled for page {page} without a preceding "
+                "dropped transfer",
+                {"page": page, "phase": self._open.get(page)},
+            )
+        del self._open[page]
+        self._awaiting_retry.add(page)
+        return None
+
+    def on_exhausted(self, page: int) -> Optional[ViolationReport]:
+        if self._open.get(page) != "dropped":
+            return ViolationReport(
+                self.name, self._now(),
+                f"retry budget reported exhausted for page {page} without "
+                "a preceding dropped transfer",
+                {"page": page, "phase": self._open.get(page)},
+            )
+        self._open[page] = "exhausted"
+        return None
+
+    def on_pinned(self, page: int) -> Optional[ViolationReport]:
+        phase = self._open.pop(page, None)
+        if phase not in (None, "exhausted"):
+            return ViolationReport(
+                self.name, self._now(),
+                f"page {page} pinned to DCA from unexpected retry phase "
+                f"{phase!r}",
+                {"page": page, "phase": phase},
+            )
+        return None
+
+    def on_arrived(self, page: int) -> None:
+        """A (re)issued transfer arrived intact."""
+        self._awaiting_retry.discard(page)
+        self._open.pop(page, None)
+
+    def check_boundary(self) -> Optional[ViolationReport]:
+        """Called at each event boundary; unresolved drops are lost pages."""
+        if not self._open:
+            return None
+        page, phase = next(iter(self._open.items()))
+        return ViolationReport(
+            self.name, self._now(),
+            f"dropped transfer of page {page} (phase {phase!r}) was "
+            "neither retried nor degraded to pinned-DCA before its "
+            "handling event ended (silently forgotten)",
+            {"unresolved": dict(self._open)},
+        )
+
+    def finalize(self) -> Optional[ViolationReport]:
+        return self.check_boundary()

@@ -1,0 +1,235 @@
+"""Deterministic crash-bundle replay and cycle-window bisection.
+
+Replay forks the bundle's warm :class:`~repro.sim.snapshot.MachineSnapshot`,
+re-attaches a fresh :class:`~repro.check.runtime.CheckRuntime` built from
+the manifest's sanitizer config, and runs the tail of the simulation.
+Because the snapshot layer is byte-exact (PR 4) and any pending
+:class:`~repro.check.corrupt.StateCorruptor` event travels inside the
+snapshot's queue, the tail re-executes the identical event stream — so a
+recorded violation reproduces with the identical report, field for field.
+
+Bisection exploits the same property: every probe is an independent fork
+of the same snapshot, run to a candidate cycle and audited there.  The
+predicate "state is corrupt at cycle c, or a monitor fires at or before
+c" is monotone in c, so binary search narrows a late detection (often at
+finalize, far from the bug) down to a cycle window of the requested
+tolerance — the sanitizer's answer to "when did this actually go wrong?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.check.bundle import CrashBundle, load_bundle
+from repro.check.config import CheckConfig
+from repro.check.monitors import InvariantViolation, ViolationReport
+from repro.check.runtime import CheckRuntime
+from repro.sim.engine import SimulationStall
+
+
+@dataclass
+class ReplayOutcome:
+    """Result of re-executing a bundle against its recorded failure."""
+
+    reproduced: bool
+    kind: str
+    expected: Optional[dict]
+    observed: Optional[dict]
+    detail: str = ""
+
+    def render(self) -> str:
+        lines = [
+            ("reproduced: the replayed run failed identically"
+             if self.reproduced else
+             "NOT reproduced: the replayed run diverged from the bundle"),
+            f"  kind: {self.kind}",
+        ]
+        if self.detail:
+            lines.append(f"  {self.detail}")
+        if not self.reproduced:
+            lines.append(f"  expected: {self.expected}")
+            lines.append(f"  observed: {self.observed}")
+        return "\n".join(lines)
+
+
+@dataclass
+class BisectResult:
+    """The minimal cycle window a bisection narrowed a violation to."""
+
+    clean_cycle: float
+    violated_cycle: float
+    report: Optional[ViolationReport]
+    probes: list = field(default_factory=list)  # (cycle, verdict)
+
+    @property
+    def window(self) -> float:
+        return self.violated_cycle - self.clean_cycle
+
+    def render(self) -> str:
+        lines = [
+            "bisected violation window: "
+            f"clean at t={self.clean_cycle:.0f}, violated by "
+            f"t={self.violated_cycle:.0f} "
+            f"(window {self.window:.0f} cycles, {len(self.probes)} probes)",
+        ]
+        for cycle, verdict in self.probes:
+            lines.append(f"  probe t={cycle:.0f}: {verdict}")
+        if self.report is not None:
+            lines.append(self.report.render())
+        return "\n".join(lines)
+
+
+def _attach_fork(bundle: CrashBundle):
+    """Fork the bundle snapshot with a fresh sanitizer runtime attached.
+
+    ``CheckConfig.from_dict`` drops corruption specs on purpose: any
+    pending corruption event is already inside the forked queue.
+    """
+    machine = bundle.snapshot.fork()
+    config = CheckConfig.from_dict(bundle.manifest["checks"])
+    runtime = CheckRuntime.attach(machine, config)
+    runtime.load_monitor_state(bundle.manifest.get("monitor_state") or {})
+    return machine, runtime
+
+
+def replay_bundle(path, max_events: Optional[int] = None) -> ReplayOutcome:
+    """Re-execute a bundle; compare the outcome with the recorded one.
+
+    ``max_events`` (like the manifest's recorded value it overrides) is
+    the run's *total* budget from cycle zero: the forked engine keeps its
+    cumulative ``events_executed``, so the checked drive loop subtracts
+    what the prefix already consumed — exactly as the original run did.
+    """
+    bundle = load_bundle(path)
+    kind = bundle.kind
+    machine, runtime = _attach_fork(bundle)
+    budget = (
+        max_events if max_events is not None
+        else bundle.manifest.get("max_events")
+    )
+    stall = bundle.manifest.get("stall_threshold")
+
+    # Lazy import: the harness already imports repro.check lazily; keep
+    # the reverse edge out of module import time too.
+    from repro.harness.runner import drive_checked
+
+    observed_kind = "completed"
+    observed: Optional[dict] = None
+    error: Optional[BaseException] = None
+    try:
+        drive_checked(
+            machine, runtime, runtime.config,
+            max_events=budget, stall_threshold=stall,
+        )
+    except InvariantViolation as exc:
+        observed_kind = "violation"
+        observed = exc.report.to_dict()
+    except SimulationStall as exc:
+        observed_kind = "stall"
+        error = exc
+    except Exception as exc:  # noqa: BLE001 - replay mirrors any failure
+        observed_kind = "error"
+        error = exc
+
+    if kind == "violation":
+        expected = bundle.manifest.get("violation")
+        reproduced = observed_kind == "violation" and observed == expected
+        return ReplayOutcome(
+            reproduced, kind, expected, observed,
+            detail=(f"violation at t={observed['cycle']:.0f} "
+                    f"[{observed['monitor']}]" if observed else
+                    f"run ended as {observed_kind!r} instead of violating"),
+        )
+    if kind in ("stall", "error"):
+        expected = {
+            "error_type": bundle.manifest.get("error_type"),
+            "failed_cycle": bundle.manifest.get("failed_cycle"),
+        }
+        observed = {
+            "error_type": type(error).__name__ if error is not None else None,
+            "failed_cycle": machine.engine.now,
+        }
+        reproduced = (
+            observed_kind == kind
+            and observed["error_type"] == expected["error_type"]
+            and observed["failed_cycle"] == expected["failed_cycle"]
+        )
+        return ReplayOutcome(
+            reproduced, kind, expected, observed,
+            detail=f"run ended as {observed_kind!r} at "
+                   f"t={machine.engine.now:.0f}",
+        )
+    if kind == "retry_exhaustion":
+        cut = bundle.snapshot.cycle
+        expected_list = [
+            (e["page"], e["cycle"])
+            for e in bundle.manifest.get("exhaustions", [])
+            if e["cycle"] >= cut
+        ]
+        reproduced = (
+            observed_kind == "completed"
+            and runtime.exhaustions == expected_list
+        )
+        return ReplayOutcome(
+            reproduced, kind,
+            {"exhaustions": expected_list},
+            {"exhaustions": runtime.exhaustions, "ended": observed_kind},
+            detail=f"{len(runtime.exhaustions)} retry exhaustion(s) observed",
+        )
+    raise ValueError(f"unknown bundle kind {kind!r}")
+
+
+def bisect_bundle(
+    path, tolerance: float = 1000.0, max_probes: int = 40,
+) -> BisectResult:
+    """Narrow a violation bundle to a minimal introduction window.
+
+    Each probe forks the bundle snapshot, runs to a candidate cycle, and
+    declares it *violated* if a monitor fired on the way or the full-state
+    audit fails there, *clean* otherwise.  Returns the tightest
+    ``(clean_cycle, violated_cycle]`` window found within ``tolerance``.
+    """
+    bundle = load_bundle(path)
+    if bundle.kind != "violation":
+        raise ValueError(
+            f"only 'violation' bundles can be bisected, got {bundle.kind!r}"
+        )
+    stall = bundle.manifest.get("stall_threshold")
+    probes: list = []
+    last_report: Optional[ViolationReport] = None
+
+    def probe(cycle: float):
+        machine, runtime = _attach_fork(bundle)
+        try:
+            machine.engine.run(until=cycle, stall_threshold=stall)
+        except InvariantViolation as exc:
+            probes.append((cycle, f"violated (detected t={machine.engine.now:.0f})"))
+            return "violated", machine.engine.now, exc.report
+        report = runtime.audit_now()
+        if report is not None:
+            probes.append((cycle, "violated (audit)"))
+            return "violated", cycle, report
+        probes.append((cycle, "clean"))
+        return "clean", cycle, None
+
+    lo = bundle.snapshot.cycle
+    hi = bundle.manifest["failed_cycle"]
+    verdict, cycle, report = probe(lo)
+    if verdict == "violated":
+        # Already bad at (or before) the first probe point: the snapshot
+        # itself precedes detection only because the fault was in flight.
+        return BisectResult(lo, cycle, report, probes)
+    while hi - lo > tolerance and len(probes) < max_probes:
+        mid = (lo + hi) / 2.0
+        verdict, cycle, report = probe(mid)
+        if verdict == "violated":
+            hi = min(hi, cycle)
+            last_report = report
+        else:
+            lo = mid
+    if last_report is None:
+        # Pin down the report at the final upper bound.
+        verdict, cycle, report = probe(hi)
+        last_report = report
+    return BisectResult(lo, hi, last_report, probes)

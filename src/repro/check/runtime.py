@@ -1,0 +1,349 @@
+"""The sanitizer runtime: monitor fan-out, event ring, crash evidence.
+
+One :class:`CheckRuntime` per checked run.  :meth:`CheckRuntime.attach`
+installs it at every instrumented seam — the engine's ``_monitor`` tap,
+``Machine.checks`` (driver hooks), the access path and each GPU's drain
+controller — and every seam guards its hook behind a single ``is None``
+test, so unchecked runs pay nothing.
+
+The runtime is deliberately a *pure observer*: it never schedules events
+and never mutates simulation state, which is what lets the parity suite
+assert that a fully-checked clean run is byte-identical to an unchecked
+one.  The single exception is the optional :class:`StateCorruptor`, whose
+whole purpose is to mutate state (the sanitizer's drill mode).
+
+On a violation the runtime raises
+:class:`~repro.check.monitors.InvariantViolation`; the checked harness
+path (:func:`repro.harness.runner.run_workload` with ``checks=``) catches
+it and writes a crash bundle (:mod:`repro.check.bundle`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from repro.check.config import CheckConfig
+from repro.check.monitors import (
+    DrainMonitor,
+    EventQueueMonitor,
+    InvariantViolation,
+    OwnershipMonitor,
+    RetryMonitor,
+    ViolationReport,
+    VMCoherenceMonitor,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.snapshot import MachineSnapshot
+    from repro.system.machine import Machine
+
+
+class CheckRuntime:
+    """Dispatches seam hooks to the enabled monitors for one run."""
+
+    def __init__(self, machine: "Machine", config: CheckConfig) -> None:
+        self.machine = machine
+        self.config = config
+        self.ownership = OwnershipMonitor(machine) if config.ownership else None
+        self.vm = VMCoherenceMonitor(machine) if config.vm_coherence else None
+        self.drain = DrainMonitor(machine) if config.drain else None
+        self.events = (
+            EventQueueMonitor(machine.engine) if config.event_queue else None
+        )
+        self.retry = RetryMonitor(machine) if config.retry else None
+        # Raw (time, priority, seq, callback, args) tuples; formatted
+        # lazily so the hot path only pays a deque append.
+        self._ring: Optional[deque] = (
+            deque(maxlen=config.ring_size) if config.ring_size else None
+        )
+        self.last_snapshot: Optional["MachineSnapshot"] = None
+        self.last_snapshot_cycle = 0.0
+        self.last_snapshot_events = 0
+        self.last_monitor_state: dict = {}
+        # (page, cycle) per retry-budget exhaustion (informational).
+        self.exhaustions: list[tuple[int, float]] = []
+        self.violation: Optional[ViolationReport] = None
+        self.corruptor = None
+
+    @classmethod
+    def attach(cls, machine: "Machine", config: CheckConfig) -> "CheckRuntime":
+        """Build a runtime and install it at every instrumented seam."""
+        runtime = cls(machine, config)
+        machine.checks = runtime
+        machine.engine._monitor = runtime
+        # The drain monitor needs both sides of the protocol: issue
+        # attempts (access path) and the controller's state transitions.
+        machine.access_path._checks = runtime if config.drain else None
+        for gpu in machine.gpus:
+            gpu.drain_controller._checks = (
+                runtime if config.drain else None
+            )
+        if config.corruptions:
+            from repro.check.corrupt import StateCorruptor
+
+            runtime.corruptor = StateCorruptor(machine, config.corruptions)
+            runtime.corruptor.arm()
+        return runtime
+
+    def detach(self) -> None:
+        """Remove every seam hook (used by replay probes before re-use)."""
+        machine = self.machine
+        machine.checks = None
+        machine.engine._monitor = None
+        machine.access_path._checks = None
+        for gpu in machine.gpus:
+            gpu.drain_controller._checks = None
+
+    # ------------------------------------------------------------------
+
+    def _fail(self, report: ViolationReport) -> None:
+        self.violation = report
+        raise InvariantViolation(report)
+
+    # ------------------------------------------------------------------
+    # Engine seam
+    # ------------------------------------------------------------------
+
+    def on_execute(self, time, priority, seq, callback, args) -> None:
+        ring = self._ring
+        if ring is not None:
+            ring.append((time, priority, seq, callback, args))
+        ev = self.events
+        if ev is not None:
+            report = ev.check_time(time)
+            if report is not None:
+                self._fail(report)
+        rm = self.retry
+        if rm is not None and rm._open:
+            report = rm.check_boundary()
+            if report is not None:
+                self._fail(report)
+
+    def on_schedule(self, callback) -> None:
+        ev = self.events
+        if ev is not None:
+            report = ev.check_schedule(callback)
+            if report is not None:
+                self._fail(report)
+
+    def on_finish(self, now: float) -> None:
+        if self.events is not None:
+            self.events.on_finish(now)
+
+    # ------------------------------------------------------------------
+    # Access-path seam (ACUD: no CU issues while its GPU drains)
+    # ------------------------------------------------------------------
+
+    def on_issue(self, txn) -> None:
+        report = self.drain.check_issue(txn)
+        if report is not None:
+            self._fail(report)
+
+    # ------------------------------------------------------------------
+    # Drain-controller seam
+    # ------------------------------------------------------------------
+
+    def on_drain_start(self, gpu_id: int) -> None:
+        report = self.drain.on_drain_start(gpu_id)
+        if report is not None:
+            self._fail(report)
+
+    def on_drain_complete(self, gpu_id: int) -> None:
+        report = self.drain.on_drain_complete(gpu_id)
+        if report is not None:
+            self._fail(report)
+
+    def on_resume(self, gpu_id: int) -> None:
+        report = self.drain.on_resume(gpu_id)
+        if report is not None:
+            self._fail(report)
+
+    def on_copy_start(self, gpu_id: int, pages: list) -> None:
+        if self.drain is not None:
+            report = self.drain.check_copy_start(gpu_id, pages)
+            if report is not None:
+                self._fail(report)
+
+    # ------------------------------------------------------------------
+    # Driver seam
+    # ------------------------------------------------------------------
+
+    def on_fault_queued(self, page: int) -> None:
+        if self.ownership is not None:
+            self.ownership.note_fault_queued(page)
+
+    def on_fault_batch(self, batch: list) -> None:
+        if self.ownership is not None:
+            report = self.ownership.check_batch(batch)
+            if report is not None:
+                self._fail(report)
+
+    def on_transfer_dropped(self, page: int) -> None:
+        if self.retry is not None:
+            self.retry.on_dropped(page)
+
+    def on_transfer_retry(self, page: int) -> None:
+        if self.retry is not None:
+            report = self.retry.on_retry(page)
+            if report is not None:
+                self._fail(report)
+
+    def on_transfer_ok(self, page: int) -> None:
+        if self.retry is not None:
+            self.retry.on_arrived(page)
+
+    def on_retry_exhausted(self, page: int) -> None:
+        self.exhaustions.append((page, self.machine.engine.now))
+        if self.retry is not None:
+            report = self.retry.on_exhausted(page)
+            if report is not None:
+                self._fail(report)
+
+    def on_page_pinned(self, page: int) -> None:
+        if self.retry is not None:
+            report = self.retry.on_pinned(page)
+            if report is not None:
+                self._fail(report)
+
+    def on_shootdown(self, gpu_id: int, pages) -> None:
+        if self.vm is not None:
+            report = self.vm.check_shootdown(gpu_id, pages)
+            if report is not None:
+                self._fail(report)
+
+    def on_migration_complete(self, page: int, src: int, dst: int) -> None:
+        if self.ownership is not None:
+            report = self.ownership.check_completion(page, src, dst)
+            if report is not None:
+                self._fail(report)
+        if self.vm is not None and dst >= 0:
+            report = self.vm.check_migrated(page, dst)
+            if report is not None:
+                self._fail(report)
+
+    def on_round_complete(self) -> None:
+        """A whole migration round retired: run the O(pages) audits."""
+        report = self.audit_now()
+        if report is not None:
+            self._fail(report)
+
+    # ------------------------------------------------------------------
+    # Audits, snapshots, finalization
+    # ------------------------------------------------------------------
+
+    def audit_now(self) -> Optional[ViolationReport]:
+        """Run the full-state audits; first violation report or None."""
+        if self.ownership is not None:
+            report = self.ownership.audit()
+            if report is not None:
+                return report
+        if self.vm is not None:
+            report = self.vm.audit()
+            if report is not None:
+                return report
+        return None
+
+    def on_snapshot_point(self) -> None:
+        """Audit before a warm snapshot so bundles never capture a state
+        that is already corrupt."""
+        report = self.audit_now()
+        if report is not None:
+            self._fail(report)
+
+    def note_snapshot(self, snapshot: "MachineSnapshot") -> None:
+        self.last_snapshot = snapshot
+        self.last_snapshot_cycle = self.machine.engine.now
+        self.last_snapshot_events = self.machine.engine.events_executed
+        self.last_monitor_state = self.monitor_state()
+
+    def monitor_state(self) -> dict:
+        """JSON-able protocol-monitor state (bundled with each snapshot).
+
+        The drain, retry, ownership, and event-queue monitors accumulate
+        state across events; a replay that attached fresh monitors to a
+        mid-run fork would misfire on the first transition out of a
+        protocol phase it never saw begin.  Bundles therefore record this
+        alongside the snapshot for :meth:`load_monitor_state` to restore.
+        """
+        state: dict = {}
+        if self.ownership is not None:
+            state["ownership"] = {
+                "queued": {
+                    str(page): count
+                    for page, count in self.ownership._queued_faults.items()
+                },
+            }
+        if self.drain is not None:
+            state["drain"] = list(self.drain._state)
+        if self.events is not None:
+            state["events"] = {
+                "last_time": self.events._last_time,
+                "finished_at": self.events._finished_at,
+            }
+        if self.retry is not None:
+            state["retry"] = {
+                "open": {
+                    str(page): phase
+                    for page, phase in self.retry._open.items()
+                },
+                "awaiting": sorted(self.retry._awaiting_retry),
+            }
+        return state
+
+    def load_monitor_state(self, state: dict) -> None:
+        """Restore :meth:`monitor_state` output (JSON keys arrive as str)."""
+        if self.ownership is not None and "ownership" in state:
+            self.ownership._queued_faults = {
+                int(page): count
+                for page, count in state["ownership"]["queued"].items()
+            }
+        if self.drain is not None and "drain" in state:
+            self.drain._state = list(state["drain"])
+        if self.events is not None and "events" in state:
+            self.events._last_time = state["events"]["last_time"]
+            self.events._finished_at = state["events"]["finished_at"]
+        if self.retry is not None and "retry" in state:
+            self.retry._open = {
+                int(page): phase
+                for page, phase in state["retry"]["open"].items()
+            }
+            self.retry._awaiting_retry = set(state["retry"]["awaiting"])
+
+    def finalize(self) -> None:
+        """End-of-run invariants (raises on the first violation).
+
+        Legitimate mid-protocol state at workload completion — drains in
+        flight, a pending CPMS batch, pages whose retry event is still
+        queued — is *not* flagged; only always-true invariants are.
+        """
+        if self.retry is not None:
+            report = self.retry.finalize()
+            if report is not None:
+                self._fail(report)
+        if self.ownership is not None:
+            report = self.ownership.finalize()
+            if report is not None:
+                self._fail(report)
+        if self.vm is not None:
+            report = self.vm.audit()
+            if report is not None:
+                self._fail(report)
+
+    # ------------------------------------------------------------------
+    # Crash-bundle support
+    # ------------------------------------------------------------------
+
+    def ring_lines(self, limit: Optional[int] = None) -> list[str]:
+        """The ring buffer formatted like the engine's event dumps."""
+        if self._ring is None:
+            return []
+        entries = list(self._ring)
+        if limit is not None:
+            entries = entries[-limit:]
+        lines = []
+        for time, priority, seq, callback, args in entries:
+            name = getattr(callback, "__qualname__", repr(callback))
+            shown = ", ".join(repr(a)[:60] for a in args[:4])
+            lines.append(f"t={time:.1f} prio={priority} seq={seq} {name}({shown})")
+        return lines

@@ -7,6 +7,8 @@ Subcommands::
     griffin-sim figures fig12 fig9               # regenerate paper figures
     griffin-sim tables                           # Tables I-III + HW cost
     griffin-sim list                             # workloads & policies
+    griffin-sim run SC --check --bundle-dir b/   # sanitized run, crash bundles
+    griffin-sim replay b/SC-...-violation-c1234  # re-execute a crash bundle
 
 All simulations are deterministic for a given ``--seed``.
 """
@@ -115,6 +117,27 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="event budget; the run fails fast instead of "
                             "hanging when exceeded")
 
+    def add_check_options(p: argparse.ArgumentParser) -> None:
+        g = p.add_argument_group(
+            "sanitizer", "runtime invariant monitors and crash bundles "
+            "(see docs/resilience.md)"
+        )
+        g.add_argument("--check", action="store_true",
+                       help="attach every invariant monitor (page-ownership "
+                            "conservation, VM coherence, ACUD drain, event "
+                            "queue, retry lifecycle); a violation fails the "
+                            "run with a report")
+        g.add_argument("--bundle-dir", default=None, metavar="DIR",
+                       help="write a crash bundle (config, seed, violation "
+                            "report, event ring, warm snapshot) here on any "
+                            "checked failure; replay it with "
+                            "'griffin-sim replay'")
+        g.add_argument("--check-snapshot-interval", type=int, default=None,
+                       metavar="CYCLES",
+                       help="capture a warm snapshot every N cycles so the "
+                            "bundle replays from near the failure instead "
+                            "of from cycle zero")
+
     run_p = sub.add_parser("run", help="simulate one workload under one policy")
     run_p.add_argument("workload", help="Table III abbreviation (e.g. SC)")
     run_p.add_argument("--policy", default="griffin", help="policy name")
@@ -124,6 +147,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="write the result to a JSON file")
     add_sim_options(run_p)
     add_fault_options(run_p)
+    add_check_options(run_p)
 
     cmp_p = sub.add_parser("compare", help="compare policies on one workload")
     cmp_p.add_argument("workload")
@@ -180,6 +204,23 @@ def _build_parser() -> argparse.ArgumentParser:
                               "a killed sweep re-runs only unfinished cells")
     add_sim_options(sweep_p)
     add_fault_options(sweep_p)
+    add_check_options(sweep_p)
+
+    replay_p = sub.add_parser(
+        "replay", help="re-execute a crash bundle deterministically"
+    )
+    replay_p.add_argument("bundle", help="bundle directory written by a "
+                                         "checked run (contains manifest.json)")
+    replay_p.add_argument("--bisect", action="store_true",
+                          help="binary-search the snapshot..failure window "
+                               "down to the smallest cycle window that still "
+                               "trips the violation")
+    replay_p.add_argument("--tolerance", type=float, default=1000.0,
+                          metavar="CYCLES",
+                          help="stop bisecting once the window is this "
+                               "narrow (default 1000)")
+    replay_p.add_argument("--max-events", type=int, default=None, metavar="N",
+                          help="override the replay event budget")
 
     bench_p = sub.add_parser(
         "bench", help="run the pinned perf suite and write BENCH_<date>.json"
@@ -233,6 +274,15 @@ def _make_faults(args: argparse.Namespace):
     return faults if faults.enabled else None
 
 
+def _make_checks(args: argparse.Namespace):
+    """Build a CheckConfig from the CLI flags; None when --check is off."""
+    if not args.check:
+        return None
+    from repro.check import CheckConfig
+
+    return CheckConfig(snapshot_interval=args.check_snapshot_interval)
+
+
 def _make_config(args: argparse.Namespace):
     base = paper_system(args.gpus) if args.full_size else small_system(args.gpus)
     return base.with_link(NVLINK if args.fabric == "nvlink" else PCIE_V4)
@@ -267,12 +317,25 @@ def _summarize(result) -> str:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    result = run_workload(
-        args.workload.upper(), args.policy, config=_make_config(args),
-        scale=args.scale, seed=args.seed, collect_detail=args.detail,
-        faults=_make_faults(args), max_events=args.max_events,
-    )
+    from repro.sim.engine import SimulationError
+
+    try:
+        result = run_workload(
+            args.workload.upper(), args.policy, config=_make_config(args),
+            scale=args.scale, seed=args.seed, collect_detail=args.detail,
+            faults=_make_faults(args), max_events=args.max_events,
+            checks=_make_checks(args), bundle_dir=args.bundle_dir,
+        )
+    except SimulationError as exc:
+        print(f"{type(exc).__name__}: {exc}", file=sys.stderr)
+        bundle = getattr(exc, "bundle_path", None)
+        if bundle is not None:
+            print(f"crash bundle written to {bundle}", file=sys.stderr)
+            print(f"replay with: griffin-sim replay {bundle}", file=sys.stderr)
+        return 1
     print(_summarize(result))
+    if result.bundle_path is not None:
+        print(f"\n[retry-exhaustion bundle written to {result.bundle_path}]")
     if args.detail and result.detail is not None:
         from repro.metrics.collector import render_stats
 
@@ -396,7 +459,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                        max_events_per_run=args.max_events,
                        chunk_size=args.chunk_size,
                        fork=not args.no_fork,
-                       cache_dir=args.cache_dir, resume=args.resume)
+                       cache_dir=args.cache_dir, resume=args.resume,
+                       checks=_make_checks(args), bundle_dir=args.bundle_dir)
     print(result.table(args.metric))
     stats = (
         f"cells: {len(result.points) + len(result.failures)} "
@@ -423,6 +487,31 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(result.failure_table())
         return 1
     return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.check import bisect_bundle, load_bundle, replay_bundle
+
+    try:
+        bundle = load_bundle(args.bundle)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    manifest = bundle.manifest
+    print(f"bundle:   {args.bundle}")
+    print(f"kind:     {manifest['kind']}")
+    print(f"cell:     {manifest['workload']} / {manifest['policy']} "
+          f"(seed {manifest['seed']}, scale {manifest['scale']})")
+    print(f"failed at cycle {manifest['failed_cycle']:,}; snapshot at "
+          f"cycle {manifest['snapshot_cycle']:,}")
+    print()
+    if args.bisect:
+        result = bisect_bundle(args.bundle, tolerance=args.tolerance)
+        print(result.render())
+        return 0
+    outcome = replay_bundle(args.bundle, max_events=args.max_events)
+    print(outcome.render())
+    return 0 if outcome.reproduced else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -472,6 +561,7 @@ _COMMANDS = {
     "list": _cmd_list,
     "validate": _cmd_validate,
     "sweep": _cmd_sweep,
+    "replay": _cmd_replay,
     "bench": _cmd_bench,
 }
 

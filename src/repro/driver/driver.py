@@ -149,6 +149,10 @@ class GPUDriver(Component):
         self.bump("migration_faults")
         entry.migrating = True
         self._waiters.setdefault(txn.page, []).append((txn, on_complete))
+        ck = self.machine.checks
+        if ck is not None:
+            # Before batcher.add: a full batch flushes synchronously.
+            ck.on_fault_queued(txn.page)
         self.batcher.add(PageFault(txn.page, txn.gpu_id, walk_done))
 
     def wait_for_page(self, page: int, txn: MemoryTransaction, on_complete: Callable) -> None:
@@ -159,6 +163,9 @@ class GPUDriver(Component):
     def _flush_fault_batch(self, batch: list) -> None:
         """One CPU flush covering a whole batch of fault migrations."""
         machine = self.machine
+        ck = machine.checks
+        if ck is not None:
+            ck.on_fault_batch(batch)
         timing = machine.config.timing
         cost = timing.cpu_flush_cycles + timing.page_fault_handler_cycles
         cost += self._shootdown_ack_penalty()
@@ -206,14 +213,19 @@ class GPUDriver(Component):
         self, src: int, dst: int, on_done: Callable[[int, bool], None],
         page: int, arrival: float,
     ) -> None:
+        ck = self.machine.checks
         if self.injector is not None and not self.injector.migration_transfer_ok(
             page, src, dst
         ):
+            if ck is not None:
+                ck.on_transfer_dropped(page)
             attempt = self._attempts.get(page, 0) + 1
             self._attempts[page] = attempt
             if self.backoff.exhausted(attempt):
                 del self._attempts[page]
                 self.bump("migration_fallbacks")
+                if ck is not None:
+                    ck.on_retry_exhausted(page)
                 on_done(page, False)
                 return
             self.bump("migration_retries")
@@ -222,8 +234,12 @@ class GPUDriver(Component):
                 self._reissue_transfer, page, src, dst,
                 partial(self._transfer_arrival, src, dst, on_done),
             )
+            if ck is not None:
+                ck.on_transfer_retry(page)
             return
         self._attempts.pop(page, None)
+        if ck is not None:
+            ck.on_transfer_ok(page)
         on_done(page, True)
 
     def _reissue_transfer(self, page: int, src: int, dst: int, on_arrival) -> None:
@@ -236,6 +252,9 @@ class GPUDriver(Component):
         entry.migrating = False
         self._pinned.add(page)
         self.bump("pages_pinned")
+        ck = self.machine.checks
+        if ck is not None:
+            ck.on_page_pinned(page)
         self._wake_waiters(page)
 
     def pinned_pages(self) -> set:
@@ -378,12 +397,20 @@ class GPUDriver(Component):
             delay = timing.tlb_shootdown_cycles
         delay += self._shootdown_ack_penalty()
         machine.shootdowns.record_gpu(src, invalidated)
+        ck = machine.checks
+        if ck is not None:
+            targeted = self.policy.drain == DrainStrategy.ACUD
+            ck.on_shootdown(src, pages if targeted else None)
         self.bump("inter_gpu_pages_selected", len(pages))
         self.engine.post(delay, self._start_transfer, src, cands, pending_sources)
 
     def _start_transfer(self, src: int, cands: list, pending_sources: list) -> None:
         machine = self.machine
         gpu = machine.gpus[src]
+        ck = machine.checks
+        if ck is not None:
+            # Before resume_all: the copy must start from ``drained``.
+            ck.on_copy_start(src, [c.page for c in cands])
         # Continue message: CUs resume before the page data moves.
         gpu.drain_controller.resume_all()
 
@@ -415,6 +442,9 @@ class GPUDriver(Component):
             pending_sources[0] -= 1
             if pending_sources[0] == 0:
                 self._round_active = False
+                ck = self.machine.checks
+                if ck is not None:
+                    ck.on_round_complete()
 
     def _complete_migration(self, page: int, src: int, dst: int) -> None:
         machine = self.machine
@@ -426,6 +456,9 @@ class GPUDriver(Component):
             gpu.hierarchy.remote_cache_invalidate([page])
         if src >= 0 and dst >= 0:
             self.bump("inter_gpu_pages_migrated")
+        ck = machine.checks
+        if ck is not None:
+            ck.on_migration_complete(page, src, dst)
         self._wake_waiters(page)
         if dst >= 0:
             self._residency_fifo[dst].append(page)
@@ -466,6 +499,10 @@ class GPUDriver(Component):
             for other in machine.gpus:
                 other.hierarchy.remote_cache_invalidate([victim])
             self.bump("capacity_evictions")
+            ck = machine.checks
+            if ck is not None:
+                ck.on_shootdown(gpu_id, [victim])
+                ck.on_migration_complete(victim, gpu_id, CPU_PORT)
             machine.pmc.transfer_pages(
                 self.now, [victim], gpu_id, CPU_PORT, _discard_arrival
             )

@@ -38,6 +38,13 @@ class DrainController(Component):
         super().__init__(engine, f"gpu{gpu.gpu_id}.drain")
         self.gpu = gpu
         self.timing: TimingConfig = gpu.timing
+        # Sanitizer tap (CheckRuntime) — None on ordinary runs.
+        self._checks = None
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_checks"] = None
+        return state
 
     def drain_acud(self, pages: set, callback: Callable[[float], None]) -> None:
         """ACUD: selective drain of transactions touching ``pages``."""
@@ -54,12 +61,20 @@ class DrainController(Component):
         )
 
     def _deliver_drain(self, pages: set, callback: Callable[[float], None]) -> None:
+        ck = self._checks
+        if ck is not None:
+            # Drain state flips at *delivery* time: CUs issue legitimately
+            # between the request and its arrival at the GPU.
+            ck.on_drain_start(self.gpu.gpu_id)
         cus = self.gpu.all_cus()
         cu_done = partial(self._cu_done, [len(cus)], callback)
         for cu in cus:
             cu.request_drain(pages, cu_done)
 
     def _deliver_flush(self, callback: Callable[[float], None]) -> None:
+        ck = self._checks
+        if ck is not None:
+            ck.on_drain_start(self.gpu.gpu_id)
         cus = self.gpu.all_cus()
         cu_done = partial(self._cu_done, [len(cus)], callback)
         for cu in cus:
@@ -68,9 +83,15 @@ class DrainController(Component):
     def _cu_done(self, remaining: list, callback: Callable[[float], None]) -> None:
         remaining[0] -= 1
         if remaining[0] == 0:
+            ck = self._checks
+            if ck is not None:
+                ck.on_drain_complete(self.gpu.gpu_id)
             callback(self.now)
 
     def resume_all(self) -> None:
         """Send *Continue* to every CU."""
+        ck = self._checks
+        if ck is not None:
+            ck.on_resume(self.gpu.gpu_id)
         for cu in self.gpu.all_cus():
             cu.resume()

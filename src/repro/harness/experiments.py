@@ -177,14 +177,30 @@ def fig9_tlb_shootdowns(**kwargs) -> ComparisonResult:
 
 
 def render_fig9(result: ComparisonResult) -> str:
+    # "Pages/round" is the amortization CPMS batching buys: Griffin's
+    # rounds shrink while each CPU round covers a whole fault batch.
     rows = []
     for wl, runs in result.runs.items():
         base = runs["baseline"].total_shootdowns
         grif = runs["griffin"].total_shootdowns
-        rows.append([wl, base, grif, f"{grif / base:.2f}" if base else "n/a"])
+        rows.append([
+            wl, base, grif,
+            f"{grif / base:.2f}" if base else "n/a",
+            _pages_per_round(runs["baseline"]),
+            _pages_per_round(runs["griffin"]),
+        ])
     return format_table(
-        ["Workload", "Baseline", "Griffin", "Normalized"], rows, result.title
+        ["Workload", "Baseline", "Griffin", "Normalized",
+         "Base pages/round", "Griffin pages/round"],
+        rows, result.title,
     )
+
+
+def _pages_per_round(run) -> str:
+    """Mean pages covered per CPU shootdown round ('n/a' without rounds)."""
+    if not run.cpu_shootdowns:
+        return "n/a"
+    return f"{run.cpu_pages_covered / run.cpu_shootdowns:.1f}"
 
 
 def fig11_acud_vs_flush(**kwargs) -> ComparisonResult:

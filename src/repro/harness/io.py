@@ -16,8 +16,14 @@ _SCHEMA_VERSION = 1
 
 
 def result_to_dict(result: RunResult) -> dict:
-    """Convert a run result to a JSON-serializable dictionary."""
-    return {
+    """Convert a run result to a JSON-serializable dictionary.
+
+    The ``bundle`` key is emitted only when a crash bundle was written,
+    and ``cpu_pages_covered`` is deliberately not serialized at all:
+    both rules keep the committed golden files byte-identical for runs
+    that produce no bundle (the parity suites compare the full dict).
+    """
+    payload = {
         "schema": _SCHEMA_VERSION,
         "workload": result.workload,
         "policy": result.policy,
@@ -49,6 +55,9 @@ def result_to_dict(result: RunResult) -> dict:
         },
         "events_executed": result.events_executed,
     }
+    if result.bundle_path is not None:
+        payload["bundle"] = result.bundle_path
+    return payload
 
 
 def result_from_dict(data: dict) -> RunResult:
@@ -85,6 +94,7 @@ def result_from_dict(data: dict) -> RunResult:
         shootdown_timeouts=data.get("resilience", {}).get("shootdown_timeouts", 0),
         transfers_dropped=data.get("resilience", {}).get("transfers_dropped", 0),
         events_executed=data.get("events_executed", 0),
+        bundle_path=data.get("bundle"),
     )
 
 

@@ -33,6 +33,10 @@ class RunResult:
         shootdown_timeouts: Injected TLB shootdown ack timeouts.
         transfers_dropped: Injected page-transfer drops (incl. retried).
         events_executed: Engine events consumed by the run.
+        cpu_pages_covered: Pages covered by CPU shootdown rounds (the
+            amortization CPMS batching buys; Figure 9 companion metric).
+        bundle_path: Crash-bundle directory, when the sanitizer wrote an
+            informational bundle (retry exhaustion) for this run.
     """
 
     workload: str
@@ -56,6 +60,8 @@ class RunResult:
     shootdown_timeouts: int = 0
     transfers_dropped: int = 0
     events_executed: int = 0
+    cpu_pages_covered: int = 0
+    bundle_path: Optional[str] = None
     timeline: Optional[object] = None
     detail: Optional[dict] = None
 
@@ -97,6 +103,9 @@ class FailedRun:
     policy: str
     error_type: str
     message: str
+    # Crash-bundle directory written by the sanitizer for this failure,
+    # or None when checks were off / no bundle_dir was configured.
+    bundle_path: Optional[str] = None
 
     @classmethod
     def from_exception(cls, workload: str, policy: str,
@@ -106,4 +115,5 @@ class FailedRun:
             policy=policy,
             error_type=type(exc).__name__,
             message=str(exc).splitlines()[0] if str(exc) else "",
+            bundle_path=getattr(exc, "bundle_path", None),
         )

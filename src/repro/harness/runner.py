@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro.config.faults import FaultConfig
 from repro.config.hyperparams import GriffinHyperParams
@@ -14,6 +14,9 @@ from repro.harness.results import RunResult
 from repro.system.machine import Machine
 from repro.workloads.base import WorkloadBase
 from repro.workloads.registry import get_workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.check.config import CheckConfig
 
 
 def run_workload(
@@ -31,6 +34,8 @@ def run_workload(
     faults: Optional[FaultConfig] = None,
     max_events: Optional[int] = None,
     stall_threshold: Optional[int] = 1_000_000,
+    checks: Optional["CheckConfig"] = None,
+    bundle_dir=None,
 ) -> RunResult:
     """Simulate ``workload`` under ``policy`` and return the results.
 
@@ -54,6 +59,13 @@ def run_workload(
         max_events: Per-run event budget; exhausting it raises
             :class:`~repro.sim.engine.SimulationStall` instead of hanging.
         stall_threshold: Engine livelock watchdog (None disables).
+        checks: Sanitizer config (:class:`repro.check.CheckConfig`); when
+            enabled, runtime invariant monitors ride the run and any
+            violation raises :class:`~repro.check.monitors.InvariantViolation`.
+            None (the default) installs no hooks at all.
+        bundle_dir: Directory for crash bundles.  Only consulted when
+            ``checks`` is enabled; None disables bundle writing (the
+            monitors still run).
     """
     machine, workload, kernels = prepare_run(
         workload,
@@ -67,6 +79,18 @@ def run_workload(
         dispatch_strategy=dispatch_strategy,
         faults=faults,
     )
+    if checks is not None and checks.enabled:
+        return _run_checked(
+            machine,
+            workload,
+            kernels,
+            checks,
+            bundle_dir,
+            max_events=max_events,
+            stall_threshold=stall_threshold,
+            keep_timeline=keep_timeline,
+            collect_detail=collect_detail,
+        )
     machine.run(kernels, max_events=max_events, stall_threshold=stall_threshold)
     return harvest_result(
         machine,
@@ -74,6 +98,142 @@ def run_workload(
         keep_timeline=keep_timeline,
         collect_detail=collect_detail,
     )
+
+
+def _run_checked(
+    machine: Machine,
+    workload: WorkloadBase,
+    kernels: list,
+    checks: "CheckConfig",
+    bundle_dir,
+    max_events: Optional[int],
+    stall_threshold: Optional[int],
+    keep_timeline: bool,
+    collect_detail: bool,
+) -> RunResult:
+    """Drive a run with the sanitizer attached.
+
+    The machine runs in stages (``start`` / ``run_until`` / ``finish`` —
+    byte-identical to an uninterrupted run, pinned by the parity suite)
+    so warm snapshots can be captured every ``checks.snapshot_interval``
+    cycles for crash bundles.  On any failure — invariant violation,
+    stall, or unhandled exception — a bundle is written (when
+    ``bundle_dir`` is set), its path attached to the exception as
+    ``bundle_path``, and the exception re-raised.
+    """
+    # Local imports keep the check package entirely out of unchecked runs.
+    from repro.check.bundle import write_crash_bundle
+    from repro.check.monitors import InvariantViolation
+    from repro.check.runtime import CheckRuntime
+    from repro.sim.engine import SimulationStall
+
+    runtime = CheckRuntime.attach(machine, checks)
+
+    def _bundle(kind, violation=None, error=None):
+        if bundle_dir is None:
+            return None
+        return write_crash_bundle(
+            bundle_dir, kind, machine, runtime,
+            workload=workload.spec.abbrev,
+            policy=machine.policy.name,
+            seed=workload.seed,
+            scale=workload.scale,
+            max_events=max_events,
+            stall_threshold=stall_threshold,
+            violation=violation,
+            error=error,
+        )
+
+    try:
+        machine.start(kernels)
+        runtime.note_snapshot(machine.snapshot())
+        drive_checked(
+            machine, runtime, checks,
+            max_events=max_events, stall_threshold=stall_threshold,
+        )
+    except InvariantViolation as exc:
+        exc.bundle_path = _bundle(
+            "violation", violation=exc.report.to_dict(), error=exc
+        )
+        raise
+    except SimulationStall as exc:
+        exc.bundle_path = _bundle("stall", error=exc)
+        raise
+    except Exception as exc:
+        try:
+            exc.bundle_path = _bundle("error", error=exc)
+        except AttributeError:
+            pass  # exceptions with __slots__ cannot carry the path
+        raise
+
+    result = harvest_result(
+        machine,
+        workload,
+        keep_timeline=keep_timeline,
+        collect_detail=collect_detail,
+    )
+    if (
+        runtime.exhaustions
+        and checks.bundle_on_exhaustion
+        and bundle_dir is not None
+    ):
+        result.bundle_path = _bundle("retry_exhaustion")
+    return result
+
+
+def drive_checked(
+    machine: Machine,
+    runtime,
+    checks: "CheckConfig",
+    max_events: Optional[int],
+    stall_threshold: Optional[int],
+) -> None:
+    """Advance a sanitized machine to completion and finalize the monitors.
+
+    Shared between fresh checked runs and bundle replay
+    (:func:`repro.check.replay.replay_bundle`): a replayed tail must hit
+    the same snapshot-interval audit points as the original run did, or a
+    violation first caught by a periodic audit would be detected at a
+    different cycle on replay.  The interval boundaries line up because
+    each is computed from ``engine.now`` at the previous boundary — which
+    is exactly the cycle the bundle's snapshot was captured at.
+    """
+    engine = machine.engine
+    interval = checks.snapshot_interval
+    if interval is None:
+        machine.finish(max_events=max_events, stall_threshold=stall_threshold)
+    else:
+        while machine.finish_time is None:
+            remaining = (
+                None if max_events is None
+                else max_events - engine.events_executed
+            )
+            bound = engine.now + interval
+            next_time = engine.next_event_time()
+            if next_time is not None and next_time > bound:
+                # Nothing lands in this window.  Jump straight to the
+                # next event instead of snapshotting empty intervals —
+                # exponential retry backoff can open astronomically long
+                # idle gaps that would otherwise take forever to cross.
+                bound = next_time
+            machine.run_until(
+                bound,
+                max_events=remaining,
+                stall_threshold=stall_threshold,
+            )
+            if machine.finish_time is None:
+                if not engine.pending_events():
+                    # Drained without completing: let finish() raise
+                    # its diagnostic instead of looping forever.
+                    machine.finish(
+                        max_events=None, stall_threshold=stall_threshold
+                    )
+                    break
+                # Audit first so a bundle's snapshot is never already
+                # corrupt at capture time.
+                runtime.on_snapshot_point()
+                runtime.note_snapshot(machine.snapshot())
+    runtime.finalize()
 
 
 def prepare_run(
@@ -176,6 +336,7 @@ def harvest_result(
             int(injector.stat("transfers_dropped")) if injector else 0
         ),
         events_executed=machine.engine.events_executed,
+        cpu_pages_covered=machine.shootdowns.cpu_pages_covered,
         timeline=machine.timeline if keep_timeline else None,
     )
     if collect_detail:

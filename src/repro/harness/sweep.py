@@ -126,11 +126,13 @@ class SweepResult:
         if not self.failures:
             return ""
         rows = [
-            [k.workload, k.policy, k.config, k.fault, f.error_type, f.message]
+            [k.workload, k.policy, k.config, k.fault, f.error_type, f.message,
+             f.bundle_path or "-"]
             for k, f in self.failures.items()
         ]
         return format_table(
-            ["Workload", "Policy", "Config", "Fault", "Error", "Message"],
+            ["Workload", "Policy", "Config", "Fault", "Error", "Message",
+             "Bundle"],
             rows, "Sweep failures",
         )
 
@@ -213,7 +215,7 @@ def _resolve_variant(args):
     """(PolicyConfig, GriffinHyperParams) for a cell, or None if the cell
     cannot be resolved eagerly (the cold path owns its error message)."""
     (workload, policy, _config, hyper, _scale, _seed,
-     _fault, _max_events, _stall) = args
+     _fault, _max_events, _stall, _checks, _bundle_dir) = args
     if not isinstance(workload, str):
         return None
     try:
@@ -238,7 +240,7 @@ def cell_fingerprint(args, code_fp: str = "") -> Optional[str]:
         return None
     policy, hyper = resolved
     (workload, _policy, config, _hyper, scale, seed,
-     fault, max_events, stall_threshold) = args
+     fault, max_events, stall_threshold, checks, _bundle_dir) = args
     return _digest({
         "workload": workload,
         "policy": _canon(policy),
@@ -249,6 +251,10 @@ def cell_fingerprint(args, code_fp: str = "") -> Optional[str]:
         "seed": seed,
         "max_events": max_events,
         "stall_threshold": stall_threshold,
+        # bundle_dir is where evidence lands, not a simulation input; the
+        # sanitizer config is hashed because it decides whether a cell
+        # fails (a violation) or succeeds.
+        "checks": _canon(checks) if checks is not None else None,
         "code": code_fp,
     })
 
@@ -268,7 +274,12 @@ def group_fingerprint(args, code_fp: str = "") -> Optional[str]:
     if policy.predictive:
         return None
     (workload, _policy, config, _hyper, scale, seed,
-     fault, max_events, stall_threshold) = args
+     fault, max_events, stall_threshold, checks, _bundle_dir) = args
+    if checks is not None and checks.enabled:
+        # Checked cells run cold: the sanitizer attaches before start()
+        # and tracks protocol state (drain phases, queued faults) a
+        # mid-run fork could not reconstruct.
+        return None
     return _digest({
         "workload": workload,
         "policy": {
@@ -337,7 +348,8 @@ class Sweep:
         return (len(self.workloads) * len(self.policies)
                 * len(configs) * len(hypers) * len(faults))
 
-    def _grid(self, scale: float, seed: int, max_events, stall_threshold):
+    def _grid(self, scale: float, seed: int, max_events, stall_threshold,
+              checks=None, bundle_dir=None):
         configs = self.configs or {"default": small_system()}
         hypers = self.hypers or {"default": GriffinHyperParams.calibrated()}
         faults = self.faults or {"none": None}
@@ -361,14 +373,15 @@ class Sweep:
                                            hyper_name, fault_name)
                             yield key, (workload, policy, config, hyper,
                                         scale, seed, fault, max_events,
-                                        stall_threshold)
+                                        stall_threshold, checks, bundle_dir)
 
     def run(self, scale: float = 0.015, seed: int = 3,
             progress=None, workers: int = 1,
             max_events_per_run: Optional[int] = None,
             stall_threshold: Optional[int] = 1_000_000,
             chunk_size: int = 0, fork: bool = True,
-            cache_dir=None, resume: bool = False) -> SweepResult:
+            cache_dir=None, resume: bool = False,
+            checks=None, bundle_dir=None) -> SweepResult:
         """Execute every grid point; optionally report progress.
 
         Args:
@@ -395,6 +408,13 @@ class Sweep:
                 None disables caching.
             resume: Serve cells already present in ``cache_dir`` from
                 disk instead of re-running them.
+            checks: Optional :class:`repro.check.CheckConfig` applied to
+                every cell.  Checked cells run cold (the sanitizer must
+                observe the run from cycle zero) and a violating cell
+                lands in ``failures`` like any other error.
+            bundle_dir: Crash-bundle directory forwarded to every
+                checked cell; each :class:`FailedRun` then records its
+                ``bundle_path`` (also shown by :meth:`SweepResult.failure_table`).
 
         A point that raises is recorded as a :class:`FailedRun` in
         ``SweepResult.failures``; the rest of the grid still runs.  A
@@ -405,7 +425,7 @@ class Sweep:
         result = SweepResult()
         total = self.size()
         grid = list(self._grid(scale, seed, max_events_per_run,
-                               stall_threshold))
+                               stall_threshold, checks, bundle_dir))
         outcomes: dict[int, object] = {}
         from_cache: set[int] = set()
         done = 0
@@ -581,7 +601,7 @@ def _chunked(items: list, size: int) -> list:
 def _fork_cell(args):
     """The per-cell payload a fork continuation needs."""
     (_workload, policy, _config, hyper, _scale, _seed,
-     _fault, max_events, stall_threshold) = args
+     _fault, max_events, stall_threshold, _checks, _bundle_dir) = args
     return policy, hyper, max_events, stall_threshold
 
 
@@ -592,7 +612,7 @@ def _prepare_group(args, cache=None, group_fp=None):
         if cached is not None:
             return cached
     (workload, policy, config, hyper, scale, seed,
-     fault, max_events, stall_threshold) = args
+     fault, max_events, stall_threshold, _checks, _bundle_dir) = args
     machine, built, kernels = prepare_run(
         workload, policy=policy, config=config, hyper=hyper,
         scale=scale, seed=seed, faults=fault,
@@ -659,8 +679,9 @@ def _run_chunk(args_list: list) -> list:
 def _run_point(args) -> RunResult:
     """Execute one grid point (module-level for multiprocessing pickling)."""
     (workload, policy, config, hyper, scale, seed,
-     fault, max_events, stall_threshold) = args
+     fault, max_events, stall_threshold, checks, bundle_dir) = args
     return run_workload(
         workload, policy, config=config, hyper=hyper, scale=scale, seed=seed,
         faults=fault, max_events=max_events, stall_threshold=stall_threshold,
+        checks=checks, bundle_dir=bundle_dir,
     )

@@ -32,11 +32,18 @@ class ExponentialBackoff:
             max_attempts=faults.max_migration_attempts,
         )
 
-    def delay(self, attempt: int) -> float:
-        """Backoff before retry number ``attempt`` (1-indexed)."""
+    def delay(self, attempt: int) -> int:
+        """Backoff before retry number ``attempt`` (1-indexed), in whole
+        cycles.
+
+        The retry is scheduled on the engine clock, where every other
+        latency is an integer cycle count; rounding here (minimum one
+        cycle) keeps retry events from landing at fractional timestamps
+        between cycles when the multiplier is not integral.
+        """
         if attempt < 1:
             raise ValueError("attempt is 1-indexed")
-        return self.base * self.multiplier ** (attempt - 1)
+        return max(1, round(self.base * self.multiplier ** (attempt - 1)))
 
     def exhausted(self, attempt: int) -> bool:
         """True when ``attempt`` failures used up the whole budget."""

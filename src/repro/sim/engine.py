@@ -62,6 +62,9 @@ class Engine:
         # True when the last run() exited because max_events tripped —
         # distinguishable from a clean queue drain.
         self.exhausted = False
+        # Sanitizer tap (repro.check.runtime.CheckRuntime) — None on
+        # ordinary runs, leaving every path below a single is-None test.
+        self._monitor = None
 
     @property
     def now(self) -> float:
@@ -82,7 +85,9 @@ class Engine:
                 "cannot snapshot a running engine; pause it with "
                 "run(until=...) and snapshot between events"
             )
-        return self.__dict__.copy()
+        state = self.__dict__.copy()
+        state["_monitor"] = None
+        return state
 
     def schedule(
         self,
@@ -94,6 +99,9 @@ class Engine:
         """Schedule ``callback(*args)`` to run ``delay`` cycles from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        monitor = self._monitor
+        if monitor is not None:
+            monitor.on_schedule(callback)
         # Build the Event and its queue entry directly (no __init__ frame,
         # no push() call): identical (time, priority, seq) ordering.
         queue = self._queue
@@ -137,6 +145,9 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule at t={time}, current time is {now}"
             )
+        monitor = self._monitor
+        if monitor is not None:
+            monitor.on_schedule(callback)
         queue = self._queue
         event = Event.__new__(Event)
         event.time = time
@@ -170,6 +181,9 @@ class Engine:
 
         Allocates no Event; zero-delay posts take the same-cycle FIFO lane.
         """
+        monitor = self._monitor
+        if monitor is not None:
+            monitor.on_schedule(callback)
         queue = self._queue
         seq = queue._seq
         queue._seq = seq + 1
@@ -201,6 +215,9 @@ class Engine:
 
     def post_at(self, time: float, callback: Callable[..., Any], *args: Any) -> None:
         """Hot-path :meth:`schedule_at`: priority 0, no cancel handle."""
+        monitor = self._monitor
+        if monitor is not None:
+            monitor.on_schedule(callback)
         now = self._now
         queue = self._queue
         seq = queue._seq
@@ -276,6 +293,7 @@ class Engine:
         heappop = heapq.heappop
         lane_popleft = lane.popleft
         recycle = queue._recycle
+        monitor = self._monitor
         check_stall = stall_threshold is not None
         bound = float("inf") if until is None else until
         budget = float("inf") if max_events is None else max_events
@@ -343,6 +361,8 @@ class Engine:
                 callback = entry[3]
                 args = entry[4]
                 event = entry[5]
+                if monitor is not None:
+                    monitor.on_execute(time, entry[1], entry[2], callback, args)
                 if event is not None:
                     event._queue = None
                 entry[3] = entry[4] = entry[5] = None
@@ -382,3 +402,7 @@ class Engine:
     def pending_events(self) -> int:
         """Number of live events still queued."""
         return len(self._queue)
+
+    def next_event_time(self) -> Optional[float]:
+        """Timestamp of the earliest queued event, or None when drained."""
+        return self._queue.peek_time()

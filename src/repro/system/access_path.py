@@ -76,6 +76,10 @@ class MemoryAccessPath:
         # ``Enum.__hash__`` on every bump.  ``kind_counts`` rebuilds the
         # enum-keyed view (in enum order, as before) on demand.
         self._kc: dict[int, int] = {id(k): 0 for k in AccessKind}
+        # Sanitizer tap — None on ordinary runs; the checked path attaches
+        # the CheckRuntime here so issue() can flag CU activity during an
+        # ACUD drain.
+        self._checks = None
         self.l1_tlb_hits = 0
         self.l2_tlb_hits = 0
         self.iommu_trips = 0
@@ -118,6 +122,9 @@ class MemoryAccessPath:
         page = txn.address >> self._page_shift
         txn.page = page
         self.total_issued += 1
+        ck = self._checks
+        if ck is not None:
+            ck.on_issue(txn)
 
         gpu_id = txn.gpu_id
         cu_id = txn.cu_id
@@ -500,6 +507,7 @@ class MemoryAccessPath:
         """
         state = self.__dict__.copy()
         state["_kc"] = [self._kc[id(k)] for k in AccessKind]
+        state["_checks"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:

@@ -164,6 +164,10 @@ class Machine:
         self.driver = GPUDriver(self, policy)
 
         self.finish_time: Optional[float] = None
+        # Sanitizer runtime (repro.check.runtime.CheckRuntime) — attached
+        # by the checked harness path; None on ordinary runs so no hook
+        # fires anywhere on the hot path.
+        self.checks = None
 
     # ------------------------------------------------------------------
 
@@ -175,6 +179,19 @@ class Machine:
         self.finish_time = now
         self.driver.stop()
         self.engine.stop()
+        if self.checks is not None:
+            self.checks.on_finish(now)
+
+    def __getstate__(self):
+        """Snapshots never carry the sanitizer runtime.
+
+        The check runtime holds its own snapshots (and a live ring
+        buffer); pickling it into a MachineSnapshot would recurse and
+        bloat every capture.  Replay re-attaches a fresh runtime.
+        """
+        state = self.__dict__.copy()
+        state["checks"] = None
+        return state
 
     def run(
         self,

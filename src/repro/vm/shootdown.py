@@ -23,6 +23,9 @@ class ShootdownAccounting:
             (page migrating out of GPU memory).
         gpu_entries_invalidated: Total TLB entries dropped on GPUs.
         per_gpu: Shootdown rounds per GPU id.
+        cpu_pages_covered: Total pages covered by CPU shootdown rounds —
+            the amortization CPMS batching buys (Figure 9's companion
+            metric: rounds shrink while pages covered stays constant).
         timeouts: Acknowledgement rounds that timed out once before
             completing (fault injection only; always 0 in a clean run).
         ack_delay_cycles: Total extra acknowledgement latency injected
@@ -32,6 +35,7 @@ class ShootdownAccounting:
     cpu_shootdowns: int = 0
     gpu_shootdowns: int = 0
     gpu_entries_invalidated: int = 0
+    cpu_pages_covered: int = 0
     per_gpu: dict[int, int] = field(default_factory=dict)
     timeouts: int = 0
     ack_delay_cycles: int = 0
@@ -39,6 +43,7 @@ class ShootdownAccounting:
     def record_cpu(self, batch_size: int = 1) -> None:
         """One CPU flush/shootdown round covering ``batch_size`` pages."""
         self.cpu_shootdowns += 1
+        self.cpu_pages_covered += batch_size
 
     def record_gpu(self, gpu_id: int, entries_invalidated: int) -> None:
         """One targeted GPU shootdown round."""

@@ -113,6 +113,18 @@ class TLB:
         """Number of valid entries currently held."""
         return sum(len(s) for s in self._sets)
 
+    def contains(self, page: int) -> bool:
+        """True if a translation for ``page`` is cached (no LRU effects)."""
+        return page in self._set_for(page)
+
+    def entries(self):
+        """Iterate ``(page, device)`` pairs without disturbing LRU order.
+
+        Used by the sanitizer's VM-coherence audit; not a hot path.
+        """
+        for entries in self._sets:
+            yield from entries.items()
+
     @property
     def accesses(self) -> int:
         return self.hits + self.misses

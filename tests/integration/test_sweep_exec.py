@@ -153,9 +153,9 @@ class TestCacheResume:
 
 
 class TestFingerprints:
-    def _args(self, hyper=_BASE, policy="griffin", seed=5):
+    def _args(self, hyper=_BASE, policy="griffin", seed=5, checks=None):
         return ("MT", policy, tiny_system(2), hyper, 0.008, seed,
-                None, None, 1_000_000)
+                None, None, 1_000_000, checks, None)
 
     def test_cell_fingerprint_sensitivity(self):
         base = cell_fingerprint(self._args())

@@ -1,0 +1,89 @@
+"""Property tests: every seeded corruption is caught, wherever it lands.
+
+The integration suite pins one drill per corruption kind at a fixed
+cycle; this property samples the injection cycle across the whole run and
+asserts the sanitizer still catches each kind — no blind spots between
+audit points, round boundaries, and finalization.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.check import CheckConfig, CorruptionSpec, InvariantViolation
+from repro.check.config import CORRUPTION_KINDS
+from repro.config.presets import tiny_system
+from repro.harness.runner import run_workload
+
+# The MT/griffin/tiny cell finishes around cycle 72.5k; sampled injection
+# cycles stay comfortably inside the run so the drill always executes.
+_LAST_SAFE_CYCLE = 60_000
+
+# ownership_device skews both the occupancy counts (ownership) and any
+# TLB that still caches the flipped page (vm_coherence); whichever audit
+# sees it first depends on the injection cycle.
+_EXPECTED_MONITORS = {
+    "ownership_count": {"ownership"},
+    "ownership_device": {"ownership", "vm_coherence"},
+    "tlb_stale": {"vm_coherence"},
+    "past_event": {"event_queue"},
+}
+
+
+# Drills whose damage can be *healed* by later legitimate activity
+# before an audit observes it: a stale TLB entry can be evicted, flushed,
+# or validated by the page really migrating to the poisoned GPU, and a
+# flipped owner is re-synced when the page's next migration updates the
+# occupancy counts.  Count skew and backdated events can never heal.
+_HEALABLE = {"tlb_stale", "ownership_device"}
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    kind=st.sampled_from(sorted(CORRUPTION_KINDS)),
+    at_cycle=st.integers(min_value=5_000, max_value=_LAST_SAFE_CYCLE),
+)
+def test_every_corruption_kind_is_detected(kind, at_cycle):
+    checks = CheckConfig(
+        ring_size=0,  # no evidence needed; keep the drill lean
+        corruptions=(CorruptionSpec(kind, at_cycle=at_cycle),),
+    )
+    try:
+        run_workload("MT", "griffin", config=tiny_system(2),
+                     scale=0.008, seed=5, checks=checks)
+    except InvariantViolation as exc:
+        report = exc.report
+        assert report.monitor in _EXPECTED_MONITORS[kind]
+        # Detection never precedes the corruption.  The past_event drill
+        # plants an event 1000 cycles in the past, so the monitor reports
+        # the (backdated) event timestamp.
+        floor = at_cycle - 1_000 if kind == "past_event" else at_cycle
+        assert report.cycle >= floor
+    else:
+        # A completed run means every audit — including the end-of-run
+        # finalize — found consistent state: the corruption healed.
+        # Only the healable kinds are allowed to get away with that.
+        assert kind in _HEALABLE, (
+            f"{kind} drill at t={at_cycle} was never detected"
+        )
+
+
+@settings(max_examples=4, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(at_cycle=st.integers(min_value=5_000, max_value=_LAST_SAFE_CYCLE))
+def test_disabled_monitor_is_truly_off(at_cycle):
+    """With its monitor off, a drill corrupts silently (zero-cost rule:
+    disabled monitors install no hooks, so nothing can fire)."""
+    checks = CheckConfig(
+        ownership=False, vm_coherence=False, ring_size=0,
+        corruptions=(CorruptionSpec("ownership_count", at_cycle=at_cycle),),
+    )
+    result = run_workload("MT", "griffin", config=tiny_system(2),
+                          scale=0.008, seed=5, checks=checks)
+    assert result.cycles > at_cycle

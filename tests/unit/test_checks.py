@@ -1,0 +1,286 @@
+"""Unit tests for the sanitizer: config, reports, and monitor state machines.
+
+The monitors are exercised here against minimal stub machines (they only
+need ``engine.now`` and ``num_gpus``); end-to-end behavior on real runs —
+silence on clean cells, firing under seeded corruption, bundle replay —
+lives in ``tests/integration/test_sanitizer.py``.
+"""
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.check.config import CheckConfig, CorruptionSpec
+from repro.check.monitors import (
+    DrainMonitor,
+    EventQueueMonitor,
+    OwnershipMonitor,
+    RetryMonitor,
+    ViolationReport,
+)
+from repro.check.runtime import CheckRuntime
+
+
+def stub_machine(num_gpus=2, now=0.0):
+    engine = SimpleNamespace(now=now, _running=False)
+    return SimpleNamespace(engine=engine, num_gpus=num_gpus)
+
+
+class TestCheckConfig:
+    def test_default_enables_every_monitor(self):
+        cfg = CheckConfig()
+        assert cfg.enabled
+        assert (cfg.ownership and cfg.vm_coherence and cfg.drain
+                and cfg.event_queue and cfg.retry)
+
+    def test_all_monitors_off_is_disabled(self):
+        cfg = CheckConfig(ownership=False, vm_coherence=False, drain=False,
+                          event_queue=False, retry=False)
+        assert not cfg.enabled
+
+    def test_one_monitor_suffices(self):
+        cfg = CheckConfig(ownership=False, vm_coherence=False, drain=False,
+                          event_queue=False, retry=True)
+        assert cfg.enabled
+
+    @pytest.mark.parametrize("kwargs", [
+        {"ring_size": -1},
+        {"snapshot_interval": 0},
+        {"snapshot_interval": -100},
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            CheckConfig(**kwargs)
+
+    def test_round_trip_drops_corruptions(self):
+        """from_dict never re-arms drills: a replayed snapshot already
+        carries the pending corruption event inside its queue."""
+        cfg = CheckConfig(
+            drain=False, ring_size=64, snapshot_interval=10_000,
+            corruptions=(CorruptionSpec("tlb_stale", at_cycle=500),),
+        )
+        data = json.loads(json.dumps(cfg.to_dict()))  # manifest round trip
+        back = CheckConfig.from_dict(data)
+        assert back.drain is False
+        assert back.ring_size == 64
+        assert back.snapshot_interval == 10_000
+        assert back.corruptions == ()
+
+    def test_from_dict_ignores_unknown_keys(self):
+        data = CheckConfig().to_dict()
+        data["future_knob"] = True
+        assert CheckConfig.from_dict(data) == CheckConfig()
+
+
+class TestCorruptionSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown corruption kind"):
+            CorruptionSpec("frobnicate", at_cycle=100)
+
+    def test_rejects_negative_cycle(self):
+        with pytest.raises(ValueError, match="at_cycle"):
+            CorruptionSpec("tlb_stale", at_cycle=-1)
+
+    def test_to_dict(self):
+        spec = CorruptionSpec("ownership_count", at_cycle=250, gpu=1, page=7)
+        assert spec.to_dict() == {
+            "kind": "ownership_count", "at_cycle": 250, "gpu": 1, "page": 7,
+        }
+
+
+class TestViolationReport:
+    def test_round_trip(self):
+        report = ViolationReport("drain", 123.5, "overlapping drains",
+                                 {"gpu": 1, "state": "draining"})
+        back = ViolationReport.from_dict(
+            json.loads(json.dumps(report.to_dict()))
+        )
+        assert back == report
+
+    def test_render_carries_monitor_cycle_and_details(self):
+        text = ViolationReport("retry", 42.0, "lost page",
+                               {"page": 9}).render()
+        assert "[retry]" in text and "t=42" in text
+        assert "lost page" in text and "page: 9" in text
+
+
+class TestDrainMonitor:
+    def make(self):
+        return DrainMonitor(stub_machine(num_gpus=2))
+
+    def test_legal_cycle_is_silent(self):
+        m = self.make()
+        assert m.on_drain_start(0) is None
+        assert m.on_drain_complete(0) is None
+        assert m.on_resume(0) is None
+        assert m.state(0) == "idle"
+
+    def test_overlapping_drain(self):
+        m = self.make()
+        m.on_drain_start(0)
+        report = m.on_drain_start(0)
+        assert report is not None and report.monitor == "drain"
+        assert "overlapping" in report.message
+
+    def test_complete_without_start(self):
+        report = self.make().on_drain_complete(1)
+        assert report is not None and "completion" in report.message
+
+    def test_continue_before_drain_completes(self):
+        m = self.make()
+        m.on_drain_start(0)
+        report = m.on_resume(0)
+        assert report is not None and "Continue" in report.message
+
+    def test_issue_during_drain(self):
+        m = self.make()
+        m.on_drain_start(1)
+        txn = SimpleNamespace(gpu_id=1, cu_id=3, page=77)
+        report = m.check_issue(txn)
+        assert report is not None and report.details["cu"] == 3
+        assert m.check_issue(SimpleNamespace(gpu_id=0, cu_id=0, page=1)) is None
+
+    def test_copy_must_start_from_drained(self):
+        m = self.make()
+        assert m.check_copy_start(0, [1, 2]) is not None  # still idle
+        m.on_drain_start(0)
+        assert m.check_copy_start(0, [1, 2]) is not None  # still draining
+        m.on_drain_complete(0)
+        assert m.check_copy_start(0, [1, 2]) is None
+
+
+class TestEventQueueMonitor:
+    def make(self):
+        engine = SimpleNamespace(now=0.0, _running=False)
+        return EventQueueMonitor(engine), engine
+
+    def test_monotonic_time_is_silent(self):
+        m, _ = self.make()
+        assert m.check_time(10.0) is None
+        assert m.check_time(10.0) is None  # equal is fine
+        assert m.check_time(25.0) is None
+
+    def test_time_moving_backwards_fires(self):
+        m, _ = self.make()
+        m.check_time(100.0)
+        report = m.check_time(99.0)
+        assert report is not None and report.monitor == "event_queue"
+        assert "backwards" in report.message
+
+    def test_schedule_after_finish_fires(self):
+        m, engine = self.make()
+        assert m.check_schedule(lambda: None) is None  # not finished yet
+        m.on_finish(500.0)
+        report = m.check_schedule(lambda: None)
+        assert report is not None and "finished engine" in report.message
+
+    def test_schedule_from_final_callback_stack_is_legal(self):
+        m, engine = self.make()
+        m.on_finish(500.0)
+        engine._running = True  # still unwinding the final event
+        assert m.check_schedule(lambda: None) is None
+
+
+class TestRetryMonitor:
+    def make(self):
+        return RetryMonitor(stub_machine())
+
+    def test_drop_retry_arrive_cycle_is_silent(self):
+        m = self.make()
+        assert m.on_dropped(5) is None
+        assert m.on_retry(5) is None
+        m.on_arrived(5)
+        assert m.check_boundary() is None
+        assert m.finalize() is None
+
+    def test_drop_exhaust_pin_cycle_is_silent(self):
+        m = self.make()
+        m.on_dropped(5)
+        assert m.on_exhausted(5) is None
+        assert m.on_pinned(5) is None
+        assert m.check_boundary() is None
+
+    def test_retry_without_drop_fires(self):
+        report = self.make().on_retry(9)
+        assert report is not None and "without a preceding" in report.message
+
+    def test_exhausted_without_drop_fires(self):
+        assert self.make().on_exhausted(9) is not None
+
+    def test_pin_from_dropped_phase_fires(self):
+        m = self.make()
+        m.on_dropped(5)
+        report = m.on_pinned(5)  # must exhaust before pinning
+        assert report is not None and report.details["phase"] == "dropped"
+
+    def test_unresolved_drop_fires_at_boundary(self):
+        m = self.make()
+        m.on_dropped(7)
+        report = m.check_boundary()
+        assert report is not None and "forgotten" in report.message
+        assert report.details["unresolved"] == {7: "dropped"}
+
+
+class TestOwnershipBatchTracking:
+    def make(self):
+        return OwnershipMonitor(stub_machine())
+
+    def test_queued_faults_flush_cleanly(self):
+        m = self.make()
+        m.note_fault_queued(4)
+        m.note_fault_queued(6)
+        batch = [SimpleNamespace(page=4), SimpleNamespace(page=6)]
+        assert m.check_batch(batch) is None
+        assert m._queued_faults == {}
+
+    def test_fabricated_fault_fires(self):
+        m = self.make()
+        report = m.check_batch([SimpleNamespace(page=4)])
+        assert report is not None and report.monitor == "ownership"
+        assert "never queued" in report.message
+
+    def test_duplicate_queueing_needs_two_flushes(self):
+        m = self.make()
+        m.note_fault_queued(4)
+        m.note_fault_queued(4)
+        assert m.check_batch([SimpleNamespace(page=4)]) is None
+        assert m.check_batch([SimpleNamespace(page=4)]) is None
+        assert m.check_batch([SimpleNamespace(page=4)]) is not None
+
+
+class TestMonitorStateRoundTrip:
+    """Bundle manifests carry monitor state so replay's fresh monitors
+    resume mid-protocol; the round trip must survive JSON (str keys)."""
+
+    def test_round_trip_through_json(self):
+        cfg = CheckConfig()
+        rt = CheckRuntime(stub_machine(num_gpus=2), cfg)
+        rt.ownership._queued_faults = {17: 2, 99: 1}
+        rt.drain._state = ["draining", "idle"]
+        rt.events._last_time = 123.5
+        rt.events._finished_at = None
+        rt.retry._open = {4: "dropped"}
+        rt.retry._awaiting_retry = {8, 3}
+
+        state = json.loads(json.dumps(rt.monitor_state()))
+
+        rt2 = CheckRuntime(stub_machine(num_gpus=2), cfg)
+        rt2.load_monitor_state(state)
+        assert rt2.ownership._queued_faults == {17: 2, 99: 1}
+        assert rt2.drain._state == ["draining", "idle"]
+        assert rt2.events._last_time == 123.5
+        assert rt2.events._finished_at is None
+        assert rt2.retry._open == {4: "dropped"}
+        assert rt2.retry._awaiting_retry == {3, 8}
+
+    def test_disabled_monitors_are_absent(self):
+        cfg = CheckConfig(drain=False, retry=False)
+        rt = CheckRuntime(stub_machine(), cfg)
+        state = rt.monitor_state()
+        assert "drain" not in state and "retry" not in state
+        assert "ownership" in state and "events" in state
+        # Loading a full state into a partial runtime ignores the extras.
+        rt.load_monitor_state({"drain": ["drained", "idle"],
+                               "ownership": {"queued": {"5": 1}}})
+        assert rt.ownership._queued_faults == {5: 1}

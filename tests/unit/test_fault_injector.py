@@ -98,6 +98,24 @@ class TestExponentialBackoff:
         b = ExponentialBackoff.from_config(cfg)
         assert (b.base, b.multiplier, b.max_attempts) == (500, 3.0, 7)
 
+    def test_delay_is_whole_cycles_for_fractional_multipliers(self):
+        # Retries land on the engine clock, where every latency is an
+        # integer cycle count; a 1.5x multiplier must not schedule
+        # events at fractional timestamps.
+        b = ExponentialBackoff(base=100, multiplier=1.5, max_attempts=0)
+        assert b.delay(2) == 150
+        assert b.delay(3) == 225
+        for attempt in range(1, 10):
+            assert isinstance(b.delay(attempt), int)
+
+    def test_delay_never_below_one_cycle(self):
+        b = ExponentialBackoff(base=1, multiplier=0.5, max_attempts=0)
+        assert b.delay(10) == 1
+
+    def test_delay_rejects_zero_attempt(self):
+        with pytest.raises(ValueError):
+            ExponentialBackoff().delay(0)
+
 
 def make_injector(faults, seed=0):
     return FaultInjector(Engine(), faults, seed)

@@ -37,3 +37,18 @@ def test_total_sums_cpu_and_gpu():
     acc.record_cpu()
     acc.record_gpu(1, 4)
     assert acc.total == 2
+
+
+def test_cpu_pages_covered_accumulates_batch_sizes():
+    acc = ShootdownAccounting()
+    acc.record_cpu(batch_size=8)
+    acc.record_cpu(batch_size=3)
+    assert acc.cpu_shootdowns == 2
+    assert acc.cpu_pages_covered == 11
+
+
+def test_cpu_pages_covered_default_batch_is_one():
+    acc = ShootdownAccounting()
+    acc.record_cpu()
+    assert acc.cpu_pages_covered == 1
+    assert acc.gpu_shootdowns == 0
