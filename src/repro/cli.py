@@ -88,6 +88,10 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--fabric", choices=["pcie", "nvlink"], default="pcie")
         p.add_argument("--full-size", action="store_true",
                        help="use the paper's full Table II GPU (slower)")
+        p.add_argument("--engine-backend", choices=["heap", "ring"],
+                       default="heap",
+                       help="event-core backend (results are byte-identical "
+                            "either way; see docs/performance.md)")
 
     def add_fault_options(p: argparse.ArgumentParser) -> None:
         g = p.add_argument_group(
@@ -244,6 +248,10 @@ def _build_parser() -> argparse.ArgumentParser:
                               "(generous on purpose; CI gate)")
     bench_p.add_argument("--no-save", action="store_true",
                          help="measure and print without writing a file")
+    bench_p.add_argument("--engine-backend", choices=["heap", "ring"],
+                         default="heap",
+                         help="event-core backend every case runs on "
+                              "(the ring_vs_heap case always measures both)")
     return parser
 
 
@@ -285,7 +293,11 @@ def _make_checks(args: argparse.Namespace):
 
 def _make_config(args: argparse.Namespace):
     base = paper_system(args.gpus) if args.full_size else small_system(args.gpus)
-    return base.with_link(NVLINK if args.fabric == "nvlink" else PCIE_V4)
+    config = base.with_link(NVLINK if args.fabric == "nvlink" else PCIE_V4)
+    backend = getattr(args, "engine_backend", "heap")
+    if backend != "heap":
+        config = config.with_engine_backend(backend)
+    return config
 
 
 def _summarize(result) -> str:
@@ -515,6 +527,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    import os
     from pathlib import Path
 
     from repro.perf.bench import (
@@ -524,6 +537,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         run_bench,
         save_report,
     )
+    from repro.sim.ring import BACKEND_ENV
+
+    if args.engine_backend != "heap":
+        # Suite cases build their own configs; the env override reaches
+        # them all (and any subprocesses the batch baseline spawns).
+        os.environ[BACKEND_ENV] = args.engine_backend
 
     report = run_bench(
         quick=args.quick, repeats=args.repeat, label=args.label,

@@ -233,6 +233,32 @@ class GPUConfig:
 
 
 @dataclass(frozen=True)
+class SimConfig:
+    """Simulator-infrastructure knobs (not part of the modelled system).
+
+    Attributes:
+        engine_backend: Event-core implementation — ``"heap"`` is the
+            pure-Python heap + FIFO-lane queue (the parity oracle and
+            default); ``"ring"`` is the numpy structured-array event ring
+            with a dense handler table (:mod:`repro.sim.ring`).  Both
+            fire events in identical ``(time, priority, seq)`` order;
+            the golden/parity suites pin them byte-for-byte.  The
+            ``REPRO_ENGINE_BACKEND`` environment variable overrides this
+            field, so an unmodified test suite can be replayed on the
+            other backend.
+    """
+
+    engine_backend: str = "heap"
+
+    def __post_init__(self) -> None:
+        if self.engine_backend not in ("heap", "ring"):
+            raise ValueError(
+                f"unknown engine_backend {self.engine_backend!r}; "
+                "valid choices: heap, ring"
+            )
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """Whole-system configuration.
 
@@ -251,6 +277,10 @@ class SystemConfig:
             ("the GPU that generates requests the fastest may be more
             likely to be selected"), expressed as extra skew per page the
             leading GPU already holds, in cycles.
+        sim: Simulator-infrastructure knobs (engine backend selection).
+            These never change modelled behaviour — results are pinned
+            byte-identical across backends — so they ride on the config
+            purely for plumbing convenience.
     """
 
     num_gpus: int = 4
@@ -261,6 +291,7 @@ class SystemConfig:
     page_size: int = 4096
     dispatch_skew_cycles: int = 200
     arbiter_bias: float = 0.02
+    sim: SimConfig = field(default_factory=SimConfig)
 
     def __post_init__(self) -> None:
         if self.num_gpus < 1:
@@ -271,6 +302,10 @@ class SystemConfig:
     def with_link(self, link: LinkConfig) -> "SystemConfig":
         """Return a copy with a different inter-device fabric."""
         return replace(self, link=link)
+
+    def with_engine_backend(self, backend: str) -> "SystemConfig":
+        """Return a copy selecting an event-core backend ("heap"|"ring")."""
+        return replace(self, sim=SimConfig(engine_backend=backend))
 
     def with_overrides(self, **kwargs: object) -> "SystemConfig":
         """Return a copy with the given fields replaced."""

@@ -1,5 +1,6 @@
 """Experiment harness: run workloads, compare policies, regenerate figures."""
 
+from repro.harness.batch import BatchRunner, run_replicas
 from repro.harness.io import load_result, save_result
 from repro.harness.results import FailedRun, RunResult
 from repro.harness.runner import run_workload, compare_policies
@@ -13,6 +14,8 @@ __all__ = [
     "compare_policies",
     "save_result",
     "load_result",
+    "BatchRunner",
+    "run_replicas",
     "Sweep",
     "SweepKey",
     "SweepResult",

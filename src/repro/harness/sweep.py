@@ -381,7 +381,8 @@ class Sweep:
             stall_threshold: Optional[int] = 1_000_000,
             chunk_size: int = 0, fork: bool = True,
             cache_dir=None, resume: bool = False,
-            checks=None, bundle_dir=None) -> SweepResult:
+            checks=None, bundle_dir=None,
+            batch: bool = False) -> SweepResult:
         """Execute every grid point; optionally report progress.
 
         Args:
@@ -415,6 +416,15 @@ class Sweep:
             bundle_dir: Crash-bundle directory forwarded to every
                 checked cell; each :class:`FailedRun` then records its
                 ``bundle_path`` (also shown by :meth:`SweepResult.failure_table`).
+            batch: Advance the grid's independent cells through one
+                in-process :class:`repro.harness.batch.BatchRunner`
+                instead of running them one after another — fork-group
+                members all fork up front and interleave; unchecked cold
+                cells likewise.  Results are byte-identical to ``batch=
+                False`` (the parity suite pins this); checked cells fall
+                back to the staged cold path.  Mutually exclusive with
+                ``workers > 1`` (process parallelism already amortizes
+                the same overheads).
 
         A point that raises is recorded as a :class:`FailedRun` in
         ``SweepResult.failures``; the rest of the grid still runs.  A
@@ -422,6 +432,12 @@ class Sweep:
         input) is retried cell-by-cell in the parent, so only the truly
         bad cells fail.
         """
+        if batch and workers > 1:
+            raise ValueError(
+                "batch=True drives cells in-process; combine it with "
+                "workers=1 (process parallelism already amortizes the "
+                "same per-run overheads)"
+            )
         result = SweepResult()
         total = self.size()
         grid = list(self._grid(scale, seed, max_events_per_run,
@@ -483,13 +499,27 @@ class Sweep:
 
         # --- execute
         if workers <= 1:
+            run_group = (
+                self._run_group_batched if batch else self._run_group_serial
+            )
             for group_fp, members in groups:
-                self._run_group_serial(
-                    grid, group_fp, members, cache, result, land
-                )
-            for index in cold:
-                land(index, _run_point_safe(grid[index][1]))
-                result.cold_cells += 1
+                run_group(grid, group_fp, members, cache, result, land)
+            if batch:
+                # Checked cells need the staged cold path (the sanitizer
+                # drives the machine itself); everything else batches.
+                plain = [i for i in cold if grid[i][1][9] is None]
+                staged = [i for i in cold if grid[i][1][9] is not None]
+                outcomes_b = _run_cold_batch([grid[i][1] for i in plain])
+                for index, outcome in zip(plain, outcomes_b):
+                    land(index, outcome)
+                    result.cold_cells += 1
+                for index in staged:
+                    land(index, _run_point_safe(grid[index][1]))
+                    result.cold_cells += 1
+            else:
+                for index in cold:
+                    land(index, _run_point_safe(grid[index][1]))
+                    result.cold_cells += 1
         else:
             self._run_parallel(
                 grid, groups, cold, workers, chunk_size, total,
@@ -527,6 +557,23 @@ class Sweep:
         result.prefix_events += snap.events_executed
         for index in members:
             land(index, _finish_fork_safe(snap, meta, _fork_cell(grid[index][1])))
+            result.forked_cells += 1
+
+    def _run_group_batched(self, grid, group_fp, members, cache,
+                           result, land) -> None:
+        """Prefix once, fork every member, drive the forks as one batch."""
+        try:
+            snap, meta = _prepare_group(grid[members[0]][1], cache, group_fp)
+        except Exception:
+            for index in members:
+                land(index, _run_point_safe(grid[index][1]))
+                result.cold_cells += 1
+            return
+        result.fork_groups += 1
+        result.prefix_events += snap.events_executed
+        cells = [_fork_cell(grid[index][1]) for index in members]
+        for index, outcome in zip(members, _finish_fork_batch(snap, meta, cells)):
+            land(index, outcome)
             result.forked_cells += 1
 
     def _run_parallel(self, grid, groups, cold, workers, chunk_size,
@@ -657,6 +704,78 @@ def _run_fork_chunk(snap, meta, cells: list) -> list:
     every cell in the chunk forks from the worker's in-memory copy.
     """
     return [_finish_fork_safe(snap, meta, cell) for cell in cells]
+
+
+def _finish_fork_batch(snap, meta: _WorkloadMeta, cells: list) -> list:
+    """Fork every cell off one snapshot and drive them as one batch.
+
+    Outcome-per-cell (result or exception), like :func:`_finish_fork_safe`
+    over the list — and byte-identical to it, since batch members never
+    interact.  Budget failure messages quote the continuation budget,
+    matching the serial fork path's documented asymmetry.
+    """
+    from repro.harness.batch import BatchRunner
+
+    runner = BatchRunner()
+    members: list = []
+    for cell in cells:
+        policy, hyper, max_events, stall_threshold = cell
+        try:
+            machine = snap.fork()
+            machine.adopt_variant(policy, hyper)
+            budget = None
+            if max_events is not None:
+                budget = max_events - snap.events_executed
+            members.append(runner.add(machine, meta, budget, stall_threshold))
+        except Exception as exc:
+            members.append(exc)
+    runner.drive()
+    out = []
+    for member in members:
+        if isinstance(member, Exception):
+            out.append(member)
+        elif member.error is not None:
+            out.append(member.error)
+        else:
+            out.append(harvest_result(member.machine, meta))
+    return out
+
+
+def _run_cold_batch(args_list: list) -> list:
+    """Build and start every unchecked cold cell, drive them as one batch.
+
+    Outcome-per-cell, byte-identical to mapping :func:`_run_point_safe`.
+    Cells that fail during construction (unknown workload/policy, page
+    size mismatch) fail with the cold path's own error, before the batch
+    starts.
+    """
+    from repro.harness.batch import BatchRunner
+
+    runner = BatchRunner()
+    members: list = []
+    for args in args_list:
+        (workload, policy, config, hyper, scale, seed,
+         fault, max_events, stall_threshold, _checks, _bundle_dir) = args
+        try:
+            machine, built, kernels = prepare_run(
+                workload, policy=policy, config=config, hyper=hyper,
+                scale=scale, seed=seed, faults=fault,
+            )
+            machine.start(kernels)
+            members.append(runner.add(machine, built, max_events,
+                                      stall_threshold))
+        except Exception as exc:
+            members.append(exc)
+    runner.drive()
+    out = []
+    for member in members:
+        if isinstance(member, Exception):
+            out.append(member)
+        elif member.error is not None:
+            out.append(member.error)
+        else:
+            out.append(harvest_result(member.machine, member.workload))
+    return out
 
 
 def _run_point_safe(args):

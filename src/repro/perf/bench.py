@@ -19,6 +19,7 @@ import gc
 import hashlib
 import json
 import platform
+import statistics
 import sys
 import time
 from dataclasses import asdict, dataclass, field
@@ -28,8 +29,11 @@ from typing import Callable, Optional
 from repro.perf.suite import BenchSuite, bench_suite
 
 # v2 added "sweep" cases and the per-case ``extra`` dict.
-_SCHEMA_VERSION = 2
-_READABLE_SCHEMAS = frozenset({1, 2})
+# v3 added per-case ``median_wall_seconds`` alongside best-of-N, plus the
+# "ring" (heap-vs-ring event core) and "batch" (batched replicas) kinds.
+# Older reports stay loadable: the new field defaults to 0.0.
+_SCHEMA_VERSION = 3
+_READABLE_SCHEMAS = frozenset({1, 2, 3})
 
 
 def _peak_rss_kb() -> int:
@@ -56,8 +60,8 @@ class CaseResult:
     """Measurements for one benchmark case."""
 
     name: str
-    kind: str  # "micro" | "e2e" | "sweep"
-    wall_seconds: float
+    kind: str  # "micro" | "e2e" | "sweep" | "ring" | "batch"
+    wall_seconds: float  # best-of-N (throughput figures use this)
     work: int  # engine events (e2e), ops (micro), or grid cells (sweep)
     work_unit: str
     per_sec: float
@@ -66,6 +70,9 @@ class CaseResult:
     # Kind-specific measurements; sweep cases record the cold-vs-forked
     # comparison and the cache hit/miss exercise here.
     extra: dict = field(default_factory=dict)
+    # Median of the N wall times — a noise-robust companion to best-of-N.
+    # Defaults to 0.0 so schema-v1/v2 reports still load.
+    median_wall_seconds: float = 0.0
 
 
 @dataclass
@@ -128,6 +135,9 @@ class BenchReport:
             "e2e_wall_seconds": self.e2e_wall_seconds,
             "e2e_events": self.e2e_events,
             "e2e_events_per_sec": self.e2e_events_per_sec,
+            "e2e_median_wall_seconds": self._sum(
+                "e2e", "median_wall_seconds"
+            ),
             "calibration_per_sec": self.calibration_per_sec,
             "normalized_e2e": self.normalized_e2e,
             "micro_wall_seconds": self._sum("micro", "wall_seconds"),
@@ -139,17 +149,20 @@ class BenchReport:
         from repro.metrics.report import format_table
 
         rows = [
-            [c.name, c.kind, f"{c.wall_seconds:.3f}", f"{c.work:,}",
+            [c.name, c.kind, f"{c.wall_seconds:.3f}",
+             f"{c.median_wall_seconds:.3f}", f"{c.work:,}",
              f"{c.per_sec:,.0f} {c.work_unit}/s", f"{c.alloc_blocks_delta:,}"]
             for c in self.cases
         ]
         rows.append([
             "TOTAL e2e", "e2e", f"{self.e2e_wall_seconds:.3f}",
+            f"{self._sum('e2e', 'median_wall_seconds'):.3f}",
             f"{self.e2e_events:,}",
             f"{self.e2e_events_per_sec:,.0f} events/s", "",
         ])
         table = format_table(
-            ["Case", "Kind", "Wall (s)", "Work", "Throughput", "Alloc Δ"],
+            ["Case", "Kind", "Best (s)", "Median (s)", "Work",
+             "Throughput", "Alloc Δ"],
             rows, f"bench suite '{self.suite}' ({self.label})",
         )
         extra = (
@@ -170,7 +183,32 @@ class BenchReport:
             for c in self.cases
             if c.kind == "sweep"
         ]
-        return "\n".join([table, extra] + sweep_lines)
+        ring_lines = [
+            (
+                f"ring '{c.name}': {c.extra.get('ring_speedup', 0.0):.2f}x "
+                f"events/sec ring vs heap "
+                f"({c.extra.get('ring_events_per_sec', 0.0):,.0f} vs "
+                f"{c.extra.get('heap_events_per_sec', 0.0):,.0f}), "
+                f"results identical: "
+                f"{c.extra.get('results_identical', False)}"
+            )
+            for c in self.cases
+            if c.kind == "ring"
+        ]
+        batch_lines = [
+            (
+                f"batch '{c.name}': {c.extra.get('batch_speedup', 0.0):.2f}x "
+                f"replicas/sec batched vs process-per-replica "
+                f"({c.extra.get('batched_replicas_per_sec', 0.0):.2f} vs "
+                f"{c.extra.get('proc_replicas_per_sec', 0.0):.2f}, "
+                f"{c.extra.get('replicas', 0)} replicas)"
+            )
+            for c in self.cases
+            if c.kind == "batch"
+        ]
+        return "\n".join(
+            [table, extra] + sweep_lines + ring_lines + batch_lines
+        )
 
 
 # ----------------------------------------------------------------------
@@ -187,13 +225,17 @@ def _fingerprint(suite: BenchSuite) -> str:
     return hashlib.sha256(blob).hexdigest()
 
 
-def _measure(fn: Callable[[], int], repeats: int) -> tuple[float, int, int]:
-    """Best-of-N wall time for ``fn``; returns (wall, work, alloc_delta).
+def _measure(
+    fn: Callable[[], int], repeats: int
+) -> tuple[float, float, int, int]:
+    """Time ``fn`` N times; returns (best, median, work, alloc_delta).
 
-    The allocation delta is sampled on the first run only (it is a
-    property of the work, not of repetition).
+    Best-of-N stays the headline (least noise-contaminated); the median
+    is recorded alongside it as the noise-robust companion.  The
+    allocation delta is sampled on the first run only (it is a property
+    of the work, not of repetition).
     """
-    best = float("inf")
+    walls = []
     work = 0
     alloc_delta = 0
     for attempt in range(repeats):
@@ -201,12 +243,10 @@ def _measure(fn: Callable[[], int], repeats: int) -> tuple[float, int, int]:
         before = _allocated_blocks()
         t0 = time.perf_counter()
         work = fn()
-        wall = time.perf_counter() - t0
+        walls.append(time.perf_counter() - t0)
         if attempt == 0:
             alloc_delta = _allocated_blocks() - before
-        if wall < best:
-            best = wall
-    return best, work, alloc_delta
+    return min(walls), statistics.median(walls), work, alloc_delta
 
 
 def run_bench(
@@ -236,11 +276,14 @@ def run_bench(
     for case in suite.micro:
         if progress is not None:
             progress(f"micro:{case.name}")
-        wall, work, alloc = _measure(lambda: case.fn(micro_scale), repeats)
+        wall, med, work, alloc = _measure(
+            lambda: case.fn(micro_scale), repeats
+        )
         report.cases.append(CaseResult(
             name=case.name, kind="micro", wall_seconds=wall, work=work,
             work_unit=case.unit, per_sec=work / wall if wall > 0 else 0.0,
             alloc_blocks_delta=alloc, repeats=repeats,
+            median_wall_seconds=med,
         ))
     for case in suite.e2e:
         if progress is not None:
@@ -255,18 +298,158 @@ def run_bench(
             )
             return result.events_executed
 
-        wall, work, alloc = _measure(one_run, repeats)
+        wall, med, work, alloc = _measure(one_run, repeats)
         report.cases.append(CaseResult(
             name=case.name, kind="e2e", wall_seconds=wall, work=work,
             work_unit="events", per_sec=work / wall if wall > 0 else 0.0,
             alloc_blocks_delta=alloc, repeats=repeats,
+            median_wall_seconds=med,
         ))
     for case in suite.sweeps:
         if progress is not None:
             progress(f"sweep:{case.name}")
         report.cases.append(_measure_sweep(case, repeats))
+    for case in suite.rings:
+        if progress is not None:
+            progress(f"ring:{case.name}")
+        report.cases.append(_measure_ring(case, repeats))
+    for case in suite.batches:
+        if progress is not None:
+            progress(f"batch:{case.name}")
+        report.cases.append(_measure_batch(case, repeats))
     report.peak_rss_kb = _peak_rss_kb()
     return report
+
+
+def _measure_ring(case, repeats: int) -> CaseResult:
+    """Time one pinned e2e cell under the heap and ring event cores.
+
+    The headline figure (``per_sec``) is the ring backend's events/sec;
+    ``extra`` records the heap baseline, the ring/heap speedup, and
+    whether both backends produced byte-identical result dicts — the
+    parity contract the goldens pin, re-checked here on live runs.
+
+    Backend selection is pinned per leg by the config: the
+    ``REPRO_ENGINE_BACKEND`` override is suspended for the duration so a
+    ring-backend CI bench run cannot turn the heap leg into a second
+    ring leg (which would degenerate the comparison to 1.00x).
+    """
+    import os
+
+    from repro.harness.io import result_to_dict
+    from repro.harness.runner import run_workload
+    from repro.sim.ring import BACKEND_ENV
+
+    heap_config = case.build_config()
+    ring_config = heap_config.with_engine_backend("ring")
+    results = {}
+
+    def one_run(config, backend) -> int:
+        result = run_workload(
+            case.workload, case.policy, config=config,
+            scale=case.scale, seed=case.seed,
+        )
+        results[backend] = result_to_dict(result)
+        return result.events_executed
+
+    env_override = os.environ.pop(BACKEND_ENV, None)
+    try:
+        heap_wall, heap_med, work, _ = _measure(
+            lambda: one_run(heap_config, "heap"), repeats
+        )
+        ring_wall, ring_med, _, alloc = _measure(
+            lambda: one_run(ring_config, "ring"), repeats
+        )
+    finally:
+        if env_override is not None:
+            os.environ[BACKEND_ENV] = env_override
+    heap_per_sec = work / heap_wall if heap_wall > 0 else 0.0
+    ring_per_sec = work / ring_wall if ring_wall > 0 else 0.0
+    return CaseResult(
+        name=case.name, kind="ring", wall_seconds=ring_wall, work=work,
+        work_unit="events", per_sec=ring_per_sec,
+        alloc_blocks_delta=alloc, repeats=repeats,
+        median_wall_seconds=ring_med,
+        extra={
+            "heap_wall_seconds": heap_wall,
+            "heap_median_wall_seconds": heap_med,
+            "heap_events_per_sec": heap_per_sec,
+            "ring_events_per_sec": ring_per_sec,
+            "ring_speedup": heap_wall / ring_wall if ring_wall > 0 else 0.0,
+            "results_identical": results["heap"] == results["ring"],
+        },
+    )
+
+
+def _measure_batch(case, repeats: int) -> CaseResult:
+    """Time K seed replicas batched in-process vs process-per-replica.
+
+    The headline figure (``per_sec``) is batched replicas/sec; ``extra``
+    records the process-per-replica baseline (one fresh interpreter per
+    seed, each importing the package and running the same cell — the
+    cost campaign scripts pay today) and the resulting speedup.
+    """
+    import subprocess
+
+    from repro.harness.batch import run_replicas
+
+    config = case.build_config()
+    seeds = list(case.seeds)
+    replicas = len(seeds)
+
+    def batched() -> int:
+        out = run_replicas(
+            case.workload, policy=case.policy, config=config,
+            scale=case.scale, seeds=seeds,
+        )
+        for item in out:
+            if isinstance(item, BaseException):
+                raise item
+        return replicas
+
+    child_template = (
+        "import sys\n"
+        "sys.path[:0] = {paths!r}\n"
+        "from repro.config.presets import small_system, tiny_system\n"
+        "from repro.harness.runner import run_workload\n"
+        "config = {factory}({gpus})\n"
+        "run_workload({workload!r}, {policy!r}, config=config, "
+        "scale={scale!r}, seed={seed!r})\n"
+    )
+
+    def per_process() -> int:
+        factory = {"small": "small_system", "tiny": "tiny_system"}
+        for seed in seeds:
+            script = child_template.format(
+                paths=list(sys.path),
+                factory=factory[case.config_name],
+                gpus=case.gpus, workload=case.workload,
+                policy=case.policy, scale=case.scale, seed=seed,
+            )
+            subprocess.run(
+                [sys.executable, "-c", script], check=True,
+                stdout=subprocess.DEVNULL, stderr=subprocess.PIPE,
+            )
+        return replicas
+
+    batch_wall, batch_med, work, alloc = _measure(batched, repeats)
+    proc_wall, proc_med, _, _ = _measure(per_process, repeats)
+    batch_per_sec = replicas / batch_wall if batch_wall > 0 else 0.0
+    proc_per_sec = replicas / proc_wall if proc_wall > 0 else 0.0
+    return CaseResult(
+        name=case.name, kind="batch", wall_seconds=batch_wall, work=work,
+        work_unit="replicas", per_sec=batch_per_sec,
+        alloc_blocks_delta=alloc, repeats=repeats,
+        median_wall_seconds=batch_med,
+        extra={
+            "replicas": replicas,
+            "proc_wall_seconds": proc_wall,
+            "proc_median_wall_seconds": proc_med,
+            "proc_replicas_per_sec": proc_per_sec,
+            "batched_replicas_per_sec": batch_per_sec,
+            "batch_speedup": proc_wall / batch_wall if batch_wall > 0 else 0.0,
+        },
+    )
 
 
 def _measure_sweep(case, repeats: int) -> CaseResult:
@@ -292,8 +475,8 @@ def _measure_sweep(case, repeats: int) -> CaseResult:
         sweep.run(scale=case.scale, seed=case.seed, fork=True)
         return cells
 
-    cold_wall, _, _ = _measure(cold_run, repeats)
-    fork_wall, _, alloc = _measure(fork_run, repeats)
+    cold_wall, _, _, _ = _measure(cold_run, repeats)
+    fork_wall, fork_med, _, alloc = _measure(fork_run, repeats)
     fork_stats = sweep.run(scale=case.scale, seed=case.seed, fork=True)
     with tempfile.TemporaryDirectory() as tmp:
         first = sweep.run(scale=case.scale, seed=case.seed, cache_dir=tmp)
@@ -305,6 +488,7 @@ def _measure_sweep(case, repeats: int) -> CaseResult:
         work_unit="cells",
         per_sec=cells / fork_wall if fork_wall > 0 else 0.0,
         alloc_blocks_delta=alloc, repeats=repeats,
+        median_wall_seconds=fork_med,
         extra={
             "cells": cells,
             "cold_wall_seconds": cold_wall,

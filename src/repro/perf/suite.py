@@ -111,13 +111,61 @@ class SweepCase:
 
 
 @dataclass(frozen=True)
+class RingCase:
+    """One pinned e2e cell timed under both event-core backends.
+
+    The same (workload, policy, config, scale, seed) runs once with the
+    pure-Python heap queue and once with the numpy ring backend; the case
+    reports both throughputs, the ring/heap speedup, and whether the two
+    result dicts came out identical (they must — the heap queue is the
+    parity oracle for the ring).
+    """
+
+    name: str
+    workload: str
+    policy: str
+    gpus: int
+    scale: float
+    seed: int
+    config_name: str = "small"  # "small" | "tiny"
+
+    def build_config(self):
+        factory = {"small": small_system, "tiny": tiny_system}[self.config_name]
+        return factory(self.gpus)
+
+
+@dataclass(frozen=True)
+class BatchCase:
+    """One pinned seed-replica campaign, batched vs process-per-replica.
+
+    ``run_replicas`` advances all K seeds in one process; the baseline
+    spawns one fresh interpreter per seed (the cost campaign scripts pay
+    today).  The case reports replicas/sec for both and the speedup.
+    """
+
+    name: str
+    workload: str
+    policy: str
+    gpus: int
+    scale: float
+    seeds: tuple
+    config_name: str = "tiny"  # "small" | "tiny"
+
+    def build_config(self):
+        factory = {"small": small_system, "tiny": tiny_system}[self.config_name]
+        return factory(self.gpus)
+
+
+@dataclass(frozen=True)
 class BenchSuite:
-    """The full pinned suite (micro + e2e + sweep) at one size."""
+    """The full pinned suite (micro + e2e + sweep + ring + batch)."""
 
     name: str
     micro: tuple = field(default_factory=tuple)
     e2e: tuple = field(default_factory=tuple)
     sweeps: tuple = field(default_factory=tuple)
+    rings: tuple = field(default_factory=tuple)
+    batches: tuple = field(default_factory=tuple)
 
     def fingerprint_payload(self) -> dict:
         """The suite definition, as data, for the config fingerprint."""
@@ -153,6 +201,30 @@ class BenchSuite:
                     ],
                 }
                 for c in self.sweeps
+            ],
+            "rings": [
+                {
+                    "name": c.name,
+                    "workload": c.workload,
+                    "policy": c.policy,
+                    "gpus": c.gpus,
+                    "scale": c.scale,
+                    "seed": c.seed,
+                    "config": c.config_name,
+                }
+                for c in self.rings
+            ],
+            "batches": [
+                {
+                    "name": c.name,
+                    "workload": c.workload,
+                    "policy": c.policy,
+                    "gpus": c.gpus,
+                    "scale": c.scale,
+                    "seeds": list(c.seeds),
+                    "config": c.config_name,
+                }
+                for c in self.batches
             ],
         }
 
@@ -289,6 +361,22 @@ _MT_KNOB_SWEEP = SweepCase(
     ),
 )
 
+# Heap-vs-ring on the heaviest pinned e2e cell: MT under griffin drives
+# the access path hardest, which is where the ring's inlined `_place`
+# scheduling either pays off or doesn't.
+_RING_VS_HEAP = RingCase(
+    "ring_vs_heap", "MT", "griffin", gpus=4, scale=0.015, seed=3,
+    config_name="small",
+)
+
+# Four seed replicas of a tiny MT/griffin run: small enough that the
+# per-process overhead the batched executor eliminates dominates the
+# baseline, which is exactly the campaign regime it targets.
+_BATCHED_REPLICAS = BatchCase(
+    "batched_replicas", "MT", "griffin", gpus=2, scale=0.008,
+    seeds=(5, 6, 7, 8), config_name="tiny",
+)
+
 FULL_SUITE = BenchSuite(
     name="full",
     micro=MICRO_CASES,
@@ -302,6 +390,8 @@ FULL_SUITE = BenchSuite(
                 seed=9, config_name="small", faults=True),
     ),
     sweeps=(_MT_KNOB_SWEEP,),
+    rings=(_RING_VS_HEAP,),
+    batches=(_BATCHED_REPLICAS,),
 )
 
 QUICK_SUITE = BenchSuite(
@@ -316,6 +406,11 @@ QUICK_SUITE = BenchSuite(
                 scale=0.008, seed=9, config_name="tiny", faults=True),
     ),
     sweeps=(_MT_KNOB_SWEEP,),
+    rings=(
+        RingCase("ring_vs_heap_tiny", "MT", "griffin", gpus=2, scale=0.008,
+                 seed=5, config_name="tiny"),
+    ),
+    batches=(_BATCHED_REPLICAS,),
 )
 
 

@@ -38,6 +38,12 @@ from typing import Any, Callable, Optional
 
 _POOL_MAX = 4096
 _COMPACT_MIN = 16
+# Absolute ceiling on retained cancelled entries.  The relative trigger
+# (cancelled > live) alone lets a queue with a large live population
+# carry an equally large cancelled population between compactions; the
+# ceiling bounds the backing store at live + _COMPACT_LIMIT entries no
+# matter how lopsided the cancel traffic gets.
+_COMPACT_LIMIT = 4096
 
 
 class Event:
@@ -52,8 +58,11 @@ class Event:
         cancelled: When True the event is skipped at fire time.
     """
 
+    # ``_ridx`` is the ring backend's slot index (set only when the event
+    # was scheduled through an EventRing; unset slots pickle away cleanly).
     __slots__ = (
         "time", "priority", "seq", "callback", "args", "cancelled", "_queue",
+        "_ridx",
     )
 
     def __init__(
@@ -78,7 +87,7 @@ class Event:
             queue = self._queue
             if queue is not None:
                 self._queue = None
-                queue._note_cancel()
+                queue._note_cancel(self)
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.priority, self.seq) < (
@@ -132,12 +141,20 @@ class EventQueue:
             entry[3] = entry[4] = entry[5] = None
             self._pool.append(entry)
 
-    def _note_cancel(self) -> None:
-        """A live event was cancelled (called from :meth:`Event.cancel`)."""
+    def _note_cancel(self, event: Optional[Event] = None) -> None:
+        """A live event was cancelled (called from :meth:`Event.cancel`).
+
+        ``event`` identifies the cancelled handle; the heap backend does
+        not need it (liveness is re-read from the handle at pop time) but
+        the ring backend uses it to flag the slot, so the signature is
+        shared.
+        """
         self._live -= 1
         cancelled = self._cancelled + 1
         self._cancelled = cancelled
-        if cancelled >= _COMPACT_MIN and cancelled > self._live:
+        if cancelled >= _COMPACT_MIN and (
+            cancelled > self._live or cancelled >= _COMPACT_LIMIT
+        ):
             self._compact()
 
     def _compact(self) -> None:

@@ -1,0 +1,864 @@
+"""The event-ring backend: structured-array slots + dense handler table.
+
+:class:`EventRing` is a drop-in alternative to
+:class:`repro.sim.event.EventQueue` selected via
+``SimConfig.engine_backend = "ring"`` (see :mod:`repro.config.system`).
+The pure-Python heap queue stays the default and is the parity oracle:
+both backends must pop events in exactly the same ``(time, priority,
+seq)`` order, invoke the same sanitizer hooks, and serialize to the same
+``RunResult`` bytes — the golden/parity suites and the hypothesis suite
+in ``tests/property/test_event_ring.py`` pin this.
+
+Layout
+------
+
+Scheduling-critical per-event fields live in one numpy structured array
+(``time f8, prio i8, seq i8, handler i8, cancelled bool``) indexed by
+slot.  Callback *objects* are interned once into a dense handler table
+(``_handlers``) and each slot stores only the handler id; ``args`` tuples
+and optional :class:`~repro.sim.event.Event` cancel handles sit in plain
+per-slot lists.  Free slots are recycled through a free list, so
+steady-state scheduling allocates nothing.
+
+Ordering uses a bucket calendar instead of one global heap: a dict maps
+each distinct timestamp to a bucket ``[fifo, pri, pos]`` where ``fifo``
+is the slot-index list of priority-0 entries in push (= seq) order,
+``pri`` is a lazily created ``(priority, seq, slot)`` heap for the rare
+non-zero priorities, and ``pos`` is the consumed-prefix cursor.  A small
+heap of distinct times orders the buckets.  Within one timestamp the
+global ``(priority, seq)`` minimum among *pending* entries is always
+either the FIFO head (priority 0) or the ``pri`` head, so the pop order
+matches the oracle exactly — including entries pushed into the current
+timestamp mid-drain, and the sanitizer's past-time corruption drills
+(a push below the draining timestamp preempts the current bucket, just
+as a smaller heap key would).
+
+Why this shape: zero-delay chains and clamped access-path legs — the
+hot path — become list appends and indexed reads with no heap
+discipline at all; and a snapshot serializes each distinct handler
+once (the table) instead of once per pending event, which shrinks the
+prefix snapshots the sweep ships to workers.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+from heapq import heappop as _heappop, heappush as _heappush
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.sim.event import _COMPACT_LIMIT, _COMPACT_MIN, Event
+from repro.sim.engine import Engine, SimulationError, SimulationStall
+
+_RING_CAP = 1024  # initial slot capacity; doubles on demand
+
+_SLOT_DTYPE = np.dtype([
+    ("time", np.float64),
+    ("prio", np.int64),
+    ("seq", np.int64),
+    ("handler", np.int64),
+    ("cancelled", np.bool_),
+])
+
+#: Environment override for the engine backend ("heap" | "ring").  Lets
+#: CI run the entire golden/parity suite against the ring backend with
+#: no test changes (the ``ring-parity`` job sets it).
+BACKEND_ENV = "REPRO_ENGINE_BACKEND"
+
+ENGINE_BACKENDS = ("heap", "ring")
+
+
+def resolve_backend(configured: str = "heap") -> str:
+    """The effective backend: the env override, else the config value."""
+    backend = os.environ.get(BACKEND_ENV) or configured
+    if backend not in ENGINE_BACKENDS:
+        raise SimulationError(
+            f"unknown engine backend {backend!r}; "
+            f"valid choices: {', '.join(ENGINE_BACKENDS)}"
+        )
+    return backend
+
+
+def build_engine(backend: str = "heap") -> Engine:
+    """Construct the engine for a resolved backend name."""
+    if backend == "ring":
+        return RingEngine()
+    return Engine()
+
+
+class EventRing:
+    """Structured-array event store with :class:`EventQueue` semantics."""
+
+    def __init__(self) -> None:
+        self._init_storage(_RING_CAP)
+        self._seq = 0
+        self._live = 0
+        self._cancelled = 0
+
+    def _init_storage(self, cap: int) -> None:
+        self._slots = np.zeros(cap, dtype=_SLOT_DTYPE)
+        self._time = self._slots["time"]
+        self._prio = self._slots["prio"]
+        self._seqs = self._slots["seq"]
+        self._handler = self._slots["handler"]
+        self._cflag = self._slots["cancelled"]
+        self._args: list = [None] * cap
+        self._events: list = [None] * cap
+        # Popping yields 0, 1, 2, ... while the ring is cold.
+        self._free: list[int] = list(range(cap - 1, -1, -1))
+        self._handlers: list = []
+        self._hids: dict = {}
+        self._hids_by_id: dict[int, int] = {}
+        # time -> [fifo slot list (prio 0, seq order), pri heap or None,
+        #          consumed-prefix cursor]
+        self._buckets: dict[float, list] = {}
+        self._times: list[float] = []
+        # Retired bucket triples, recycled by _place: sparse schedules
+        # (every event at a distinct time) create and retire one bucket
+        # per event, so reusing the two list allocations matters.
+        self._bucket_pool: list[list] = []
+        # The fifo list the engine loop is currently draining (it holds
+        # a cursor in a local); compaction must not reorder it.
+        self._active_fifo: Optional[list] = None
+
+    # ------------------------------------------------------------------
+    # Slot and handler plumbing
+    # ------------------------------------------------------------------
+
+    def _grow(self) -> None:
+        """Double capacity.  Per-slot lists grow in place so any aliases
+        (the engine loop caches them) stay valid; only the numpy columns
+        are re-derived, and every reader fetches those through ``self``.
+        """
+        old = self._slots
+        cap = len(old)
+        slots = np.zeros(cap * 2, dtype=_SLOT_DTYPE)
+        slots[:cap] = old
+        self._slots = slots
+        self._time = slots["time"]
+        self._prio = slots["prio"]
+        self._seqs = slots["seq"]
+        self._handler = slots["handler"]
+        self._cflag = slots["cancelled"]
+        self._args.extend([None] * cap)
+        self._events.extend([None] * cap)
+        self._free.extend(range(cap * 2 - 1, cap - 1, -1))
+
+    def _intern(self, callback) -> int:
+        """Dense handler id for ``callback`` (interned by equality when
+        hashable, by identity otherwise; the table keeps it alive)."""
+        hids = self._hids
+        try:
+            hid = hids.get(callback)
+        except TypeError:  # unhashable callable
+            key = id(callback)
+            by_id = self._hids_by_id
+            hid = by_id.get(key)
+            if hid is None:
+                hid = len(self._handlers)
+                self._handlers.append(callback)
+                by_id[key] = hid
+            return hid
+        if hid is None:
+            hid = len(self._handlers)
+            self._handlers.append(callback)
+            hids[callback] = hid
+        return hid
+
+    def _place(self, time, priority, callback, args, event) -> None:
+        """Allocate a slot and route it into the bucket calendar."""
+        seq = self._seq
+        self._seq = seq + 1
+        free = self._free
+        if not free:
+            self._grow()
+            free = self._free
+        idx = free.pop()
+        # Inlined _intern fast path: repeat handlers (the common case)
+        # resolve with one dict probe; misses and unhashable callables
+        # take the full method.
+        try:
+            hid = self._hids.get(callback)
+        except TypeError:
+            hid = None
+        if hid is None:
+            hid = self._intern(callback)
+        self._time[idx] = time
+        self._seqs[idx] = seq
+        self._handler[idx] = hid
+        self._args[idx] = args
+        if event is not None:
+            event.seq = seq
+            event._queue = self
+            event._ridx = idx
+            self._events[idx] = event
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            pool = self._bucket_pool
+            bucket = pool.pop() if pool else [[], None, 0]
+            self._buckets[time] = bucket
+            _heappush(self._times, time)
+        if priority == 0:
+            bucket[0].append(idx)
+        else:
+            self._prio[idx] = priority
+            pri = bucket[1]
+            if pri is None:
+                bucket[1] = pri = []
+            _heappush(pri, (priority, seq, idx))
+        self._live += 1
+
+    def _release(self, idx: int) -> None:
+        """Return an executed slot to the free list."""
+        self._args[idx] = None
+        self._events[idx] = None
+        self._free.append(idx)
+
+    def _release_cancelled(self, idx: int) -> None:
+        """Return a cancelled slot (clears the flag column; live count
+        was already decremented by :meth:`_note_cancel`)."""
+        self._cflag[idx] = False
+        self._args[idx] = None
+        self._events[idx] = None
+        self._free.append(idx)
+        self._cancelled -= 1
+
+    def _retire_bucket(self, time, bucket) -> None:
+        """Drop an exhausted bucket (``time`` must head the times heap)
+        and recycle its triple through the bucket pool."""
+        del self._buckets[time]
+        _heappop(self._times)
+        bucket[0].clear()
+        bucket[1] = None
+        bucket[2] = 0
+        self._bucket_pool.append(bucket)
+
+    # ------------------------------------------------------------------
+    # Scheduling (EventQueue-compatible surface)
+    # ------------------------------------------------------------------
+
+    def push(self, event: Event) -> Event:
+        """Insert ``event`` and stamp its sequence number."""
+        self._place(event.time, event.priority, event.callback,
+                    event.args, event)
+        return event
+
+    def push_entry(self, time, priority, callback, args) -> None:
+        """Schedule a callback with no cancel handle (hot path)."""
+        self._place(time, priority, callback, args, None)
+
+    def push_lane(self, time, callback, args,
+                  event: Optional[Event] = None) -> None:
+        """Priority-0 push at the current engine time (oracle-compatible
+        name; the ring routes it through the same bucket calendar)."""
+        self._place(time, 0, callback, args, event)
+
+    # ------------------------------------------------------------------
+    # Cancellation
+    # ------------------------------------------------------------------
+
+    def _note_cancel(self, event: Optional[Event] = None) -> None:
+        """A live event was cancelled (called from :meth:`Event.cancel`)."""
+        self._live -= 1
+        if event is not None:
+            self._cflag[event._ridx] = True
+        cancelled = self._cancelled + 1
+        self._cancelled = cancelled
+        if cancelled >= _COMPACT_MIN and (
+            cancelled > self._live or cancelled >= _COMPACT_LIMIT
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Release cancelled slots from every bucket.
+
+        The fifo the engine loop is currently draining is skipped (the
+        loop holds a position cursor; its cancelled entries are cheap to
+        skip at pop time anyway).  Partially consumed fifos are filtered
+        only past their cursor, and ``pri`` heaps are rebuilt — the loop
+        re-reads ``bucket[1]`` every iteration, so replacing it is safe.
+        """
+        active = self._active_fifo
+        events = self._events
+        for bucket in self._buckets.values():
+            fifo = bucket[0]
+            if fifo is not active:
+                pos = bucket[2]
+                keep = []
+                for idx in fifo[pos:]:
+                    ev = events[idx]
+                    if ev is not None and ev.cancelled:
+                        self._release_cancelled(idx)
+                    else:
+                        keep.append(idx)
+                fifo[pos:] = keep
+            pri = bucket[1]
+            if pri:
+                keep = []
+                dropped = False
+                for entry in pri:
+                    ev = events[entry[2]]
+                    if ev is not None and ev.cancelled:
+                        self._prio[entry[2]] = 0
+                        self._release_cancelled(entry[2])
+                        dropped = True
+                    else:
+                        keep.append(entry)
+                if dropped:
+                    heapq.heapify(keep)
+                    bucket[1] = keep
+        # Empty buckets stay registered; the drain loop discards them
+        # when their timestamp is reached (removing a middle element of
+        # the times heap would cost more than carrying it).
+
+    # ------------------------------------------------------------------
+    # Draining
+    # ------------------------------------------------------------------
+
+    def _pop_bucket(self, bucket: list):
+        """Earliest live ``(priority, seq, slot)`` within ``bucket``.
+
+        Releases cancelled entries encountered on the way; returns None
+        when the bucket is exhausted.  ``pri`` entries always have
+        non-zero priority, so the FIFO head wins unless a negative
+        priority is pending.
+        """
+        fifo, pri, pos = bucket[0], bucket[1], bucket[2]
+        events = self._events
+        fifo_len = len(fifo)
+        head = -1
+        while pos < fifo_len:
+            idx = fifo[pos]
+            ev = events[idx]
+            if ev is not None and ev.cancelled:
+                pos += 1
+                self._release_cancelled(idx)
+            else:
+                head = idx
+                break
+        bucket[2] = pos
+        while pri:
+            entry = pri[0]
+            ev = events[entry[2]]
+            if ev is not None and ev.cancelled:
+                _heappop(pri)
+                self._prio[entry[2]] = 0
+                self._release_cancelled(entry[2])
+            else:
+                break
+        if head >= 0:
+            if pri and pri[0][0] < 0:
+                priority, seq, idx = _heappop(pri)
+                self._prio[idx] = 0
+                return priority, seq, idx
+            bucket[2] = pos + 1
+            return 0, int(self._seqs[head]), head
+        if pri:
+            priority, seq, idx = _heappop(pri)
+            self._prio[idx] = 0
+            return priority, seq, idx
+        return None
+
+    def _next_live(self):
+        """Remove and return the earliest live ``(time, prio, seq, slot)``,
+        or None when drained.  Discards exhausted buckets."""
+        times = self._times
+        buckets = self._buckets
+        while times:
+            time = times[0]
+            bucket = buckets[time]
+            nxt = self._pop_bucket(bucket)
+            if nxt is None:
+                self._retire_bucket(time, bucket)
+                continue
+            priority, seq, idx = nxt
+            return time, priority, seq, idx
+        return None
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event, or None."""
+        nxt = self._next_live()
+        if nxt is None:
+            return None
+        time, priority, seq, idx = nxt
+        self._live -= 1
+        event = self._events[idx]
+        if event is None:
+            event = Event(time, self._handlers[self._handler[idx]],
+                          self._args[idx], priority)
+            event.seq = seq
+        else:
+            event._queue = None
+        self._release(idx)
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the earliest live event, or None.
+
+        Like the oracle's, this tidies cancelled heads (and here, empty
+        buckets) as a side effect; pop order is unaffected.
+        """
+        times = self._times
+        buckets = self._buckets
+        events = self._events
+        while times:
+            time = times[0]
+            bucket = buckets[time]
+            fifo, pri, pos = bucket[0], bucket[1], bucket[2]
+            fifo_len = len(fifo)
+            while pos < fifo_len:
+                idx = fifo[pos]
+                ev = events[idx]
+                if ev is not None and ev.cancelled:
+                    pos += 1
+                    self._release_cancelled(idx)
+                else:
+                    break
+            bucket[2] = pos
+            while pri:
+                entry = pri[0]
+                ev = events[entry[2]]
+                if ev is not None and ev.cancelled:
+                    _heappop(pri)
+                    self._prio[entry[2]] = 0
+                    self._release_cancelled(entry[2])
+                else:
+                    break
+            if pos < fifo_len or pri:
+                return time
+            if fifo is self._active_fifo:
+                # Mid-drain peek on an exhausted current bucket: the
+                # engine loop owns its retirement (it will `del` the
+                # bucket and pop the times heap itself), so scan the
+                # other buckets non-destructively instead.
+                return self._peek_beyond(time)
+            self._retire_bucket(time, bucket)
+        return None
+
+    def _peek_beyond(self, active_time: float) -> Optional[float]:
+        """Earliest live time excluding ``active_time`` (rare slow path)."""
+        events = self._events
+        best = None
+        for time, bucket in self._buckets.items():
+            if time == active_time or (best is not None and time >= best):
+                continue
+            fifo, pri, pos = bucket[0], bucket[1], bucket[2]
+            live = any(
+                events[idx] is None or not events[idx].cancelled
+                for idx in fifo[pos:]
+            ) or (pri and any(
+                events[entry[2]] is None or not events[entry[2]].cancelled
+                for entry in pri
+            ))
+            if live:
+                best = time
+        return best
+
+    def snapshot(self, limit: int = 20) -> list[Event]:
+        """The earliest ``limit`` live events, in firing order."""
+        out = []
+        for time, priority, seq, callback, args, event in self._iter_live():
+            if event is None:
+                event = Event(time, callback, args, priority)
+                event.seq = seq
+            out.append(event)
+        out.sort()
+        return out[:limit]
+
+    def _iter_live(self):
+        """Yield ``(time, prio, seq, callback, args, event)`` for every
+        live entry, bucket-by-bucket in time order."""
+        events = self._events
+        args = self._args
+        handlers = self._handlers
+        handler = self._handler
+        seqs = self._seqs
+        for time in sorted(self._buckets):
+            fifo, pri, pos = self._buckets[time]
+            for idx in fifo[pos:]:
+                ev = events[idx]
+                if ev is not None and ev.cancelled:
+                    continue
+                yield (time, 0, int(seqs[idx]),
+                       handlers[handler[idx]], args[idx], ev)
+            if pri:
+                for priority, seq, idx in sorted(pri):
+                    ev = events[idx]
+                    if ev is not None and ev.cancelled:
+                        continue
+                    yield (time, int(priority), int(seq),
+                           handlers[handler[idx]], args[idx], ev)
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    # ------------------------------------------------------------------
+    # State capture (snapshot/fork support)
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Serialize live entries only, in firing order.
+
+        Entries reference their callback *through the handler table*, so
+        pickle's memo writes each distinct handler once no matter how
+        many pending events share it — snapshots stay proportional to
+        the live event count, not to slot capacity.  Cancelled entries
+        are dropped (they could never be observed again), mirroring how
+        the oracle drops its free pool.
+        """
+        return {
+            "entries": list(self._iter_live()),
+            "seq": self._seq,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        entries = state["entries"]
+        cap = _RING_CAP
+        while cap < len(entries):
+            cap *= 2
+        self._init_storage(cap)
+        self._live = 0
+        self._cancelled = 0
+        # Re-place each entry with its *recorded* sequence number —
+        # entries within one bucket arrive in seq order, so the rebuilt
+        # FIFOs are sorted by construction, like the originals.
+        for time, priority, seq, callback, args, event in entries:
+            idx = self._free.pop()
+            self._time[idx] = time
+            self._seqs[idx] = seq
+            self._handler[idx] = self._intern(callback)
+            self._args[idx] = args
+            if event is not None:
+                event.seq = seq
+                event._queue = self
+                event._ridx = idx
+                self._events[idx] = event
+            bucket = self._buckets.get(time)
+            if bucket is None:
+                self._buckets[time] = bucket = [[], None, 0]
+                _heappush(self._times, time)
+            if priority == 0:
+                bucket[0].append(idx)
+            else:
+                self._prio[idx] = priority
+                pri = bucket[1]
+                if pri is None:
+                    bucket[1] = pri = []
+                _heappush(pri, (priority, seq, idx))
+            self._live += 1
+        self._seq = state["seq"]
+
+
+class RingEngine(Engine):
+    """:class:`Engine` running on the :class:`EventRing` backend.
+
+    Scheduling surfaces, sanitizer hooks, stall watchdog, event budget,
+    and pickling rules are semantically identical to the heap engine;
+    only the event store and the run loop differ.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._queue = EventRing()
+
+    # -- scheduling ----------------------------------------------------
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        monitor = self._monitor
+        if monitor is not None:
+            monitor.on_schedule(callback)
+        event = Event.__new__(Event)
+        event.time = time = self._now + delay
+        event.priority = priority
+        event.callback = callback
+        event.args = args
+        event.cancelled = False
+        self._queue._place(time, priority, callback, args, event)
+        return event
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run at absolute time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time}, current time is {self._now}"
+            )
+        monitor = self._monitor
+        if monitor is not None:
+            monitor.on_schedule(callback)
+        event = Event.__new__(Event)
+        event.time = time
+        event.priority = priority
+        event.callback = callback
+        event.args = args
+        event.cancelled = False
+        self._queue._place(time, priority, callback, args, event)
+        return event
+
+    def post(self, delay: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Hot-path :meth:`schedule`: priority 0, no cancel handle.
+
+        The slot placement is inlined (mirroring how the heap engine
+        inlines its entry push) — one call frame on the hottest path.
+        """
+        monitor = self._monitor
+        if monitor is not None:
+            monitor.on_schedule(callback)
+        if delay <= 0:
+            if delay < 0:
+                raise SimulationError(
+                    f"cannot schedule in the past (delay={delay})"
+                )
+            time = self._now
+        else:
+            time = self._now + delay
+        ring = self._queue
+        seq = ring._seq
+        ring._seq = seq + 1
+        free = ring._free
+        if not free:
+            ring._grow()
+            free = ring._free
+        idx = free.pop()
+        try:
+            hid = ring._hids.get(callback)
+        except TypeError:
+            hid = None
+        if hid is None:
+            hid = ring._intern(callback)
+        ring._time[idx] = time
+        ring._seqs[idx] = seq
+        ring._handler[idx] = hid
+        ring._args[idx] = args
+        bucket = ring._buckets.get(time)
+        if bucket is None:
+            pool = ring._bucket_pool
+            bucket = pool.pop() if pool else [[], None, 0]
+            ring._buckets[time] = bucket
+            _heappush(ring._times, time)
+        bucket[0].append(idx)
+        ring._live += 1
+
+    def post_at(self, time: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Hot-path :meth:`schedule_at`: priority 0, no cancel handle."""
+        monitor = self._monitor
+        if monitor is not None:
+            monitor.on_schedule(callback)
+        now = self._now
+        if time <= now:
+            if time < now:
+                raise SimulationError(
+                    f"cannot schedule at t={time}, current time is {now}"
+                )
+            time = now
+        ring = self._queue
+        seq = ring._seq
+        ring._seq = seq + 1
+        free = ring._free
+        if not free:
+            ring._grow()
+            free = ring._free
+        idx = free.pop()
+        try:
+            hid = ring._hids.get(callback)
+        except TypeError:
+            hid = None
+        if hid is None:
+            hid = ring._intern(callback)
+        ring._time[idx] = time
+        ring._seqs[idx] = seq
+        ring._handler[idx] = hid
+        ring._args[idx] = args
+        bucket = ring._buckets.get(time)
+        if bucket is None:
+            pool = ring._bucket_pool
+            bucket = pool.pop() if pool else [[], None, 0]
+            ring._buckets[time] = bucket
+            _heappush(ring._times, time)
+        bucket[0].append(idx)
+        ring._live += 1
+
+    # -- run loop ------------------------------------------------------
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stall_threshold: Optional[int] = None,
+        strict_budget: bool = False,
+    ) -> float:
+        """Ring variant of :meth:`Engine.run`; same observable contract."""
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        self._stopped = False
+        self.exhausted = False
+        executed = 0
+        stalled_events = 0
+        ring = self._queue
+        times = ring._times
+        buckets = ring._buckets
+        events = ring._events
+        argsl = ring._args
+        free = ring._free
+        handlers = ring._handlers
+        bucket_pool = ring._bucket_pool
+        # Numpy columns are re-derived on _grow(), so the cached views
+        # are refreshed whenever the backing array's identity changes.
+        slots_ref = ring._slots
+        hcol = ring._handler
+        scol = ring._seqs
+        heappop = _heappop
+        monitor = self._monitor
+        check_stall = stall_threshold is not None
+        bound = float("inf") if until is None else until
+        budget = float("inf") if max_events is None else max_events
+        # Current bucket drain state.  ``time``'s bucket stays at the top
+        # of the times heap while draining; a push below it (the
+        # sanitizer's corruption drill) surfaces as times[0] < time.
+        bucket = None
+        fifo = None
+        pos = 0
+        time = 0.0
+        try:
+            while not self._stopped:
+                if bucket is None:
+                    if not times:
+                        break
+                    time = times[0]
+                    if time > bound:
+                        self._now = bound
+                        break
+                    bucket = buckets[time]
+                    fifo = bucket[0]
+                    pos = bucket[2]
+                    ring._active_fifo = fifo
+                elif times[0] < time:
+                    # A smaller timestamp appeared mid-drain; preempt.
+                    bucket[2] = pos
+                    ring._active_fifo = None
+                    bucket = None
+                    continue
+                pri = bucket[1]
+                if pri:
+                    # Rare: non-zero priorities share this timestamp.
+                    bucket[2] = pos
+                    nxt = ring._pop_bucket(bucket)
+                    pos = bucket[2]
+                    if nxt is None:
+                        ring._active_fifo = None
+                        del buckets[time]
+                        heappop(times)
+                        fifo.clear()
+                        bucket[1] = None
+                        bucket[2] = 0
+                        bucket_pool.append(bucket)
+                        bucket = None
+                        continue
+                    priority, seq, idx = nxt
+                    event = events[idx]
+                else:
+                    if pos >= len(fifo):
+                        ring._active_fifo = None
+                        del buckets[time]
+                        heappop(times)
+                        fifo.clear()
+                        bucket[2] = 0
+                        bucket_pool.append(bucket)
+                        bucket = None
+                        continue
+                    idx = fifo[pos]
+                    pos += 1
+                    event = events[idx]
+                    if event is not None and event.cancelled:
+                        ring._release_cancelled(idx)
+                        continue
+                    if pos >= len(fifo):
+                        # Last pending entry at this timestamp: retire
+                        # the bucket *before* executing, skipping the
+                        # extra discover-exhausted pass.  A same-time
+                        # push from the callback recreates the bucket
+                        # and drains after this event — oracle order.
+                        ring._active_fifo = None
+                        del buckets[time]
+                        heappop(times)
+                        fifo.clear()
+                        bucket[2] = 0
+                        bucket_pool.append(bucket)
+                        bucket = None
+                    priority = 0
+                    seq = -1  # lazily materialized when observed
+                ring._live -= 1
+                if check_stall:
+                    if time > self._now:
+                        stalled_events = 0
+                    else:
+                        stalled_events += 1
+                        if stalled_events >= stall_threshold:
+                            if event is None:
+                                event = Event(
+                                    time, handlers[hcol[idx]],
+                                    argsl[idx], priority,
+                                )
+                            raise SimulationStall(
+                                f"no-progress livelock: {stalled_events} "
+                                f"consecutive events at t={self._now} "
+                                "without the clock advancing",
+                                self._format_event(event, " <- executing")
+                                + ("\n" + self.dump_pending()
+                                   if ring._live else ""),
+                            )
+                self._now = time
+                callback = handlers[hcol[idx]]
+                args = argsl[idx]
+                if monitor is not None:
+                    if seq < 0:
+                        seq = int(scol[idx])
+                    monitor.on_execute(time, priority, seq, callback, args)
+                if event is not None:
+                    event._queue = None
+                argsl[idx] = None
+                events[idx] = None
+                free.append(idx)
+                callback(*args)
+                if ring._slots is not slots_ref:  # _grow() ran in the callback
+                    slots_ref = ring._slots
+                    hcol = ring._handler
+                    scol = ring._seqs
+                executed += 1
+                if executed >= budget:
+                    self.exhausted = True
+                    if strict_budget:
+                        raise SimulationStall(
+                            f"event budget exhausted ({max_events} events) "
+                            f"at t={self._now} with "
+                            f"{self.pending_events()} events pending",
+                            self.dump_pending(),
+                        )
+                    break
+        finally:
+            if bucket is not None:
+                bucket[2] = pos
+            ring._active_fifo = None
+            self.events_executed += executed
+            self._running = False
+        return self._now

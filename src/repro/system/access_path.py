@@ -32,6 +32,7 @@ from repro.interconnect.link import CPU_PORT
 from heapq import heappush as _heappush
 
 from repro.mem.access import AccessKind, MemoryTransaction
+from repro.sim.ring import EventRing
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.system.machine import Machine
@@ -65,6 +66,10 @@ class MemoryAccessPath:
         # lazily on the first transaction.
         self._push_entry = machine.engine._queue.push_entry
         self._push_lane = machine.engine._queue.push_lane
+        # Non-None iff the machine runs the ring backend: the inlined
+        # scheduling sites below branch to ring._place instead of building
+        # heap entries (the heap internals they poke do not exist there).
+        self._ringq = self._equeue if isinstance(self._equeue, EventRing) else None
         self._se_record: list = []
         self._note: list = []
         self._l1: list = []
@@ -158,6 +163,10 @@ class MemoryAccessPath:
             self.l1_tlb_hits += 1
             # t > now always (positive TLB latency): straight to the heap
             # (entry build inlined; this is the hottest schedule site).
+            ringq = self._ringq
+            if ringq is not None:
+                ringq._place(t, 0, self._local_leg, (txn, on_complete), None)
+                return
             q = self._equeue
             seq = q._seq
             q._seq = seq + 1
@@ -184,6 +193,10 @@ class MemoryAccessPath:
         if hit:
             self.l2_tlb_hits += 1
             l1_tlb.insert(page, gpu_id)
+            ringq = self._ringq
+            if ringq is not None:
+                ringq._place(t, 0, self._local_leg, (txn, on_complete), None)
+                return
             q = self._equeue
             seq = q._seq
             q._seq = seq + 1
@@ -249,6 +262,11 @@ class MemoryAccessPath:
             self._engine._now, txn.cu_id, txn.address, txn.is_write
         )
         now = self._engine._now
+        ringq = self._ringq
+        if ringq is not None:
+            ringq._place(finish if finish > now else now, 0, on_complete,
+                         (txn, finish), None)
+            return
         q = self._equeue
         seq = q._seq
         q._seq = seq + 1
@@ -278,6 +296,11 @@ class MemoryAccessPath:
                 txn.kind = AccessKind.REMOTE_CACHE
                 self._kc[id(AccessKind.REMOTE_CACHE)] += 1
                 now = self._engine._now
+                ringq = self._ringq
+                if ringq is not None:
+                    ringq._place(hit if hit > now else now, 0, on_complete,
+                                 (txn, hit), None)
+                    return
                 q = self._equeue
                 seq = q._seq
                 q._seq = seq + 1
@@ -306,6 +329,12 @@ class MemoryAccessPath:
             self._engine._now, txn.gpu_id, owner, DATA_MSG_BYTES
         )
         now = self._engine._now
+        ringq = self._ringq
+        if ringq is not None:
+            ringq._place(arrive if arrive > now else now, 0,
+                         self._remote_service_leg, (txn, owner, on_complete),
+                         None)
+            return
         q = self._equeue
         seq = q._seq
         q._seq = seq + 1
@@ -331,6 +360,12 @@ class MemoryAccessPath:
             self._engine._now, txn.address, txn.is_write
         )
         now = self._engine._now
+        ringq = self._ringq
+        if ringq is not None:
+            ringq._place(served if served > now else now, 0,
+                         self._remote_response_leg, (txn, owner, on_complete),
+                         None)
+            return
         q = self._equeue
         seq = q._seq
         q._seq = seq + 1
@@ -358,6 +393,11 @@ class MemoryAccessPath:
         if not txn.is_write:
             self._hier[txn.gpu_id].remote_cache_fill(txn.address)
         now = self._engine._now
+        ringq = self._ringq
+        if ringq is not None:
+            ringq._place(arrive if arrive > now else now, 0, on_complete,
+                         (txn, arrive), None)
+            return
         q = self._equeue
         seq = q._seq
         q._seq = seq + 1
@@ -390,6 +430,11 @@ class MemoryAccessPath:
             self._engine._now, txn.gpu_id, CPU_PORT, DATA_MSG_BYTES
         )
         now = self._engine._now
+        ringq = self._ringq
+        if ringq is not None:
+            ringq._place(arrive if arrive > now else now, 0,
+                         self._cpu_service_leg, (txn, on_complete), None)
+            return
         q = self._equeue
         seq = q._seq
         q._seq = seq + 1
@@ -416,6 +461,11 @@ class MemoryAccessPath:
             + self._cpu_mem_latency
         )
         now = self._engine._now
+        ringq = self._ringq
+        if ringq is not None:
+            ringq._place(served if served > now else now, 0,
+                         self._cpu_response_leg, (txn, on_complete), None)
+            return
         q = self._equeue
         seq = q._seq
         q._seq = seq + 1
@@ -441,6 +491,11 @@ class MemoryAccessPath:
             self._engine._now, CPU_PORT, txn.gpu_id, DATA_MSG_BYTES
         )
         now = self._engine._now
+        ringq = self._ringq
+        if ringq is not None:
+            ringq._place(arrive if arrive > now else now, 0, on_complete,
+                         (txn, arrive), None)
+            return
         q = self._equeue
         seq = q._seq
         q._seq = seq + 1

@@ -25,6 +25,7 @@ from repro.interconnect.link import InterconnectFabric
 from repro.metrics.timeline import MigrationEvent, PageAccessTimeline
 from repro.resilience.injector import FaultInjector
 from repro.sim.engine import Engine, SimulationStall
+from repro.sim.ring import build_engine, resolve_backend
 from repro.sim.resource import ThroughputResource
 from repro.system.access_path import MemoryAccessPath
 from repro.vm.iommu import IOMMU
@@ -104,7 +105,9 @@ class Machine:
         self.hyper = hyper or GriffinHyperParams()
         self.num_gpus = config.num_gpus
 
-        self.engine = Engine()
+        # Event-core backend: config-selected, env-overridable (the
+        # ring-parity CI job replays the whole suite on the ring this way).
+        self.engine = build_engine(resolve_backend(config.sim.engine_backend))
         # Fault injection: a disabled (or absent) FaultConfig leaves every
         # component un-hooked so clean runs stay byte-identical.
         self.faults = faults if faults is not None and faults.enabled else None

@@ -1,0 +1,148 @@
+"""Batched multi-run execution: parity, error isolation, sweep batching.
+
+The contract under test: a batch of N runs produces byte-identical
+results to the same N runs executed serially — per replica, per sweep
+cell, on either engine backend — and one failing member never takes
+down its siblings.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config.hyperparams import GriffinHyperParams
+from repro.config.presets import tiny_system
+from repro.harness.batch import BatchRunner, run_replicas
+from repro.harness.io import result_to_dict
+from repro.harness.runner import prepare_run, run_workload
+from repro.harness.sweep import Sweep
+from repro.sim.engine import SimulationStall
+
+_SEEDS = (5, 6, 7, 8)
+_SCALE = 0.008
+
+
+def _serial_results(config=None):
+    return [
+        result_to_dict(run_workload(
+            "MT", "griffin", config=config, scale=_SCALE, seed=seed
+        ))
+        for seed in _SEEDS
+    ]
+
+
+def _dump(results):
+    return [json.dumps(r, sort_keys=True) for r in results]
+
+
+class TestReplicaParity:
+    def test_batched_replicas_match_serial_runs(self):
+        batched = run_replicas(
+            "MT", policy="griffin", scale=_SCALE, seeds=_SEEDS
+        )
+        assert not any(isinstance(r, BaseException) for r in batched)
+        assert _dump([result_to_dict(r) for r in batched]) == _dump(
+            _serial_results()
+        )
+
+    def test_batched_replicas_match_on_ring_backend(self):
+        config = tiny_system(2).with_engine_backend("ring")
+        batched = run_replicas(
+            "MT", policy="griffin", config=config,
+            scale=_SCALE, seeds=_SEEDS,
+        )
+        assert not any(isinstance(r, BaseException) for r in batched)
+        # Ring-batched must match heap-serial: backend and batching are
+        # both invisible to results.
+        assert _dump([result_to_dict(r) for r in batched]) == _dump(
+            _serial_results(tiny_system(2))
+        )
+
+    def test_tiny_quantum_does_not_change_results(self):
+        """A pathologically small slice width changes interleaving only."""
+        batched = run_replicas(
+            "MT", policy="griffin", scale=_SCALE, seeds=_SEEDS[:2],
+            quantum=1.0,
+        )
+        assert _dump([result_to_dict(r) for r in batched]) == _dump(
+            _serial_results()[:2]
+        )
+
+
+class TestErrorIsolation:
+    def test_exhausted_member_mirrors_serial_error_and_spares_siblings(self):
+        budget = 500
+        out = run_replicas(
+            "MT", policy="griffin", scale=_SCALE,
+            seeds=(_SEEDS[0], _SEEDS[1]), max_events=budget,
+        )
+        # Both replicas blow the same tiny budget; each failure mirrors
+        # the serial message, quoting the full budget.
+        for item, seed in zip(out, _SEEDS[:2]):
+            assert isinstance(item, SimulationStall)
+            assert f"({budget} events)" in str(item)
+            with pytest.raises(SimulationStall) as exc:
+                run_workload(
+                    "MT", "griffin", scale=_SCALE, seed=seed,
+                    max_events=budget,
+                )
+            assert str(item).splitlines()[0] == str(exc.value).splitlines()[0]
+
+    def test_failed_member_does_not_abort_siblings(self):
+        runner = BatchRunner()
+        members = []
+        for seed, budget in ((_SEEDS[0], 500), (_SEEDS[1], None)):
+            machine, workload, kernels = prepare_run(
+                "MT", policy="griffin", scale=_SCALE, seed=seed
+            )
+            machine.start(kernels)
+            members.append(runner.add(machine, workload, max_events=budget))
+        runner.drive()
+        assert isinstance(members[0].error, SimulationStall)
+        assert members[1].error is None and members[1].done
+
+    def test_empty_batch_is_a_noop(self):
+        BatchRunner().drive()
+
+
+class TestSweepBatching:
+    def _sweep(self):
+        base = GriffinHyperParams.calibrated()
+        return Sweep(
+            workloads=["MT"],
+            policies=["griffin", "griffin_flush"],
+            configs={"tiny": tiny_system(2)},
+            hypers={
+                "default": base,
+                "eager": base.with_overrides(
+                    min_pages_per_source=1, lambda_d=1.5
+                ),
+            },
+        )
+
+    def _points(self, result):
+        return [
+            (str(key), json.dumps(result_to_dict(run), sort_keys=True))
+            for key, run in result.points.items()
+        ]
+
+    def test_batched_sweep_matches_serial(self):
+        serial = self._sweep().run(scale=_SCALE, seed=5)
+        batched = self._sweep().run(scale=_SCALE, seed=5, batch=True)
+        assert not serial.failures and not batched.failures
+        assert self._points(batched) == self._points(serial)
+        assert batched.forked_cells == serial.forked_cells
+
+    def test_batched_cold_sweep_matches_serial(self):
+        serial = self._sweep().run(scale=_SCALE, seed=5, fork=False)
+        batched = self._sweep().run(
+            scale=_SCALE, seed=5, fork=False, batch=True
+        )
+        assert not batched.failures
+        assert self._points(batched) == self._points(serial)
+
+    def test_batch_rejects_parallel_workers(self):
+        with pytest.raises(ValueError):
+            self._sweep().run(scale=_SCALE, seed=5, workers=2, batch=True)

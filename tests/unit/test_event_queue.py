@@ -1,6 +1,6 @@
 """Unit tests for the event queue."""
 
-from repro.sim.event import Event, EventQueue
+from repro.sim.event import _COMPACT_LIMIT, Event, EventQueue
 
 
 def _noop():
@@ -80,3 +80,22 @@ def test_bool_true_when_live_events():
 def test_event_repr_contains_time():
     e = Event(7.0, _noop)
     assert "7" in repr(e)
+
+
+def test_heavy_cancellation_keeps_backing_store_bounded():
+    """Regression: with a large live population, the relative compaction
+    trigger (cancelled > live) never fires, so only the absolute ceiling
+    (_COMPACT_LIMIT) stops cancelled entries from accumulating without
+    bound under sustained cancel traffic."""
+    q = EventQueue()
+    live = 5000
+    for i in range(live):
+        q.push(Event(1e9 + i, _noop))
+    worst = 0
+    for i in range(3 * _COMPACT_LIMIT):
+        q.push(Event(float(i), _noop)).cancel()
+        worst = max(worst, len(q._heap))
+    # Backing store never exceeds live + ceiling (+1 for the entry that
+    # trips the compaction).
+    assert worst <= live + _COMPACT_LIMIT + 1
+    assert len(q) == live

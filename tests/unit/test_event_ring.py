@@ -1,0 +1,131 @@
+"""Unit tests for the ring event core and backend selection."""
+
+import pickle
+
+import pytest
+
+from repro.config.system import SimConfig, SystemConfig
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.event import _COMPACT_LIMIT, Event
+from repro.sim.ring import (
+    BACKEND_ENV,
+    EventRing,
+    RingEngine,
+    build_engine,
+    resolve_backend,
+)
+
+
+def _noop():
+    pass
+
+
+def test_ring_pops_in_time_priority_seq_order():
+    ring = EventRing()
+    ring.push(Event(5.0, _noop))
+    ring.push(Event(1.0, _noop, priority=1))
+    ring.push(Event(1.0, _noop))
+    ring.push(Event(1.0, _noop, priority=-1))
+    keys = []
+    while True:
+        event = ring.pop()
+        if event is None:
+            break
+        keys.append((event.time, event.priority))
+    assert keys == [(1.0, -1), (1.0, 0), (1.0, 1), (5.0, 0)]
+
+
+def test_ring_cancel_skips_and_len_counts_live():
+    ring = EventRing()
+    keep = ring.push(Event(1.0, _noop))
+    drop = ring.push(Event(0.5, _noop))
+    drop.cancel()
+    assert len(ring) == 1
+    assert ring.peek_time() == 1.0
+    assert ring.pop() is keep
+    assert ring.pop() is None
+
+
+def test_ring_grows_past_initial_capacity():
+    ring = EventRing()
+    n = 3000  # > _RING_CAP
+    for i in range(n):
+        ring.push_entry(float(i), 0, _noop, (i,))
+    assert len(ring) == n
+    args = [ring.pop().args[0] for _ in range(n)]
+    assert args == list(range(n))
+
+
+def test_ring_heavy_cancellation_keeps_slots_bounded():
+    """Ring analogue of the heap's compaction-ceiling regression: with a
+    large live population, retained cancelled slots are bounded by the
+    absolute ceiling, so the slot array never grows without bound."""
+    ring = EventRing()
+    live = 5000
+    for i in range(live):
+        ring.push(Event(1e9 + i, _noop))
+    worst = 0
+    for i in range(3 * _COMPACT_LIMIT):
+        ring.push(Event(float(i), _noop)).cancel()
+        occupied = len(ring._slots) - len(ring._free)
+        worst = max(worst, occupied)
+    assert worst <= live + _COMPACT_LIMIT + 1
+    assert len(ring) == live
+    # Capacity is the next power-of-two step above the occupancy bound,
+    # not proportional to total cancel traffic.
+    assert len(ring._slots) <= 16384
+
+
+def test_ring_pickle_round_trip():
+    ring = EventRing()
+    handle = ring.push(Event(2.0, _noop, (1,)))
+    ring.push_entry(1.0, 0, _noop, (2,))
+    ring.push_entry(3.0, -1, _noop, (3,))
+    handle.cancel()
+    restored = pickle.loads(pickle.dumps(ring))
+    assert len(restored) == 2
+    assert [e.args[0] for e in (restored.pop(), restored.pop())] == [2, 3]
+    assert restored.pop() is None
+
+
+def test_bucket_pool_recycles_retired_buckets():
+    engine = RingEngine()
+    for i in range(10):
+        engine.post(float(i + 1), _noop)
+    engine.run()
+    ring = engine._queue
+    assert ring._bucket_pool  # retired buckets were pooled, not dropped
+    before = len(ring._bucket_pool)
+    engine.post(5.0, _noop)
+    assert len(ring._bucket_pool) == before - 1  # and are reused
+
+
+def test_resolve_backend_env_override(monkeypatch):
+    monkeypatch.delenv(BACKEND_ENV, raising=False)
+    assert resolve_backend("heap") == "heap"
+    assert resolve_backend("ring") == "ring"
+    monkeypatch.setenv(BACKEND_ENV, "ring")
+    assert resolve_backend("heap") == "ring"
+    monkeypatch.setenv(BACKEND_ENV, "bogus")
+    with pytest.raises(SimulationError):
+        resolve_backend("heap")
+
+
+def test_build_engine_types():
+    assert type(build_engine("heap")) is Engine
+    assert type(build_engine("ring")) is RingEngine
+
+
+def test_sim_config_validates_backend():
+    assert SimConfig().engine_backend == "heap"
+    assert SimConfig(engine_backend="ring").engine_backend == "ring"
+    with pytest.raises(ValueError):
+        SimConfig(engine_backend="bogus")
+
+
+def test_with_engine_backend_helper():
+    config = SystemConfig(num_gpus=2)
+    ringed = config.with_engine_backend("ring")
+    assert ringed.sim.engine_backend == "ring"
+    assert config.sim.engine_backend == "heap"
+    assert ringed.num_gpus == 2

@@ -236,3 +236,53 @@ class TestBenchHarness:
         cur = _report("regressed", 40_000.0, 500_000.0)
         cmp = compare_reports(base, cur, fail_factor=2.0)
         assert cmp.regressed
+
+    def test_old_schema_reports_still_load(self, tmp_path):
+        """A v2 report (no ``median_wall_seconds``) loads with the new
+        field defaulted — committed baselines stay comparable."""
+        import json
+
+        report = _report("legacy", 100_000.0, 500_000.0)
+        path = save_report(report, tmp_path)
+        data = json.loads(path.read_text())
+        data["schema"] = 2
+        for case in data["cases"]:
+            del case["median_wall_seconds"]
+        path.write_text(json.dumps(data))
+        loaded = load_report(path)
+        assert loaded.e2e_events_per_sec == pytest.approx(100_000.0)
+        assert all(c.median_wall_seconds == 0.0 for c in loaded.cases)
+
+    def test_unsupported_schema_rejected(self, tmp_path):
+        import json
+
+        path = save_report(_report("future", 1.0, 1.0), tmp_path)
+        data = json.loads(path.read_text())
+        data["schema"] = 99
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError):
+            load_report(path)
+
+    def test_median_round_trips_and_renders(self, tmp_path):
+        report = _report("med", 100_000.0, 500_000.0)
+        report.cases[1].median_wall_seconds = 1.25
+        loaded = load_report(save_report(report, tmp_path))
+        assert loaded.case("sc_griffin").median_wall_seconds == 1.25
+        assert "Median (s)" in loaded.render()
+
+    def test_render_summarizes_ring_and_batch_cases(self):
+        report = _report("rb", 100_000.0, 500_000.0)
+        report.cases.append(CaseResult(
+            "ring_vs_heap", "ring", 0.5, 50_000, "events", 100_000.0, 0, 1,
+            extra={"ring_speedup": 1.29, "ring_events_per_sec": 100_000.0,
+                   "heap_events_per_sec": 77_000.0,
+                   "results_identical": True},
+        ))
+        report.cases.append(CaseResult(
+            "batched_replicas", "batch", 0.05, 4, "replicas", 80.0, 0, 1,
+            extra={"batch_speedup": 20.7, "batched_replicas_per_sec": 80.0,
+                   "proc_replicas_per_sec": 3.9, "replicas": 4},
+        ))
+        rendered = report.render()
+        assert "1.29x" in rendered and "results identical: True" in rendered
+        assert "20.70x" in rendered and "process-per-replica" in rendered
