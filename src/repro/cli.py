@@ -206,9 +206,48 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--resume", action="store_true",
                          help="serve cells already in --cache-dir from disk; "
                               "a killed sweep re-runs only unfinished cells")
+    queue_g = sweep_p.add_argument_group(
+        "distributed queue", "fault-tolerant on-disk sweep queue "
+        "(see docs/resilience.md)"
+    )
+    queue_g.add_argument("--queue-dir", default=None, metavar="DIR",
+                         help="materialize the grid as a lease-managed "
+                              "sqlite queue; --workers local workers drain "
+                              "it and any number of 'worker' processes on "
+                              "machines sharing the filesystem may attach; "
+                              "re-running with the same dir resumes the grid")
+    queue_g.add_argument("--cell-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-cell wall-clock budget; a cell past it is "
+                              "killed (and, with --queue-dir, retried with "
+                              "backoff then quarantined)")
+    queue_g.add_argument("--lease", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="queue lease duration; a worker that stops "
+                              "heartbeating this long is presumed dead and "
+                              "its cell reclaimed (default 30)")
+    queue_g.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                         help="executions granted per cell before the queue "
+                              "quarantines it (default 3)")
     add_sim_options(sweep_p)
     add_fault_options(sweep_p)
     add_check_options(sweep_p)
+
+    worker_p = sub.add_parser(
+        "worker", help="attach to a sweep queue and execute cells until "
+                       "the grid drains"
+    )
+    worker_p.add_argument("queue_dir", help="queue directory created by "
+                                            "'sweep --queue-dir'")
+    worker_p.add_argument("--owner", default=None, metavar="NAME",
+                          help="worker identity recorded on leases "
+                               "(default host:pid:nonce)")
+    worker_p.add_argument("--poll-interval", type=float, default=0.5,
+                          metavar="SECONDS",
+                          help="sleep between claim attempts when no cell "
+                               "is ready (default 0.5)")
+    worker_p.add_argument("--max-cells", type=int, default=None, metavar="N",
+                          help="stop after claiming N cells")
 
     replay_p = sub.add_parser(
         "replay", help="re-execute a crash bundle deterministically"
@@ -472,23 +511,37 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                        chunk_size=args.chunk_size,
                        fork=not args.no_fork,
                        cache_dir=args.cache_dir, resume=args.resume,
-                       checks=_make_checks(args), bundle_dir=args.bundle_dir)
+                       checks=_make_checks(args), bundle_dir=args.bundle_dir,
+                       queue_dir=args.queue_dir,
+                       cell_timeout=args.cell_timeout,
+                       lease_duration=args.lease,
+                       max_attempts=args.max_attempts)
     print(result.table(args.metric))
-    stats = (
-        f"cells: {len(result.points) + len(result.failures)} "
-        f"(forked {result.forked_cells}, cold {result.cold_cells}, "
-        f"cached {result.cache_hits})"
-    )
-    if args.cache_dir is not None:
-        stats += (
-            f" | cache: {result.cache_hits} hits, "
-            f"{result.cache_misses} misses"
+    if args.queue_dir is not None:
+        from repro.harness.queue import SweepQueue
+
+        qstats = SweepQueue.open(args.queue_dir).stats()
+        stats = (
+            f"queue: {qstats.done} done, {qstats.failed} failed, "
+            f"{qstats.quarantined} quarantined "
+            f"({args.queue_dir})"
         )
-    if result.fork_groups:
-        stats += (
-            f" | {result.fork_groups} shared prefixes, "
-            f"{result.prefix_events:,} prefix events"
+    else:
+        stats = (
+            f"cells: {len(result.points) + len(result.failures)} "
+            f"(forked {result.forked_cells}, cold {result.cold_cells}, "
+            f"cached {result.cache_hits})"
         )
+        if args.cache_dir is not None:
+            stats += (
+                f" | cache: {result.cache_hits} hits, "
+                f"{result.cache_misses} misses"
+            )
+        if result.fork_groups:
+            stats += (
+                f" | {result.fork_groups} shared prefixes, "
+                f"{result.prefix_events:,} prefix events"
+            )
     print(stats)
     policies = [p.strip() for p in args.policies.split(",") if p.strip()]
     if len(policies) >= 2 and not result.failures:
@@ -498,6 +551,44 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print()
         print(result.failure_table())
         return 1
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """Drain cells from a sweep queue; nonzero exit on an unhealthy grid.
+
+    Exit codes: 2 when the queue cannot be opened; 1 when the grid is
+    finished but contains failed or quarantined cells (so CI can tell
+    "drained" from "drained clean"); 0 otherwise.
+    """
+    from repro.harness.queue import SweepQueue
+    from repro.harness.worker import run_worker
+
+    try:
+        queue = SweepQueue.open(args.queue_dir)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def progress(report, stats):
+        print(f"[{report.owner}] {report.claimed} claimed | queue: "
+              f"{stats.open} open, {stats.leased} leased, {stats.done} done, "
+              f"{stats.failed} failed, {stats.quarantined} quarantined",
+              file=sys.stderr)
+
+    report = run_worker(
+        args.queue_dir, owner=args.owner,
+        poll_interval=args.poll_interval, max_cells=args.max_cells,
+        install_signal_handlers=True, progress=progress,
+    )
+    print(report.summary())
+    if queue.drained():
+        stats = queue.stats()
+        if stats.unhealthy:
+            print(f"grid drained with {stats.failed} failed and "
+                  f"{stats.quarantined} quarantined cells", file=sys.stderr)
+            print(queue.collect().failure_table(), file=sys.stderr)
+            return 1
     return 0
 
 
@@ -580,6 +671,7 @@ _COMMANDS = {
     "list": _cmd_list,
     "validate": _cmd_validate,
     "sweep": _cmd_sweep,
+    "worker": _cmd_worker,
     "replay": _cmd_replay,
     "bench": _cmd_bench,
 }

@@ -7,7 +7,7 @@ import pickle
 from pathlib import Path
 from typing import Optional, Union
 
-from repro.harness.results import RunResult
+from repro.harness.results import FailedRun, RunResult
 from repro.mem.access import AccessKind
 from repro.metrics.occupancy import OccupancySnapshot
 from repro.metrics.timeline import MigrationEvent
@@ -98,6 +98,47 @@ def result_from_dict(data: dict) -> RunResult:
     )
 
 
+def failed_to_dict(failed: FailedRun) -> dict:
+    """Convert a failed-run record to a JSON-serializable dictionary.
+
+    ``bundle``, ``attempts``, and ``last_owner`` are emitted only when
+    they carry information (a bundle exists, more than one attempt ran,
+    a queue worker owned the cell), so files written before those fields
+    existed — and in-process sweeps, which never set them — keep their
+    exact byte layout.
+    """
+    payload = {
+        "schema": _SCHEMA_VERSION,
+        "workload": failed.workload,
+        "policy": failed.policy,
+        "error_type": failed.error_type,
+        "message": failed.message,
+    }
+    if failed.bundle_path is not None:
+        payload["bundle"] = failed.bundle_path
+    if failed.attempts != 1:
+        payload["attempts"] = failed.attempts
+    if failed.last_owner is not None:
+        payload["last_owner"] = failed.last_owner
+    return payload
+
+
+def failed_from_dict(data: dict) -> FailedRun:
+    """Rebuild a failed-run record from :func:`failed_to_dict` output."""
+    schema = data.get("schema")
+    if schema != _SCHEMA_VERSION:
+        raise ValueError(f"unsupported result schema {schema!r}")
+    return FailedRun(
+        workload=data["workload"],
+        policy=data["policy"],
+        error_type=data["error_type"],
+        message=data["message"],
+        bundle_path=data.get("bundle"),
+        attempts=data.get("attempts", 1),
+        last_owner=data.get("last_owner"),
+    )
+
+
 def save_result(result: RunResult, path: Union[str, Path]) -> Path:
     """Write a run result to a JSON file; returns the path."""
     path = Path(path)
@@ -159,7 +200,17 @@ class SweepResultCache:
             return None
 
     def store_snapshot(self, fingerprint: str, payload) -> None:
-        """Persist one group's prefix snapshot under its fingerprint."""
-        self._snapshot_path(fingerprint).write_bytes(
+        """Persist one group's prefix snapshot under its fingerprint.
+
+        Written atomically (temp file + rename) so concurrent sweep-queue
+        workers racing to store the same prefix never expose a torn
+        pickle to each other; the last writer wins with identical bytes.
+        """
+        import os
+
+        path = self._snapshot_path(fingerprint)
+        tmp = path.with_suffix(f".tmp-{os.getpid()}")
+        tmp.write_bytes(
             pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         )
+        os.replace(tmp, path)

@@ -1,0 +1,741 @@
+"""SQLite-backed fault-tolerant sweep queue.
+
+``SweepQueue`` materializes a sweep grid as rows in a WAL-mode sqlite
+database so that any number of worker processes — started on any machine
+sharing the queue directory, at any time — can pull open cells, execute
+them, and commit results without coordinating with each other or with
+the process that created the queue.  The design follows the
+PyExperimenter pattern: the grid *is* the table, and the execution fleet
+is stateless.
+
+Robustness model
+----------------
+
+Every cell row carries a status machine::
+
+    open ──claim──▶ leased ──complete──▶ done
+      ▲                │
+      │                ├─fail (deterministic)──▶ failed
+      │                │
+      └──backoff───────┴─fail (infrastructure) / lease expiry
+                             │
+                             └─after max_attempts──▶ quarantined
+
+* **Leases.**  A claim grants a lease with a wall-clock deadline; the
+  worker heartbeats to extend it while executing.  A worker that is
+  SIGKILLed (or whose machine dies) simply stops heartbeating: the next
+  ``claim``/``reap`` reclaims the expired lease and re-opens the cell
+  with capped exponential backoff.  Because every cell is a
+  deterministic simulation, a re-execution after a lost lease produces
+  byte-identical results — a late commit from a zombie worker is a
+  first-writer-wins no-op.
+* **Deterministic vs. infrastructure failures.**  A cell that *raises*
+  (stall, event-budget exhaustion, invariant violation, bad input) fails
+  the same way on every host, exactly as it would under serial
+  ``Sweep.run()`` — it is recorded terminally as ``failed`` so a
+  queue-executed grid stays byte-identical to the serial oracle.  Only
+  infrastructure failures (lease expiry, a killed or crashed cell
+  process, a wall-clock timeout) are retried; after ``max_attempts``
+  the cell is quarantined with an evidence bundle instead of wedging
+  the grid.
+* **Idempotent commits.**  Results land as files created with
+  first-writer-wins semantics (``os.link`` of a private temp file), so
+  duplicate executions commit exactly one result and the database
+  transition to ``done`` is a plain idempotent UPDATE.
+
+Concurrency relies on sqlite WAL mode plus ``BEGIN IMMEDIATE``
+transactions; the queue directory must live on a filesystem with
+working POSIX locks (local disk, most cluster filesystems — *not* NFS
+with broken locking).  Connections are opened per operation so worker
+processes can be forked freely.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import sqlite3
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.harness.results import FailedRun
+from repro.harness.io import failed_to_dict, load_result, result_to_dict
+
+_DB_NAME = "queue.sqlite3"
+_GRID_NAME = "grid.pkl"
+
+# Statuses a cell row can be in.  "open" and "leased" are live; the
+# other three are terminal ("failed" deterministically, "quarantined"
+# after exhausting infrastructure retries, "done" successfully).
+LIVE_STATUSES = ("open", "leased")
+TERMINAL_STATUSES = ("done", "failed", "quarantined")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS cells (
+    idx            INTEGER PRIMARY KEY,
+    fingerprint    TEXT,
+    group_fp       TEXT,
+    status         TEXT NOT NULL DEFAULT 'open',
+    owner          TEXT,
+    last_owner     TEXT,
+    lease_deadline REAL,
+    not_before     REAL NOT NULL DEFAULT 0,
+    attempts       INTEGER NOT NULL DEFAULT 0,
+    error_type     TEXT,
+    message        TEXT,
+    result_path    TEXT,
+    bundle_path    TEXT
+);
+CREATE INDEX IF NOT EXISTS cells_status ON cells (status);
+CREATE TABLE IF NOT EXISTS events (
+    seq    INTEGER PRIMARY KEY AUTOINCREMENT,
+    cell   INTEGER NOT NULL,
+    at     REAL NOT NULL,
+    owner  TEXT,
+    event  TEXT NOT NULL,
+    detail TEXT
+);
+"""
+
+
+def backoff_delay(attempts: int, base: float, cap: float) -> float:
+    """Capped exponential backoff before re-opening a failed cell.
+
+    ``attempts`` is the number of executions already granted; the first
+    retry waits ``base`` seconds, each further retry doubles, and the
+    delay never exceeds ``cap``.
+    """
+    if attempts < 1:
+        return 0.0
+    # Cap the exponent too, so huge attempt counts cannot overflow.
+    return min(base * (2.0 ** min(attempts - 1, 63)), cap)
+
+
+@dataclass(frozen=True)
+class QueueSettings:
+    """Per-queue execution policy, fixed at creation time.
+
+    Stored in the database so every worker — local or remote — enforces
+    the same leases, retry budget, and timeouts.
+    """
+
+    lease_duration: float = 30.0
+    max_attempts: int = 3
+    backoff_base: float = 1.0
+    backoff_cap: float = 60.0
+    cell_timeout: Optional[float] = None
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "lease_duration": self.lease_duration,
+            "max_attempts": self.max_attempts,
+            "backoff_base": self.backoff_base,
+            "backoff_cap": self.backoff_cap,
+            "cell_timeout": self.cell_timeout,
+        }, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "QueueSettings":
+        data = json.loads(text)
+        return cls(
+            lease_duration=data["lease_duration"],
+            max_attempts=data["max_attempts"],
+            backoff_base=data["backoff_base"],
+            backoff_cap=data["backoff_cap"],
+            cell_timeout=data["cell_timeout"],
+        )
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One granted cell execution: who runs what, until when."""
+
+    idx: int
+    key: object  # SweepKey
+    args: tuple
+    group_fp: Optional[str]
+    attempts: int
+    deadline: float
+
+
+@dataclass(frozen=True)
+class QueueStats:
+    """Row counts by status (one ``stats()`` snapshot)."""
+
+    open: int = 0
+    leased: int = 0
+    done: int = 0
+    failed: int = 0
+    quarantined: int = 0
+
+    @property
+    def total(self) -> int:
+        return (self.open + self.leased + self.done + self.failed
+                + self.quarantined)
+
+    @property
+    def live(self) -> int:
+        return self.open + self.leased
+
+    @property
+    def unhealthy(self) -> int:
+        return self.failed + self.quarantined
+
+
+def default_owner() -> str:
+    """A globally unique worker identity (host:pid:nonce)."""
+    import socket
+
+    return f"{socket.gethostname()}:{os.getpid()}:{uuid.uuid4().hex[:6]}"
+
+
+class SweepQueue:
+    """A sweep grid materialized as lease-managed sqlite rows.
+
+    Use :meth:`create` (or :meth:`create_or_attach`) from the process
+    that owns the grid, and :meth:`open` from workers.  All methods are
+    safe to call concurrently from any number of processes.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.db_path = self.root / _DB_NAME
+        self.grid_path = self.root / _GRID_NAME
+        self.results_dir = self.root / "results"
+        self.bundles_dir = self.root / "bundles"
+        self.cache_dir = self.root / "cache"
+        self._grid: Optional[list] = None
+        self._settings: Optional[QueueSettings] = None
+
+    # ------------------------------------------------------------------
+    # Construction / attachment
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(cls, root, cells, settings: Optional[QueueSettings] = None,
+               code_fp: str = "") -> "SweepQueue":
+        """Materialize a grid as a fresh queue.
+
+        Args:
+            root: Queue directory (created if missing).
+            cells: ``(key, args, fingerprint, group_fp)`` per grid cell,
+                in grid order.  ``args`` must be picklable — the grid
+                travels to workers via ``grid.pkl``.
+            settings: Lease/retry/timeout policy for every worker.
+            code_fp: Source-tree fingerprint recorded for validation.
+        """
+        queue = cls(root)
+        if queue.db_path.exists():
+            raise FileExistsError(
+                f"queue already exists at {queue.root}; use "
+                "create_or_attach() to resume it"
+            )
+        settings = settings or QueueSettings()
+        queue.root.mkdir(parents=True, exist_ok=True)
+        queue.results_dir.mkdir(exist_ok=True)
+        queue.bundles_dir.mkdir(exist_ok=True)
+        payload = {
+            "version": 1,
+            "code_fp": code_fp,
+            "cells": [(key, args) for key, args, _fp, _gfp in cells],
+        }
+        try:
+            blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise ValueError(
+                "queue cells must be picklable (object workloads with "
+                f"unpicklable state cannot be queued): {exc}"
+            ) from exc
+        tmp = queue.grid_path.with_suffix(f".tmp-{os.getpid()}")
+        tmp.write_bytes(blob)
+        os.replace(tmp, queue.grid_path)
+        with queue._txn() as conn:
+            conn.executescript(_SCHEMA)
+            conn.execute(
+                "INSERT INTO meta (key, value) VALUES ('settings', ?)",
+                (settings.to_json(),),
+            )
+            conn.execute(
+                "INSERT INTO meta (key, value) VALUES ('spec_digest', ?)",
+                (cls._spec_digest(cells, code_fp),),
+            )
+            conn.executemany(
+                "INSERT INTO cells (idx, fingerprint, group_fp) "
+                "VALUES (?, ?, ?)",
+                [(i, fp, gfp) for i, (_k, _a, fp, gfp) in enumerate(cells)],
+            )
+        return queue
+
+    @classmethod
+    def create_or_attach(cls, root, cells,
+                         settings: Optional[QueueSettings] = None,
+                         code_fp: str = "") -> "SweepQueue":
+        """Create the queue, or attach to an existing one for the same grid.
+
+        Attaching validates the spec digest (grid identity plus source
+        fingerprint) so a half-finished queue is only ever resumed with
+        the exact grid that created it.
+        """
+        queue = cls(root)
+        if not queue.db_path.exists():
+            return cls.create(root, cells, settings=settings, code_fp=code_fp)
+        recorded = queue._meta("spec_digest")
+        expected = cls._spec_digest(cells, code_fp)
+        if recorded != expected:
+            raise ValueError(
+                f"queue at {queue.root} was created for a different grid "
+                "or source tree; use a fresh --queue-dir"
+            )
+        return queue
+
+    @classmethod
+    def open(cls, root) -> "SweepQueue":
+        """Attach to an existing queue (the worker entry point)."""
+        queue = cls(root)
+        if not queue.db_path.exists():
+            raise FileNotFoundError(f"no sweep queue at {queue.root}")
+        return queue
+
+    @staticmethod
+    def _spec_digest(cells, code_fp: str) -> str:
+        import hashlib
+
+        parts = [code_fp]
+        for key, _args, fp, gfp in cells:
+            parts.append(f"{key}|{fp}|{gfp}")
+        return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------
+    # Low-level plumbing
+    # ------------------------------------------------------------------
+
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(self.db_path, timeout=30.0)
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.execute("PRAGMA busy_timeout=30000")
+        return conn
+
+    class _Txn:
+        def __init__(self, queue: "SweepQueue") -> None:
+            self.queue = queue
+            self.conn: Optional[sqlite3.Connection] = None
+
+        def __enter__(self) -> sqlite3.Connection:
+            self.conn = self.queue._connect()
+            self.conn.execute("BEGIN IMMEDIATE")
+            return self.conn
+
+        def __exit__(self, exc_type, _exc, _tb) -> None:
+            assert self.conn is not None
+            try:
+                if exc_type is None:
+                    self.conn.commit()
+                else:
+                    self.conn.rollback()
+            finally:
+                self.conn.close()
+
+    def _txn(self) -> "_Txn":
+        return self._Txn(self)
+
+    def _meta(self, key: str) -> Optional[str]:
+        conn = self._connect()
+        try:
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key=?", (key,)
+            ).fetchone()
+            return row[0] if row else None
+        finally:
+            conn.close()
+
+    @property
+    def settings(self) -> QueueSettings:
+        if self._settings is None:
+            text = self._meta("settings")
+            if text is None:
+                raise RuntimeError(f"queue at {self.root} has no settings")
+            self._settings = QueueSettings.from_json(text)
+        return self._settings
+
+    def load_grid(self) -> list:
+        """The (key, args) grid this queue was created from, in order."""
+        if self._grid is None:
+            payload = pickle.loads(self.grid_path.read_bytes())
+            self._grid = payload["cells"]
+        return self._grid
+
+    @staticmethod
+    def _log(conn, cell: int, owner: Optional[str], event: str,
+             detail: str = "", now: Optional[float] = None) -> None:
+        conn.execute(
+            "INSERT INTO events (cell, at, owner, event, detail) "
+            "VALUES (?, ?, ?, ?, ?)",
+            (cell, time.time() if now is None else now, owner, event, detail),
+        )
+
+    # ------------------------------------------------------------------
+    # The lease protocol
+    # ------------------------------------------------------------------
+
+    def claim(self, owner: str,
+              now: Optional[float] = None) -> Optional[Lease]:
+        """Lease the lowest open (and ready) cell, or None.
+
+        Expired leases are reclaimed first, inside the same transaction,
+        so a fleet of claiming workers is all the recovery machinery the
+        queue needs: nobody has to notice a worker died.
+        """
+        now = time.time() if now is None else now
+        s = self.settings
+        quarantined: list[int] = []
+        with self._txn() as conn:
+            _reclaimed, quarantined = self._reclaim_locked(conn, now, s)
+            row = conn.execute(
+                "SELECT idx, attempts FROM cells WHERE status='open' AND "
+                "not_before<=? ORDER BY idx LIMIT 1", (now,),
+            ).fetchone()
+            if row is not None:
+                idx, attempts = row
+                deadline = now + s.lease_duration
+                conn.execute(
+                    "UPDATE cells SET status='leased', owner=?, "
+                    "last_owner=?, lease_deadline=?, attempts=attempts+1 "
+                    "WHERE idx=?",
+                    (owner, owner, deadline, idx),
+                )
+                self._log(conn, idx, owner, "claim",
+                          f"attempt {attempts + 1}", now)
+        self._write_quarantine_bundles(quarantined)
+        if row is None:
+            return None
+        grid = self.load_grid()
+        key, args = grid[idx]
+        gfp = self._cell_column(idx, "group_fp")
+        return Lease(idx=idx, key=key, args=args, group_fp=gfp,
+                     attempts=attempts + 1, deadline=deadline)
+
+    def heartbeat(self, idx: int, owner: str,
+                  now: Optional[float] = None) -> bool:
+        """Extend a held lease; False means the lease was lost.
+
+        A worker whose heartbeat fails should abandon the cell: some
+        other worker already reclaimed it (the eventual duplicate commit
+        is harmless either way).
+        """
+        now = time.time() if now is None else now
+        with self._txn() as conn:
+            cur = conn.execute(
+                "UPDATE cells SET lease_deadline=? "
+                "WHERE idx=? AND status='leased' AND owner=?",
+                (now + self.settings.lease_duration, idx, owner),
+            )
+            return cur.rowcount == 1
+
+    def reap(self, now: Optional[float] = None) -> int:
+        """Reclaim every expired lease; returns how many were reclaimed.
+
+        ``claim`` already does this; ``reap`` exists so a supervisor can
+        drive recovery even when no worker is currently claiming.
+        """
+        now = time.time() if now is None else now
+        with self._txn() as conn:
+            reclaimed, quarantined = self._reclaim_locked(
+                conn, now, self.settings
+            )
+        self._write_quarantine_bundles(quarantined)
+        return reclaimed
+
+    def _reclaim_locked(self, conn, now: float,
+                        s: QueueSettings) -> tuple[int, list[int]]:
+        """Re-open or quarantine expired leases (inside a transaction).
+
+        Returns ``(reclaimed_count, quarantined_indices)``; the caller
+        writes the quarantine evidence bundles after the transaction
+        commits (bundle IO must never extend the lock hold).
+        """
+        rows = conn.execute(
+            "SELECT idx, owner, attempts FROM cells "
+            "WHERE status='leased' AND lease_deadline<?", (now,),
+        ).fetchall()
+        quarantined = []
+        for idx, owner, attempts in rows:
+            message = (f"lease expired after attempt {attempts} "
+                       f"(worker {owner} presumed dead)")
+            if attempts >= s.max_attempts:
+                conn.execute(
+                    "UPDATE cells SET status='quarantined', owner=NULL, "
+                    "error_type='LeaseExpired', message=? WHERE idx=?",
+                    (message, idx),
+                )
+                self._log(conn, idx, owner, "quarantine", message, now)
+                quarantined.append(idx)
+            else:
+                delay = backoff_delay(attempts, s.backoff_base, s.backoff_cap)
+                conn.execute(
+                    "UPDATE cells SET status='open', owner=NULL, "
+                    "not_before=?, error_type='LeaseExpired', message=? "
+                    "WHERE idx=?",
+                    (now + delay, message, idx),
+                )
+                self._log(conn, idx, owner, "reclaim",
+                          f"backoff {delay:.3f}s", now)
+        return len(rows), quarantined
+
+    def release(self, idx: int, owner: str) -> bool:
+        """Hand a leased cell back untouched (graceful worker drain).
+
+        The attempt is refunded — a drained worker is not a failure.
+        """
+        with self._txn() as conn:
+            cur = conn.execute(
+                "UPDATE cells SET status='open', owner=NULL, "
+                "lease_deadline=NULL, attempts=attempts-1 "
+                "WHERE idx=? AND status='leased' AND owner=?",
+                (idx, owner),
+            )
+            if cur.rowcount == 1:
+                self._log(conn, idx, owner, "release")
+            return cur.rowcount == 1
+
+    # ------------------------------------------------------------------
+    # Commit paths
+    # ------------------------------------------------------------------
+
+    def _result_path(self, idx: int) -> Path:
+        return self.results_dir / f"cell-{idx:05d}.json"
+
+    def complete(self, idx: int, owner: str, result) -> bool:
+        """Commit a finished cell idempotently; returns True if counted.
+
+        The result file is created first-writer-wins: a duplicate
+        execution (zombie worker, reclaimed lease) finds the file
+        already present — byte-identical by determinism — and its
+        commit degrades to a no-op.  Works regardless of whether the
+        committer still holds the lease.
+        """
+        path = self._result_path(idx)
+        payload = json.dumps(result_to_dict(result), indent=2)
+        tmp = path.with_suffix(f".tmp-{owner.replace('/', '_')}-{os.getpid()}")
+        tmp.write_text(payload)
+        try:
+            os.link(tmp, path)  # atomic create-if-absent
+            first_writer = True
+        except FileExistsError:
+            first_writer = False
+        finally:
+            tmp.unlink(missing_ok=True)
+        with self._txn() as conn:
+            cur = conn.execute(
+                "UPDATE cells SET status='done', owner=NULL, last_owner=?, "
+                "result_path=?, error_type=NULL, message=NULL "
+                "WHERE idx=? AND status!='done'",
+                (owner, str(path), idx),
+            )
+            self._log(conn, idx, owner,
+                      "complete" if cur.rowcount else "duplicate-commit")
+            return cur.rowcount == 1 and first_writer
+
+    def fail(self, idx: int, owner: str, error_type: str, message: str,
+             retryable: bool, bundle_path: Optional[str] = None,
+             now: Optional[float] = None) -> str:
+        """Record a failed execution; returns the cell's new status.
+
+        Deterministic simulation failures (``retryable=False``) are
+        terminal: the cell would fail identically under serial
+        ``Sweep.run()``, so retrying would only burn cycles and the
+        recorded ``FailedRun`` must match the serial oracle.
+        Infrastructure failures (``retryable=True``: timeouts, crashed
+        cell processes) re-open the cell with capped exponential
+        backoff until ``max_attempts``, then quarantine it.
+        """
+        now = time.time() if now is None else now
+        s = self.settings
+        to_bundle = False
+        with self._txn() as conn:
+            row = conn.execute(
+                "SELECT attempts FROM cells WHERE idx=?", (idx,)
+            ).fetchone()
+            attempts = row[0] if row else 0
+            if not retryable:
+                status = "failed"
+                conn.execute(
+                    "UPDATE cells SET status='failed', owner=NULL, "
+                    "last_owner=?, error_type=?, message=?, bundle_path=? "
+                    "WHERE idx=? AND status IN ('leased', 'open')",
+                    (owner, error_type, message, bundle_path, idx),
+                )
+            elif attempts >= s.max_attempts:
+                status = "quarantined"
+                conn.execute(
+                    "UPDATE cells SET status='quarantined', owner=NULL, "
+                    "last_owner=?, error_type=?, message=?, bundle_path=? "
+                    "WHERE idx=? AND status IN ('leased', 'open')",
+                    (owner, error_type, message, bundle_path, idx),
+                )
+                to_bundle = bundle_path is None
+            else:
+                status = "open"
+                delay = backoff_delay(attempts, s.backoff_base, s.backoff_cap)
+                conn.execute(
+                    "UPDATE cells SET status='open', owner=NULL, "
+                    "last_owner=?, not_before=?, error_type=?, message=? "
+                    "WHERE idx=? AND status IN ('leased', 'open')",
+                    (owner, now + delay, error_type, message, idx),
+                )
+            self._log(conn, idx, owner, status if status != "open" else "retry",
+                      f"{error_type}: {message}", now)
+        if to_bundle:
+            self._write_quarantine_bundles([idx])
+        return status
+
+    # ------------------------------------------------------------------
+    # Quarantine evidence
+    # ------------------------------------------------------------------
+
+    def _write_quarantine_bundles(self, indices: list[int]) -> None:
+        """Write an evidence bundle per quarantined cell (best effort).
+
+        When the failing run produced no sanitizer crash bundle, the
+        queue still leaves something to debug with: the cell's identity,
+        its full attempt/lease history, and the last recorded error.
+        """
+        for idx in indices:
+            try:
+                path = self._write_quarantine_bundle(idx)
+                with self._txn() as conn:
+                    conn.execute(
+                        "UPDATE cells SET bundle_path=? "
+                        "WHERE idx=? AND bundle_path IS NULL",
+                        (str(path), idx),
+                    )
+            except Exception:
+                pass  # evidence is best-effort; the grid must drain
+
+    def _write_quarantine_bundle(self, idx: int) -> Path:
+        conn = self._connect()
+        try:
+            row = conn.execute(
+                "SELECT fingerprint, status, attempts, last_owner, "
+                "error_type, message FROM cells WHERE idx=?", (idx,),
+            ).fetchone()
+            history = conn.execute(
+                "SELECT at, owner, event, detail FROM events "
+                "WHERE cell=? ORDER BY seq", (idx,),
+            ).fetchall()
+        finally:
+            conn.close()
+        fingerprint, status, attempts, last_owner, error_type, message = row
+        key, _args = self.load_grid()[idx]
+        failed = FailedRun(
+            workload=key.workload, policy=key.policy,
+            error_type=error_type or "Quarantined", message=message or "",
+            attempts=attempts, last_owner=last_owner,
+        )
+        bundle = self.bundles_dir / f"cell-{idx:05d}"
+        bundle.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "kind": "quarantine",
+            "cell": idx,
+            "key": str(key),
+            "fingerprint": fingerprint,
+            "status": status,
+            "failure": failed_to_dict(failed),
+            "history": [
+                {"at": at, "owner": ow, "event": ev, "detail": detail}
+                for at, ow, ev, detail in history
+            ],
+        }
+        (bundle / "manifest.json").write_text(json.dumps(manifest, indent=2))
+        return bundle
+
+    # ------------------------------------------------------------------
+    # Observation / harvest
+    # ------------------------------------------------------------------
+
+    def _cell_column(self, idx: int, column: str):
+        assert column in ("group_fp", "fingerprint", "status", "bundle_path")
+        conn = self._connect()
+        try:
+            row = conn.execute(
+                f"SELECT {column} FROM cells WHERE idx=?", (idx,)
+            ).fetchone()
+            return row[0] if row else None
+        finally:
+            conn.close()
+
+    def stats(self) -> QueueStats:
+        conn = self._connect()
+        try:
+            counts = dict(conn.execute(
+                "SELECT status, COUNT(*) FROM cells GROUP BY status"
+            ).fetchall())
+        finally:
+            conn.close()
+        return QueueStats(
+            open=counts.get("open", 0),
+            leased=counts.get("leased", 0),
+            done=counts.get("done", 0),
+            failed=counts.get("failed", 0),
+            quarantined=counts.get("quarantined", 0),
+        )
+
+    def drained(self) -> bool:
+        """True once every cell is terminal (done/failed/quarantined)."""
+        return self.stats().live == 0
+
+    def rows(self) -> list[tuple]:
+        """Every cell row, in grid order (for tests and tooling)."""
+        conn = self._connect()
+        try:
+            return conn.execute(
+                "SELECT idx, status, owner, last_owner, attempts, "
+                "error_type, message, result_path, bundle_path "
+                "FROM cells ORDER BY idx"
+            ).fetchall()
+        finally:
+            conn.close()
+
+    def collect(self):
+        """Assemble the drained queue into a :class:`SweepResult`.
+
+        Rows are read in grid order, so the resulting ``points`` and
+        ``failures`` iterate exactly like serial ``Sweep.run()`` output.
+        A cell that is somehow still live (collect before drain) is
+        reported as an ``Incomplete`` failure rather than hidden.
+        """
+        from repro.harness.sweep import SweepResult
+
+        grid = self.load_grid()
+        result = SweepResult()
+        for (idx, status, _owner, last_owner, attempts, error_type,
+             message, result_path, bundle_path) in self.rows():
+            key, _args = grid[idx]
+            if status == "done":
+                result.points[key] = load_result(result_path)
+            elif status in ("failed", "quarantined"):
+                result.failures[key] = FailedRun(
+                    workload=key.workload, policy=key.policy,
+                    error_type=error_type or status,
+                    message=message or "",
+                    bundle_path=bundle_path,
+                    attempts=max(attempts, 1),
+                    last_owner=last_owner,
+                )
+            else:
+                result.failures[key] = FailedRun(
+                    workload=key.workload, policy=key.policy,
+                    error_type="Incomplete",
+                    message=f"cell still {status} when collected",
+                    attempts=max(attempts, 1),
+                    last_owner=last_owner,
+                )
+        return result

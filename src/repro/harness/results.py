@@ -106,6 +106,13 @@ class FailedRun:
     # Crash-bundle directory written by the sanitizer for this failure,
     # or None when checks were off / no bundle_dir was configured.
     bundle_path: Optional[str] = None
+    # Executions granted before the failure became terminal.  1 for
+    # in-process sweeps; a queue-executed cell that was retried after
+    # infrastructure failures (lease expiry, timeout) counts them all.
+    attempts: int = 1
+    # Identity of the worker whose execution produced this record, when
+    # a sweep queue ran the cell (None for in-process sweeps).
+    last_owner: Optional[str] = None
 
     @classmethod
     def from_exception(cls, workload: str, policy: str,

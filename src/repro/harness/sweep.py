@@ -126,13 +126,13 @@ class SweepResult:
         if not self.failures:
             return ""
         rows = [
-            [k.workload, k.policy, k.config, k.fault, f.error_type, f.message,
-             f.bundle_path or "-"]
+            [k.workload, k.policy, k.config, k.fault, f.error_type,
+             f.attempts, f.message, f.bundle_path or "-"]
             for k, f in self.failures.items()
         ]
         return format_table(
-            ["Workload", "Policy", "Config", "Fault", "Error", "Message",
-             "Bundle"],
+            ["Workload", "Policy", "Config", "Fault", "Error", "Attempts",
+             "Message", "Bundle"],
             rows, "Sweep failures",
         )
 
@@ -302,6 +302,30 @@ def group_fingerprint(args, code_fp: str = "") -> Optional[str]:
     })
 
 
+def plan_queue_cells(grid, code_fp: str = "", fork: bool = True) -> list:
+    """Queue rows ``(key, args, fingerprint, group_fp)`` for a grid.
+
+    Mirrors the in-process executor's fork plan exactly: a cell keeps
+    its group fingerprint only when at least two cells share it (a group
+    of one amortizes nothing and runs cold).  Matching the plan matters
+    beyond speed — a forked cell that exhausts ``max_events`` reports
+    the *continuation* budget in its failure message, so queue-executed
+    failures stay byte-identical to serial ones.
+    """
+    group_fps = []
+    members: dict[str, int] = {}
+    for _key, args in grid:
+        group_fp = group_fingerprint(args, code_fp) if fork else None
+        group_fps.append(group_fp)
+        if group_fp is not None:
+            members[group_fp] = members.get(group_fp, 0) + 1
+    return [
+        (key, args, cell_fingerprint(args, code_fp),
+         group_fp if group_fp is not None and members[group_fp] >= 2 else None)
+        for (key, args), group_fp in zip(grid, group_fps)
+    ]
+
+
 @dataclass(frozen=True)
 class _WorkloadMeta:
     """Just enough workload identity for :func:`harvest_result`.
@@ -382,7 +406,11 @@ class Sweep:
             chunk_size: int = 0, fork: bool = True,
             cache_dir=None, resume: bool = False,
             checks=None, bundle_dir=None,
-            batch: bool = False) -> SweepResult:
+            batch: bool = False,
+            cell_timeout: Optional[float] = None,
+            queue_dir=None, lease_duration: float = 30.0,
+            max_attempts: int = 3, backoff_base: float = 1.0,
+            backoff_cap: float = 60.0) -> SweepResult:
         """Execute every grid point; optionally report progress.
 
         Args:
@@ -426,6 +454,35 @@ class Sweep:
                 ``workers > 1`` (process parallelism already amortizes
                 the same overheads).
 
+            cell_timeout: Per-cell wall-clock budget in seconds.  Each
+                cell then runs cold in its own supervised child process
+                that is SIGKILLed past the deadline — the backstop for
+                hangs in native/OS code that the in-sim event budgets
+                and stall watchdog cannot see.  A timed-out cell lands
+                in ``failures`` as ``CellTimeout``; the rest of the grid
+                completes.  Results stay byte-identical (cold == forked
+                is pinned by the parity suite).  Incompatible with
+                ``batch``.
+            queue_dir: Execute through a fault-tolerant on-disk
+                :class:`repro.harness.queue.SweepQueue` instead of the
+                in-process pool.  The grid is materialized as sqlite
+                rows; ``workers`` local worker processes drain it, and
+                any number of external ``repro worker <queue_dir>``
+                processes — on any machine sharing the filesystem — may
+                attach at any time.  Results are byte-identical to an
+                in-process run; crashed/hung workers are recovered via
+                lease expiry (see docs/resilience.md).  ``progress`` is
+                polled from queue counters, so the ``key`` argument is
+                None in this mode.  Incompatible with ``cache_dir`` /
+                ``resume`` / ``batch`` (the queue is itself the resume
+                mechanism: re-running with the same ``queue_dir`` picks
+                up where the grid left off).
+            lease_duration / max_attempts / backoff_base / backoff_cap:
+                Queue-mode recovery policy — how long a worker may hold
+                a cell without heartbeating, how many executions a cell
+                is granted before quarantine, and the capped exponential
+                backoff between retries.
+
         A point that raises is recorded as a :class:`FailedRun` in
         ``SweepResult.failures``; the rest of the grid still runs.  A
         worker task that dies wholesale (e.g. OOM-kill, unpicklable
@@ -437,6 +494,27 @@ class Sweep:
                 "batch=True drives cells in-process; combine it with "
                 "workers=1 (process parallelism already amortizes the "
                 "same per-run overheads)"
+            )
+        if batch and (cell_timeout is not None or queue_dir is not None):
+            raise ValueError(
+                "batch=True interleaves cells in one process; it cannot "
+                "be combined with cell_timeout or queue_dir (both need "
+                "per-cell process isolation)"
+            )
+        if queue_dir is not None:
+            if cache_dir is not None or resume:
+                raise ValueError(
+                    "queue_dir is its own resume mechanism; do not "
+                    "combine it with cache_dir/resume"
+                )
+            return self._run_queue(
+                scale=scale, seed=seed, progress=progress, workers=workers,
+                max_events_per_run=max_events_per_run,
+                stall_threshold=stall_threshold, fork=fork, checks=checks,
+                bundle_dir=bundle_dir, cell_timeout=cell_timeout,
+                queue_dir=queue_dir, lease_duration=lease_duration,
+                max_attempts=max_attempts, backoff_base=backoff_base,
+                backoff_cap=backoff_cap,
             )
         result = SweepResult()
         total = self.size()
@@ -474,6 +552,12 @@ class Sweep:
                         result.cache_hits += 1
                         from_cache.add(index)
                         land(index, cached)
+
+        # --- supervised execution: a wall-clock budget means every
+        # remaining cell runs cold in its own killable child process
+        if cell_timeout is not None:
+            self._run_supervised(grid, outcomes, workers, cell_timeout,
+                                 result, land)
 
         # --- plan: split the remaining cells into fork groups and colds
         pending = [i for i in range(len(grid)) if i not in outcomes]
@@ -631,11 +715,131 @@ class Sweep:
                     else:
                         result.cold_cells += 1
 
+    def _run_supervised(self, grid, outcomes, workers, cell_timeout,
+                        result, land) -> None:
+        """Run every pending cell cold in a supervised child process.
+
+        The supervisor (:func:`repro.harness.worker.run_cell_supervised`)
+        SIGKILLs a cell past ``cell_timeout`` seconds, so a hang in
+        native/OS code costs one cell, not the whole grid.  With
+        ``workers > 1``, supervisor *threads* each drive one child
+        process — unlike a process pool, a killed cell poisons nothing.
+        """
+        from repro.harness.worker import run_cell_supervised
+
+        pending = [i for i in range(len(grid)) if i not in outcomes]
+        if workers <= 1:
+            for index in pending:
+                land(index, run_cell_supervised(
+                    grid[index][1], timeout=cell_timeout
+                ))
+                result.cold_cells += 1
+        else:
+            from concurrent.futures import ThreadPoolExecutor, as_completed
+
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(run_cell_supervised, grid[index][1],
+                                None, None, cell_timeout): index
+                    for index in pending
+                }
+                for future in as_completed(futures):
+                    land(futures[future], future.result())
+                    result.cold_cells += 1
+
+    def _run_queue(self, *, scale, seed, progress, workers,
+                   max_events_per_run, stall_threshold, fork, checks,
+                   bundle_dir, cell_timeout, queue_dir, lease_duration,
+                   max_attempts, backoff_base,
+                   backoff_cap) -> SweepResult:
+        """Execute the grid through an on-disk fault-tolerant queue.
+
+        The grid is materialized as lease-managed sqlite rows
+        (:class:`repro.harness.queue.SweepQueue`); ``workers`` local
+        worker processes drain it, and external ``repro worker``
+        processes may attach at any time to help.  The calling process
+        supervises: it reaps expired leases, and if every local worker
+        dies it degrades to draining the queue itself, so the sweep
+        always converges.  Results are byte-identical to the in-process
+        executor (same runner, same fork plan, deterministic cells).
+        """
+        import multiprocessing
+        import time as _time
+
+        from repro.harness.queue import QueueSettings, SweepQueue
+        from repro.harness.worker import run_worker
+        from repro.perf.fingerprint import code_fingerprint
+
+        grid = list(self._grid(scale, seed, max_events_per_run,
+                               stall_threshold, checks, bundle_dir))
+        code_fp = code_fingerprint()
+        cells = plan_queue_cells(grid, code_fp, fork)
+        settings = QueueSettings(
+            lease_duration=lease_duration, max_attempts=max_attempts,
+            backoff_base=backoff_base, backoff_cap=backoff_cap,
+            cell_timeout=cell_timeout,
+        )
+        queue = SweepQueue.create_or_attach(
+            queue_dir, cells, settings=settings, code_fp=code_fp
+        )
+        total = len(grid)
+
+        def report_progress() -> None:
+            if progress is not None:
+                stats = queue.stats()
+                progress(stats.total - stats.live, total, None)
+
+        if workers > 1:
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+            procs = [
+                ctx.Process(
+                    target=run_worker, args=(str(queue_dir),),
+                    kwargs={"install_signal_handlers": True},
+                )
+                for _ in range(workers)
+            ]
+            for proc in procs:
+                proc.start()
+            try:
+                while not queue.drained():
+                    queue.reap()
+                    report_progress()
+                    if not any(proc.is_alive() for proc in procs):
+                        # The whole local fleet died; drain in-process
+                        # so the sweep still converges.
+                        break
+                    _time.sleep(0.2)
+            finally:
+                for proc in procs:
+                    if proc.is_alive():
+                        proc.terminate()  # SIGTERM -> graceful drain
+                for proc in procs:
+                    proc.join()
+        # Degraded mode (workers <= 1), fleet-death fallback, and the
+        # final safety net for leases released by draining workers: the
+        # calling process claims cells itself until the grid is done.
+        while not queue.drained():
+            run_worker(queue_dir, exit_when_drained=True)
+        report_progress()
+        return queue.collect()
+
     @staticmethod
     def _record(result: SweepResult, key: SweepKey, outcome) -> None:
         if isinstance(outcome, Exception):
             result.failures[key] = FailedRun.from_exception(
                 key.workload, key.policy, outcome
+            )
+            return
+        from repro.harness.worker import CellFailure
+
+        if isinstance(outcome, CellFailure):
+            result.failures[key] = FailedRun(
+                workload=key.workload, policy=key.policy,
+                error_type=outcome.error_type, message=outcome.message,
+                bundle_path=outcome.bundle_path,
             )
         else:
             result.points[key] = outcome

@@ -1,0 +1,283 @@
+"""Unit tests for the sqlite sweep queue: leases, backoff, quarantine.
+
+These tests drive :class:`repro.harness.queue.SweepQueue` directly with
+synthetic cells and explicit clocks (every protocol method accepts
+``now=``), so lease expiry, backoff windows, and quarantine are exercised
+deterministically — no sleeping, no real workers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness.io import failed_from_dict, failed_to_dict
+from repro.harness.queue import (
+    QueueSettings,
+    SweepQueue,
+    backoff_delay,
+)
+from repro.harness.results import FailedRun, RunResult
+from repro.harness.sweep import SweepKey
+from repro.mem.access import AccessKind
+from repro.metrics.occupancy import OccupancySnapshot
+
+
+def make_result(workload="MT", policy="griffin") -> RunResult:
+    return RunResult(
+        workload=workload, policy=policy, cycles=123.0, transactions=4,
+        occupancy=OccupancySnapshot((2, 1), cpu_pages=0),
+        cpu_shootdowns=0, gpu_shootdowns=0,
+        cpu_to_gpu_migrations=1, gpu_to_gpu_migrations=0, dftm_denials=0,
+        kind_counts={k: 0 for k in AccessKind}, local_fraction=0.5,
+        migration_events=[], seed=1, scale=0.01,
+    )
+
+
+def make_cells(n=3):
+    return [
+        (SweepKey("MT", f"policy{i}", "tiny", "default"), ("args", i),
+         f"fp{i}", None)
+        for i in range(n)
+    ]
+
+
+@pytest.fixture
+def settings():
+    return QueueSettings(lease_duration=10.0, max_attempts=3,
+                         backoff_base=1.0, backoff_cap=4.0)
+
+
+@pytest.fixture
+def queue(tmp_path, settings):
+    return SweepQueue.create(tmp_path / "q", make_cells(), settings)
+
+
+class TestBackoff:
+    def test_first_retry_waits_base(self):
+        assert backoff_delay(1, base=2.0, cap=60.0) == 2.0
+
+    def test_doubles_per_attempt(self):
+        delays = [backoff_delay(a, base=1.0, cap=1e9) for a in (1, 2, 3, 4)]
+        assert delays == [1.0, 2.0, 4.0, 8.0]
+
+    def test_capped(self):
+        assert backoff_delay(10, base=1.0, cap=5.0) == 5.0
+
+    def test_huge_attempt_counts_do_not_overflow(self):
+        assert backoff_delay(10_000, base=1.0, cap=30.0) == 30.0
+
+    def test_zero_attempts_no_delay(self):
+        assert backoff_delay(0, base=1.0, cap=30.0) == 0.0
+
+
+class TestSettings:
+    def test_json_round_trip(self):
+        s = QueueSettings(lease_duration=5.0, max_attempts=7,
+                          backoff_base=0.5, backoff_cap=8.0,
+                          cell_timeout=120.0)
+        assert QueueSettings.from_json(s.to_json()) == s
+
+    def test_none_timeout_round_trips(self):
+        s = QueueSettings()
+        assert QueueSettings.from_json(s.to_json()).cell_timeout is None
+
+
+class TestCreation:
+    def test_fresh_queue_is_all_open(self, queue):
+        stats = queue.stats()
+        assert stats.open == 3 and stats.total == 3
+        assert not queue.drained()
+
+    def test_create_twice_refuses(self, tmp_path, settings):
+        SweepQueue.create(tmp_path / "q", make_cells(), settings)
+        with pytest.raises(FileExistsError):
+            SweepQueue.create(tmp_path / "q", make_cells(), settings)
+
+    def test_unpicklable_grid_is_rejected_up_front(self, tmp_path):
+        bad = [(SweepKey("MT", "p", "c", "h"), (lambda: None,), None, None)]
+        with pytest.raises(ValueError, match="picklable"):
+            SweepQueue.create(tmp_path / "q", bad)
+
+    def test_attach_validates_spec_digest(self, tmp_path, settings):
+        SweepQueue.create(tmp_path / "q", make_cells(), settings)
+        again = SweepQueue.create_or_attach(tmp_path / "q", make_cells())
+        assert again.stats().total == 3
+        with pytest.raises(ValueError, match="different grid"):
+            SweepQueue.create_or_attach(tmp_path / "q", make_cells(2))
+
+    def test_open_requires_existing_queue(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            SweepQueue.open(tmp_path / "nope")
+
+
+class TestLeaseProtocol:
+    def test_claim_leases_lowest_open_cell(self, queue):
+        lease = queue.claim("w1", now=100.0)
+        assert lease.idx == 0 and lease.attempts == 1
+        assert lease.args == ("args", 0)
+        assert lease.deadline == 110.0
+        assert queue.stats().leased == 1
+
+    def test_claims_are_exclusive(self, queue):
+        indices = {queue.claim("w1", now=0.0).idx for _ in range(3)}
+        assert indices == {0, 1, 2}
+        assert queue.claim("w1", now=0.0) is None  # all leased
+
+    def test_heartbeat_extends_only_the_owners_lease(self, queue):
+        lease = queue.claim("w1", now=0.0)
+        assert queue.heartbeat(lease.idx, "w1", now=5.0)
+        assert not queue.heartbeat(lease.idx, "intruder", now=5.0)
+        # The extension is real: at t=12 the original deadline (10)
+        # has passed but the lease is still held.
+        assert queue.reap(now=12.0) == 0
+
+    def test_release_refunds_the_attempt(self, queue):
+        lease = queue.claim("w1", now=0.0)
+        assert queue.release(lease.idx, "w1")
+        stats = queue.stats()
+        assert stats.open == 3 and stats.leased == 0
+        again = queue.claim("w2", now=0.0)
+        assert again.idx == lease.idx and again.attempts == 1
+
+    def test_release_requires_ownership(self, queue):
+        lease = queue.claim("w1", now=0.0)
+        assert not queue.release(lease.idx, "intruder")
+        assert queue.stats().leased == 1
+
+    def test_expired_lease_reclaimed_on_claim(self, queue):
+        dead = queue.claim("w-dead", now=0.0)
+        # At t=11 the lease (deadline 10) has expired; a claiming worker
+        # reclaims it, but backoff (base 1.0, attempt 1 -> 1s) keeps the
+        # cell out of reach until t=12.
+        queue.claim("w2", now=11.0)
+        queue.claim("w2", now=11.0)
+        queue.claim("w2", now=11.0)  # leases cells 1 and 2; 0 backing off
+        assert queue.claim("w2", now=11.5) is None
+        revived = queue.claim("w2", now=12.5)
+        assert revived.idx == dead.idx
+        assert revived.attempts == 2  # claim counts executions granted
+
+    def test_reap_reclaims_without_a_claimer(self, queue):
+        queue.claim("w-dead", now=0.0)
+        assert queue.reap(now=5.0) == 0  # still within the lease
+        assert queue.reap(now=11.0) == 1
+        assert queue.stats().leased == 0 and queue.stats().open == 3
+
+    def test_lease_expiry_exhausts_into_quarantine(self, queue):
+        now = 0.0
+        for attempt in range(3):  # max_attempts
+            queue.reap(now=now)  # reclaim the previous expired lease
+            lease = queue.claim("w-dying", now=now + 10.0)
+            assert lease is not None and lease.idx == 0
+            now += 100.0  # a lifetime: lease long expired, backoff over
+        assert queue.reap(now=now) == 1
+        rows = queue.rows()
+        idx, status, _own, _last, attempts, error_type = rows[0][:6]
+        assert (idx, status, attempts) == (0, "quarantined", 3)
+        assert error_type == "LeaseExpired"
+        assert rows[0][8] is not None  # bundle_path
+        assert (Path(rows[0][8]) / "manifest.json").exists()
+
+
+class TestCommits:
+    def test_complete_marks_done_and_writes_result(self, queue):
+        lease = queue.claim("w1", now=0.0)
+        assert queue.complete(lease.idx, "w1", make_result())
+        row = queue.rows()[lease.idx]
+        assert row[1] == "done" and row[7] is not None
+        assert json.loads(Path(row[7]).read_text())["workload"] == "MT"
+
+    def test_duplicate_commit_is_a_no_op(self, queue):
+        lease = queue.claim("w1", now=0.0)
+        assert queue.complete(lease.idx, "w1", make_result())
+        first = Path(queue.rows()[lease.idx][7]).read_bytes()
+        # A zombie worker (reclaimed lease, still executing) commits the
+        # same deterministic result later: nothing changes.
+        assert not queue.complete(lease.idx, "w-zombie", make_result())
+        assert Path(queue.rows()[lease.idx][7]).read_bytes() == first
+        assert queue.stats().done == 1
+
+    def test_commit_lands_even_after_lease_was_lost(self, queue):
+        lease = queue.claim("w1", now=0.0)
+        queue.reap(now=11.0)  # lease expires; cell re-opened
+        assert queue.complete(lease.idx, "w1", make_result())
+        assert queue.rows()[lease.idx][1] == "done"
+
+    def test_deterministic_failure_is_terminal(self, queue):
+        lease = queue.claim("w1", now=0.0)
+        status = queue.fail(lease.idx, "w1", "ValueError",
+                            "unknown policy", retryable=False)
+        assert status == "failed"
+        # Never retried: the cell is not claimable again.
+        assert queue.claim("w1", now=1000.0).idx != lease.idx
+
+    def test_retryable_failure_backs_off_then_reopens(self, queue, settings):
+        lease = queue.claim("w1", now=0.0)
+        status = queue.fail(lease.idx, "w1", "CellTimeout", "killed",
+                            retryable=True, now=50.0)
+        assert status == "open"
+        # backoff_delay(1) = base = 1s: not claimable at 50.5, is at 51.5.
+        claimed = {queue.claim("w1", now=50.5).idx,
+                   queue.claim("w1", now=50.5).idx}
+        assert lease.idx not in claimed
+        assert queue.claim("w1", now=51.5).idx == lease.idx
+
+    def test_quarantine_after_max_attempts_writes_bundle(self, queue):
+        now = 0.0
+        for attempt in range(1, 4):
+            lease = queue.claim("w1", now=now)
+            status = queue.fail(lease.idx, "w1", "CellTimeout", "killed",
+                                retryable=True, now=now)
+            now += 100.0
+        assert status == "quarantined"
+        row = queue.rows()[lease.idx]
+        assert row[1] == "quarantined" and row[4] == 3
+        manifest = json.loads((Path(row[8]) / "manifest.json").read_text())
+        assert manifest["kind"] == "quarantine"
+        assert manifest["failure"]["error_type"] == "CellTimeout"
+        assert manifest["failure"]["attempts"] == 3
+        events = [e["event"] for e in manifest["history"]]
+        assert events.count("claim") == 3 and events[-1] == "quarantined"
+
+
+class TestCollect:
+    def test_collect_reports_every_cell_in_grid_order(self, queue):
+        done = queue.claim("w1", now=0.0)
+        queue.complete(done.idx, "w1", make_result())
+        failed = queue.claim("w1", now=0.0)
+        queue.fail(failed.idx, "w1", "ValueError", "boom", retryable=False)
+        result = queue.collect()  # cell 2 still open
+        assert len(result.points) == 1 and len(result.failures) == 2
+        keys = list(result.points) + list(result.failures)
+        assert [k.policy for k in keys] == ["policy0", "policy1", "policy2"]
+        incomplete = result.failures[SweepKey("MT", "policy2", "tiny",
+                                              "default")]
+        assert incomplete.error_type == "Incomplete"
+
+    def test_collected_failures_carry_queue_provenance(self, queue):
+        lease = queue.claim("w1", now=0.0)
+        queue.fail(lease.idx, "w1", "ValueError", "boom", retryable=False)
+        failure = next(iter(queue.collect().failures.values()))
+        assert failure.attempts == 1 and failure.last_owner == "w1"
+
+
+class TestFailedRunIO:
+    def test_round_trip_preserves_queue_fields(self):
+        original = FailedRun(
+            workload="MT", policy="griffin", error_type="CellTimeout",
+            message="killed", bundle_path="/tmp/b", attempts=3,
+            last_owner="host:1:abc",
+        )
+        rebuilt = failed_from_dict(failed_to_dict(original))
+        assert rebuilt == original
+
+    def test_default_fields_are_not_serialized(self):
+        plain = FailedRun(workload="MT", policy="griffin",
+                          error_type="ValueError", message="boom")
+        data = failed_to_dict(plain)
+        assert "attempts" not in data and "last_owner" not in data
+        assert "bundle" not in data
+        assert failed_from_dict(data) == plain
