@@ -2,10 +2,16 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench reproduce validate clean
+.PHONY: install ext test bench reproduce validate clean
 
 install:
 	pip install -e . --no-build-isolation
+
+# Build the optional compiled event core (repro.sim._ckernel) in place.
+# Failure is non-fatal by design: without it the pure-Python "heap"
+# backend stays the default and the "compiled" backend is unavailable.
+ext:
+	$(PYTHON) setup.py build_ext --inplace
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -20,5 +26,6 @@ validate:
 	$(PYTHON) -m repro.cli validate
 
 clean:
-	rm -rf paper_report .pytest_cache .benchmarks
+	rm -rf paper_report .pytest_cache .benchmarks build
 	find . -name __pycache__ -type d -exec rm -rf {} +
+	find src -name '*.so' -delete

@@ -1,0 +1,52 @@
+"""Build script: the optional compiled event core.
+
+Everything declarative lives in pyproject.toml; this file exists only to
+describe the optional C extension ``repro.sim._ckernel``.  The build is
+best-effort by design: on a host without a C compiler (or with broken
+headers) the extension is skipped with a notice and the install proceeds,
+leaving the pure-Python heap oracle as the engine backend — nothing in
+the package imports the extension unconditionally.
+
+Build in place for development with::
+
+    make ext            # or: python setup.py build_ext --inplace
+"""
+
+from setuptools import Extension, setup
+from setuptools.command.build_ext import build_ext
+
+
+class OptionalBuildExt(build_ext):
+    """Skip (never fail) when the compiled event core cannot be built."""
+
+    def run(self):
+        try:
+            super().run()
+        except Exception as exc:  # toolchain missing entirely
+            self._skip(exc)
+
+    def build_extension(self, ext):
+        try:
+            super().build_extension(ext)
+        except Exception as exc:  # compile/link failure
+            self._skip(exc)
+
+    @staticmethod
+    def _skip(exc):
+        print(
+            "warning: optional extension repro.sim._ckernel was not built "
+            f"({exc!r}); the pure-Python 'heap' engine backend remains the "
+            "default and the 'compiled' backend will be unavailable"
+        )
+
+
+setup(
+    ext_modules=[
+        Extension(
+            "repro.sim._ckernel",
+            sources=["src/repro/sim/_ckernel.c"],
+            optional=True,
+        )
+    ],
+    cmdclass={"build_ext": OptionalBuildExt},
+)

@@ -88,10 +88,12 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--fabric", choices=["pcie", "nvlink"], default="pcie")
         p.add_argument("--full-size", action="store_true",
                        help="use the paper's full Table II GPU (slower)")
-        p.add_argument("--engine-backend", choices=["heap", "ring"],
+        p.add_argument("--engine-backend",
+                       choices=["heap", "ring", "compiled"],
                        default="heap",
                        help="event-core backend (results are byte-identical "
-                            "either way; see docs/performance.md)")
+                            "on all of them; 'compiled' needs the optional "
+                            "C extension — see docs/performance.md)")
 
     def add_fault_options(p: argparse.ArgumentParser) -> None:
         g = p.add_argument_group(
@@ -287,10 +289,12 @@ def _build_parser() -> argparse.ArgumentParser:
                               "(generous on purpose; CI gate)")
     bench_p.add_argument("--no-save", action="store_true",
                          help="measure and print without writing a file")
-    bench_p.add_argument("--engine-backend", choices=["heap", "ring"],
+    bench_p.add_argument("--engine-backend",
+                         choices=["heap", "ring", "compiled"],
                          default="heap",
-                         help="event-core backend every case runs on "
-                              "(the ring_vs_heap case always measures both)")
+                         help="event-core backend every case runs on (the "
+                              "ring_vs_heap and compiled_vs_python cases "
+                              "always measure both of their backends)")
     return parser
 
 
@@ -331,9 +335,16 @@ def _make_checks(args: argparse.Namespace):
 
 
 def _make_config(args: argparse.Namespace):
+    from repro.sim.backends import resolve_backend
+
     base = paper_system(args.gpus) if args.full_size else small_system(args.gpus)
     config = base.with_link(NVLINK if args.fabric == "nvlink" else PCIE_V4)
     backend = getattr(args, "engine_backend", "heap")
+    # Validate eagerly — including the REPRO_ENGINE_BACKEND override and
+    # the availability of the optional compiled extension — so a bad
+    # backend fails here with a clear ConfigError instead of deep inside
+    # machine construction.
+    resolve_backend(backend)
     if backend != "heap":
         config = config.with_engine_backend(backend)
     return config
@@ -370,9 +381,13 @@ def _summarize(result) -> str:
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.sim.engine import SimulationError
 
+    # Built outside the try: a ConfigError (bad backend name, unbuilt
+    # compiled extension) is a usage error (exit 2 via main's handler),
+    # not a simulation failure (exit 1).
+    config = _make_config(args)
     try:
         result = run_workload(
-            args.workload.upper(), args.policy, config=_make_config(args),
+            args.workload.upper(), args.policy, config=config,
             scale=args.scale, seed=args.seed, collect_detail=args.detail,
             faults=_make_faults(args), max_events=args.max_events,
             checks=_make_checks(args), bundle_dir=args.bundle_dir,
@@ -628,8 +643,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         run_bench,
         save_report,
     )
-    from repro.sim.ring import BACKEND_ENV
+    from repro.sim.backends import BACKEND_ENV, resolve_backend
 
+    # Fail fast on an unknown backend or an unbuilt compiled extension
+    # (covers the --engine-backend flag and the env override alike).
+    resolve_backend(args.engine_backend)
     if args.engine_backend != "heap":
         # Suite cases build their own configs; the env override reaches
         # them all (and any subprocesses the batch baseline spawns).
@@ -657,6 +675,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     comparison = compare_reports(
         load_report(baseline_path), report, fail_factor=args.fail_factor
     )
+    if saved is not None:
+        # Embed both verdicts (raw and calibration-normalized) in the
+        # saved report so the artifact records how the gate was judged,
+        # not just the measurements.  load_report ignores unknown keys.
+        import json
+
+        payload = json.loads(saved.read_text())
+        payload["comparison"] = comparison.to_dict()
+        payload["comparison"]["baseline"] = str(baseline_path)
+        saved.write_text(json.dumps(payload, indent=1, sort_keys=True))
     print()
     print(f"baseline: {baseline_path}")
     print(comparison.render())

@@ -7,6 +7,7 @@ from repro.config.faults import (
     ThrottleSpec,
 )
 from repro.config.hyperparams import GriffinHyperParams
+from repro.sim.backends import ConfigError
 from repro.config.system import (
     CacheConfig,
     DRAMConfig,
@@ -25,6 +26,7 @@ from repro.config.presets import (
 )
 
 __all__ = [
+    "ConfigError",
     "FaultConfig",
     "LinkFaultSpec",
     "ThrottleSpec",

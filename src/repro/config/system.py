@@ -240,21 +240,29 @@ class SimConfig:
         engine_backend: Event-core implementation — ``"heap"`` is the
             pure-Python heap + FIFO-lane queue (the parity oracle and
             default); ``"ring"`` is the numpy structured-array event ring
-            with a dense handler table (:mod:`repro.sim.ring`).  Both
-            fire events in identical ``(time, priority, seq)`` order;
-            the golden/parity suites pin them byte-for-byte.  The
+            with a dense handler table (:mod:`repro.sim.ring`);
+            ``"compiled"`` is the optional C extension event core
+            (:mod:`repro.sim.compiled`, only selectable when the
+            ``repro.sim._ckernel`` extension is built).  All fire events
+            in identical ``(time, priority, seq)`` order; the
+            golden/parity suites pin them byte-for-byte.  The
             ``REPRO_ENGINE_BACKEND`` environment variable overrides this
-            field, so an unmodified test suite can be replayed on the
-            other backend.
+            field, so an unmodified test suite can be replayed on another
+            backend.
     """
 
     engine_backend: str = "heap"
 
     def __post_init__(self) -> None:
-        if self.engine_backend not in ("heap", "ring"):
-            raise ValueError(
+        # Name-validity only; availability of the optional compiled
+        # extension is checked by resolve_backend at engine-build time
+        # (a config object must stay constructible on any host).
+        from repro.sim.backends import ENGINE_BACKENDS, ConfigError
+
+        if self.engine_backend not in ENGINE_BACKENDS:
+            raise ConfigError(
                 f"unknown engine_backend {self.engine_backend!r}; "
-                "valid choices: heap, ring"
+                f"valid choices: {', '.join(ENGINE_BACKENDS)}"
             )
 
 
@@ -304,7 +312,8 @@ class SystemConfig:
         return replace(self, link=link)
 
     def with_engine_backend(self, backend: str) -> "SystemConfig":
-        """Return a copy selecting an event-core backend ("heap"|"ring")."""
+        """Return a copy selecting an event-core backend
+        ("heap" | "ring" | "compiled")."""
         return replace(self, sim=SimConfig(engine_backend=backend))
 
     def with_overrides(self, **kwargs: object) -> "SystemConfig":

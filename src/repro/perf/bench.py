@@ -31,9 +31,11 @@ from repro.perf.suite import BenchSuite, bench_suite
 # v2 added "sweep" cases and the per-case ``extra`` dict.
 # v3 added per-case ``median_wall_seconds`` alongside best-of-N, plus the
 # "ring" (heap-vs-ring event core) and "batch" (batched replicas) kinds.
-# Older reports stay loadable: the new field defaults to 0.0.
-_SCHEMA_VERSION = 3
-_READABLE_SCHEMAS = frozenset({1, 2, 3})
+# v4 added the "compiled" kind (heap vs the C event-core extension) and
+# the optional report-level ``comparison`` block the CLI embeds when a
+# baseline diff ran.  Older reports stay loadable: new fields default.
+_SCHEMA_VERSION = 4
+_READABLE_SCHEMAS = frozenset({1, 2, 3, 4})
 
 
 def _peak_rss_kb() -> int:
@@ -60,7 +62,7 @@ class CaseResult:
     """Measurements for one benchmark case."""
 
     name: str
-    kind: str  # "micro" | "e2e" | "sweep" | "ring" | "batch"
+    kind: str  # "micro" | "e2e" | "sweep" | "ring" | "batch" | "compiled"
     wall_seconds: float  # best-of-N (throughput figures use this)
     work: int  # engine events (e2e), ops (micro), or grid cells (sweep)
     work_unit: str
@@ -206,8 +208,27 @@ class BenchReport:
             for c in self.cases
             if c.kind == "batch"
         ]
+        compiled_lines = [
+            (
+                f"compiled '{c.name}': extension not built, "
+                f"heap-only measurement "
+                f"({c.extra.get('heap_events_per_sec', 0.0):,.0f} events/s)"
+                if not c.extra.get("compiled_available", True)
+                else
+                f"compiled '{c.name}': "
+                f"{c.extra.get('compiled_speedup', 0.0):.2f}x "
+                f"events/sec compiled vs heap "
+                f"({c.extra.get('compiled_events_per_sec', 0.0):,.0f} vs "
+                f"{c.extra.get('heap_events_per_sec', 0.0):,.0f}), "
+                f"results identical: "
+                f"{c.extra.get('results_identical', False)}"
+            )
+            for c in self.cases
+            if c.kind == "compiled"
+        ]
         return "\n".join(
-            [table, extra] + sweep_lines + ring_lines + batch_lines
+            [table, extra]
+            + sweep_lines + ring_lines + batch_lines + compiled_lines
         )
 
 
@@ -317,6 +338,10 @@ def run_bench(
         if progress is not None:
             progress(f"batch:{case.name}")
         report.cases.append(_measure_batch(case, repeats))
+    for case in suite.compiled:
+        if progress is not None:
+            progress(f"compiled:{case.name}")
+        report.cases.append(_measure_compiled(case, repeats))
     report.peak_rss_kb = _peak_rss_kb()
     return report
 
@@ -377,6 +402,88 @@ def _measure_ring(case, repeats: int) -> CaseResult:
             "ring_events_per_sec": ring_per_sec,
             "ring_speedup": heap_wall / ring_wall if ring_wall > 0 else 0.0,
             "results_identical": results["heap"] == results["ring"],
+        },
+    )
+
+
+def _measure_compiled(case, repeats: int) -> CaseResult:
+    """Time one pinned e2e cell under the heap and compiled event cores.
+
+    The headline figure (``per_sec``) is the compiled backend's
+    events/sec; ``extra`` records the heap baseline, the compiled/heap
+    speedup, and whether both backends produced byte-identical result
+    dicts — the same parity contract the goldens pin, re-checked here on
+    live runs.
+
+    On hosts where the ``repro.sim._ckernel`` extension is not built the
+    case degrades to a heap-only measurement with
+    ``extra["compiled_available"] = False`` instead of erroring, so an
+    extension-less bench run still produces a complete report.
+
+    As with the ring case, the ``REPRO_ENGINE_BACKEND`` override is
+    suspended during measurement so a compiled-backend CI bench run
+    cannot turn the heap leg into a second compiled leg.
+    """
+    import os
+
+    from repro.harness.io import result_to_dict
+    from repro.harness.runner import run_workload
+    from repro.sim.backends import BACKEND_ENV, compiled_available
+
+    heap_config = case.build_config()
+    results = {}
+
+    def one_run(config, backend) -> int:
+        result = run_workload(
+            case.workload, case.policy, config=config,
+            scale=case.scale, seed=case.seed,
+        )
+        results[backend] = result_to_dict(result)
+        return result.events_executed
+
+    env_override = os.environ.pop(BACKEND_ENV, None)
+    try:
+        heap_wall, heap_med, work, alloc = _measure(
+            lambda: one_run(heap_config, "heap"), repeats
+        )
+        if not compiled_available():
+            heap_per_sec = work / heap_wall if heap_wall > 0 else 0.0
+            return CaseResult(
+                name=case.name, kind="compiled", wall_seconds=heap_wall,
+                work=work, work_unit="events", per_sec=heap_per_sec,
+                alloc_blocks_delta=alloc, repeats=repeats,
+                median_wall_seconds=heap_med,
+                extra={
+                    "compiled_available": False,
+                    "heap_wall_seconds": heap_wall,
+                    "heap_median_wall_seconds": heap_med,
+                    "heap_events_per_sec": heap_per_sec,
+                },
+            )
+        compiled_config = heap_config.with_engine_backend("compiled")
+        comp_wall, comp_med, _, alloc = _measure(
+            lambda: one_run(compiled_config, "compiled"), repeats
+        )
+    finally:
+        if env_override is not None:
+            os.environ[BACKEND_ENV] = env_override
+    heap_per_sec = work / heap_wall if heap_wall > 0 else 0.0
+    comp_per_sec = work / comp_wall if comp_wall > 0 else 0.0
+    return CaseResult(
+        name=case.name, kind="compiled", wall_seconds=comp_wall, work=work,
+        work_unit="events", per_sec=comp_per_sec,
+        alloc_blocks_delta=alloc, repeats=repeats,
+        median_wall_seconds=comp_med,
+        extra={
+            "compiled_available": True,
+            "heap_wall_seconds": heap_wall,
+            "heap_median_wall_seconds": heap_med,
+            "heap_events_per_sec": heap_per_sec,
+            "compiled_events_per_sec": comp_per_sec,
+            "compiled_speedup": (
+                heap_wall / comp_wall if comp_wall > 0 else 0.0
+            ),
+            "results_identical": results["heap"] == results["compiled"],
         },
     )
 
@@ -556,6 +663,15 @@ class BenchComparison:
     case_speedups: dict = field(default_factory=dict)
     regressed: bool = False
     fail_factor: float = 2.0
+    # Raw (un-normalized) verdict: same formula applied to the plain e2e
+    # throughput ratio.  Informational — a slower runner trips this while
+    # the normalized gate stays green, which is exactly the distinction
+    # worth recording in the saved report.
+    regressed_raw: bool = False
+
+    def to_dict(self) -> dict:
+        """JSON-ready form, embedded into saved reports by the CLI."""
+        return asdict(self)
 
     def render(self) -> str:
         from repro.metrics.report import format_table
@@ -577,6 +693,11 @@ class BenchComparison:
         notes.append(
             f"regression gate (normalized e2e {self.fail_factor:.1f}x "
             f"slower): {'FAIL' if self.regressed else 'ok'}"
+        )
+        notes.append(
+            f"raw (un-normalized) e2e {self.fail_factor:.1f}x slower: "
+            f"{'FAIL' if self.regressed_raw else 'ok'}"
+            " (informational; the normalized verdict is the gate)"
         )
         return table + "\n" + "\n".join(notes)
 
@@ -607,6 +728,7 @@ def compare_reports(
         if baseline.normalized_e2e > 0 else 0.0
     )
     regressed = 0.0 < speedup_norm < (1.0 / fail_factor)
+    regressed_raw = 0.0 < speedup < (1.0 / fail_factor)
     return BenchComparison(
         baseline_label=f"{baseline.label}@{baseline.created.split('T')[0]}",
         current_label=f"{current.label}@{current.created.split('T')[0]}",
@@ -616,4 +738,5 @@ def compare_reports(
         case_speedups=case_speedups,
         regressed=regressed,
         fail_factor=fail_factor,
+        regressed_raw=regressed_raw,
     )

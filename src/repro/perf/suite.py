@@ -135,6 +135,32 @@ class RingCase:
 
 
 @dataclass(frozen=True)
+class CompiledCase:
+    """One pinned e2e cell timed heap-vs-compiled (the C event core).
+
+    Same shape as :class:`RingCase`: the identical (workload, policy,
+    config, scale, seed) runs once on the pure-Python heap queue and once
+    on the compiled C extension backend; the case reports both
+    throughputs, the compiled/heap speedup, and whether the two result
+    dicts came out identical.  On hosts where ``repro.sim._ckernel`` is
+    not built the case degrades to a heap-only measurement flagged with
+    ``compiled_available: false`` instead of failing the bench run.
+    """
+
+    name: str
+    workload: str
+    policy: str
+    gpus: int
+    scale: float
+    seed: int
+    config_name: str = "small"  # "small" | "tiny"
+
+    def build_config(self):
+        factory = {"small": small_system, "tiny": tiny_system}[self.config_name]
+        return factory(self.gpus)
+
+
+@dataclass(frozen=True)
 class BatchCase:
     """One pinned seed-replica campaign, batched vs process-per-replica.
 
@@ -166,6 +192,7 @@ class BenchSuite:
     sweeps: tuple = field(default_factory=tuple)
     rings: tuple = field(default_factory=tuple)
     batches: tuple = field(default_factory=tuple)
+    compiled: tuple = field(default_factory=tuple)
 
     def fingerprint_payload(self) -> dict:
         """The suite definition, as data, for the config fingerprint."""
@@ -225,6 +252,18 @@ class BenchSuite:
                     "config": c.config_name,
                 }
                 for c in self.batches
+            ],
+            "compiled": [
+                {
+                    "name": c.name,
+                    "workload": c.workload,
+                    "policy": c.policy,
+                    "gpus": c.gpus,
+                    "scale": c.scale,
+                    "seed": c.seed,
+                    "config": c.config_name,
+                }
+                for c in self.compiled
             ],
         }
 
@@ -369,6 +408,16 @@ _RING_VS_HEAP = RingCase(
     config_name="small",
 )
 
+# Heap-vs-compiled on the same pinned cell the ring case uses, so the
+# three backends are directly comparable from one report.  The compiled
+# core's win concentrates in queue ops and the drain loop, so the
+# speedup here is an end-to-end (Amdahl-limited) figure, not the pure
+# event-chain micro number.
+_COMPILED_VS_PYTHON = CompiledCase(
+    "compiled_vs_python", "MT", "griffin", gpus=4, scale=0.015, seed=3,
+    config_name="small",
+)
+
 # Four seed replicas of a tiny MT/griffin run: small enough that the
 # per-process overhead the batched executor eliminates dominates the
 # baseline, which is exactly the campaign regime it targets.
@@ -392,6 +441,7 @@ FULL_SUITE = BenchSuite(
     sweeps=(_MT_KNOB_SWEEP,),
     rings=(_RING_VS_HEAP,),
     batches=(_BATCHED_REPLICAS,),
+    compiled=(_COMPILED_VS_PYTHON,),
 )
 
 QUICK_SUITE = BenchSuite(
@@ -411,6 +461,10 @@ QUICK_SUITE = BenchSuite(
                  seed=5, config_name="tiny"),
     ),
     batches=(_BATCHED_REPLICAS,),
+    compiled=(
+        CompiledCase("compiled_vs_python_tiny", "MT", "griffin", gpus=2,
+                     scale=0.008, seed=5, config_name="tiny"),
+    ),
 )
 
 

@@ -43,7 +43,6 @@ prefix snapshots the sweep ships to workers.
 from __future__ import annotations
 
 import heapq
-import os
 from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Callable, Optional
 
@@ -62,30 +61,16 @@ _SLOT_DTYPE = np.dtype([
     ("cancelled", np.bool_),
 ])
 
-#: Environment override for the engine backend ("heap" | "ring").  Lets
-#: CI run the entire golden/parity suite against the ring backend with
-#: no test changes (the ``ring-parity`` job sets it).
-BACKEND_ENV = "REPRO_ENGINE_BACKEND"
-
-ENGINE_BACKENDS = ("heap", "ring")
-
-
-def resolve_backend(configured: str = "heap") -> str:
-    """The effective backend: the env override, else the config value."""
-    backend = os.environ.get(BACKEND_ENV) or configured
-    if backend not in ENGINE_BACKENDS:
-        raise SimulationError(
-            f"unknown engine backend {backend!r}; "
-            f"valid choices: {', '.join(ENGINE_BACKENDS)}"
-        )
-    return backend
-
-
-def build_engine(backend: str = "heap") -> Engine:
-    """Construct the engine for a resolved backend name."""
-    if backend == "ring":
-        return RingEngine()
-    return Engine()
+# The backend registry grew out of this module when the third backend
+# landed; it now lives in repro.sim.backends.  Re-exported here because
+# existing callers and tests import the registry from repro.sim.ring.
+from repro.sim.backends import (  # noqa: F401  (re-exports)
+    BACKEND_ENV,
+    ENGINE_BACKENDS,
+    ConfigError,
+    build_engine,
+    resolve_backend,
+)
 
 
 class EventRing:

@@ -32,6 +32,7 @@ from repro.interconnect.link import CPU_PORT
 from heapq import heappush as _heappush
 
 from repro.mem.access import AccessKind, MemoryTransaction
+from repro.sim.compiled import CompiledQueue
 from repro.sim.ring import EventRing
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -70,6 +71,15 @@ class MemoryAccessPath:
         # scheduling sites below branch to ring._place instead of building
         # heap entries (the heap internals they poke do not exist there).
         self._ringq = self._equeue if isinstance(self._equeue, EventRing) else None
+        # Non-None iff the machine runs the compiled backend: the same
+        # sites branch to the C core's _sched/push_entry, which do the
+        # whole clamp-and-route entry build in one call.
+        self._cq = (
+            self._equeue
+            if CompiledQueue is not None
+            and isinstance(self._equeue, CompiledQueue)
+            else None
+        )
         self._se_record: list = []
         self._note: list = []
         self._l1: list = []
@@ -167,6 +177,10 @@ class MemoryAccessPath:
             if ringq is not None:
                 ringq._place(t, 0, self._local_leg, (txn, on_complete), None)
                 return
+            cq = self._cq
+            if cq is not None:
+                cq.push_entry(t, 0, self._local_leg, (txn, on_complete))
+                return
             q = self._equeue
             seq = q._seq
             q._seq = seq + 1
@@ -196,6 +210,10 @@ class MemoryAccessPath:
             ringq = self._ringq
             if ringq is not None:
                 ringq._place(t, 0, self._local_leg, (txn, on_complete), None)
+                return
+            cq = self._cq
+            if cq is not None:
+                cq.push_entry(t, 0, self._local_leg, (txn, on_complete))
                 return
             q = self._equeue
             seq = q._seq
@@ -267,6 +285,10 @@ class MemoryAccessPath:
             ringq._place(finish if finish > now else now, 0, on_complete,
                          (txn, finish), None)
             return
+        cq = self._cq
+        if cq is not None:
+            cq._sched(now, finish, on_complete, (txn, finish))
+            return
         q = self._equeue
         seq = q._seq
         q._seq = seq + 1
@@ -300,6 +322,10 @@ class MemoryAccessPath:
                 if ringq is not None:
                     ringq._place(hit if hit > now else now, 0, on_complete,
                                  (txn, hit), None)
+                    return
+                cq = self._cq
+                if cq is not None:
+                    cq._sched(now, hit, on_complete, (txn, hit))
                     return
                 q = self._equeue
                 seq = q._seq
@@ -335,6 +361,11 @@ class MemoryAccessPath:
                          self._remote_service_leg, (txn, owner, on_complete),
                          None)
             return
+        cq = self._cq
+        if cq is not None:
+            cq._sched(now, arrive, self._remote_service_leg,
+                      (txn, owner, on_complete))
+            return
         q = self._equeue
         seq = q._seq
         q._seq = seq + 1
@@ -365,6 +396,11 @@ class MemoryAccessPath:
             ringq._place(served if served > now else now, 0,
                          self._remote_response_leg, (txn, owner, on_complete),
                          None)
+            return
+        cq = self._cq
+        if cq is not None:
+            cq._sched(now, served, self._remote_response_leg,
+                      (txn, owner, on_complete))
             return
         q = self._equeue
         seq = q._seq
@@ -397,6 +433,10 @@ class MemoryAccessPath:
         if ringq is not None:
             ringq._place(arrive if arrive > now else now, 0, on_complete,
                          (txn, arrive), None)
+            return
+        cq = self._cq
+        if cq is not None:
+            cq._sched(now, arrive, on_complete, (txn, arrive))
             return
         q = self._equeue
         seq = q._seq
@@ -435,6 +475,10 @@ class MemoryAccessPath:
             ringq._place(arrive if arrive > now else now, 0,
                          self._cpu_service_leg, (txn, on_complete), None)
             return
+        cq = self._cq
+        if cq is not None:
+            cq._sched(now, arrive, self._cpu_service_leg, (txn, on_complete))
+            return
         q = self._equeue
         seq = q._seq
         q._seq = seq + 1
@@ -466,6 +510,10 @@ class MemoryAccessPath:
             ringq._place(served if served > now else now, 0,
                          self._cpu_response_leg, (txn, on_complete), None)
             return
+        cq = self._cq
+        if cq is not None:
+            cq._sched(now, served, self._cpu_response_leg, (txn, on_complete))
+            return
         q = self._equeue
         seq = q._seq
         q._seq = seq + 1
@@ -495,6 +543,10 @@ class MemoryAccessPath:
         if ringq is not None:
             ringq._place(arrive if arrive > now else now, 0, on_complete,
                          (txn, arrive), None)
+            return
+        cq = self._cq
+        if cq is not None:
+            cq._sched(now, arrive, on_complete, (txn, arrive))
             return
         q = self._equeue
         seq = q._seq

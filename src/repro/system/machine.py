@@ -25,7 +25,7 @@ from repro.interconnect.link import InterconnectFabric
 from repro.metrics.timeline import MigrationEvent, PageAccessTimeline
 from repro.resilience.injector import FaultInjector
 from repro.sim.engine import Engine, SimulationStall
-from repro.sim.ring import build_engine, resolve_backend
+from repro.sim.backends import build_engine, resolve_backend
 from repro.sim.resource import ThroughputResource
 from repro.system.access_path import MemoryAccessPath
 from repro.vm.iommu import IOMMU

@@ -1,0 +1,63 @@
+"""Golden-parity matrix for the compiled (C extension) engine backend.
+
+Every pinned grid point of ``tests/golden_parity.json`` — the dumps
+generated on the pure-Python heap oracle — must reproduce byte-for-byte
+when the same cell runs with ``engine_backend="compiled"``.  This is the
+contract that licenses the C event core: it may only be faster, never
+different.
+
+Skipped wholesale when ``repro.sim._ckernel`` is not built; the
+extension-less leg of CI runs the same goldens on the heap backend via
+``tests/property/test_perf_parity.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.harness.io import result_to_dict
+from repro.harness.runner import run_workload
+from repro.sim.backends import BACKEND_ENV
+from repro.sim.compiled import is_available
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+from gen_golden_parity import PARITY_GRID, _CONFIGS, PARITY_FAULTS  # noqa: E402
+
+pytestmark = pytest.mark.skipif(
+    not is_available(), reason="repro.sim._ckernel extension not built"
+)
+
+_GOLDEN_PATH = Path(__file__).resolve().parents[1] / "golden_parity.json"
+GOLDENS = json.loads(_GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(autouse=True)
+def _pin_backend_to_config(monkeypatch):
+    """The env override must not turn the compiled leg into whatever
+    backend an outer CI job selected — the config is the subject here."""
+    monkeypatch.delenv(BACKEND_ENV, raising=False)
+
+
+@pytest.mark.parametrize("key", sorted(GOLDENS))
+def test_compiled_matches_heap_golden(key):
+    """Each golden cell is byte-identical under the compiled backend."""
+    spec = next(row for row in PARITY_GRID if row[0] == key)
+    _, workload, policy, config_name, scale, seed, faulted = spec
+    config = _CONFIGS[config_name]().with_engine_backend("compiled")
+    result = run_workload(
+        workload, policy, config=config, scale=scale, seed=seed,
+        faults=PARITY_FAULTS if faulted else None,
+    )
+    current = result_to_dict(result)
+    golden = GOLDENS[key]
+    assert current == golden, (
+        f"RunResult for {key} diverged between the compiled event core "
+        "and the heap-oracle golden; the C kernel must be "
+        "semantics-preserving (see docs/performance.md)"
+    )
+    assert (json.dumps(current, sort_keys=True)
+            == json.dumps(golden, sort_keys=True))
