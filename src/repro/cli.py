@@ -251,6 +251,59 @@ def _build_parser() -> argparse.ArgumentParser:
     worker_p.add_argument("--max-cells", type=int, default=None, metavar="N",
                           help="stop after claiming N cells")
 
+    queue_p = sub.add_parser(
+        "queue", help="inspect a sweep queue directory"
+    )
+    queue_sub = queue_p.add_subparsers(dest="queue_command", required=True)
+    status_p = queue_sub.add_parser(
+        "status", help="cell counts and lease health; exit 1 if any cell "
+                       "is quarantined"
+    )
+    status_p.add_argument("queue_dir", help="queue directory created by "
+                                            "'sweep --queue-dir' or serve")
+    status_p.add_argument("--json", action="store_true",
+                          help="emit the health snapshot as JSON")
+
+    serve_p = sub.add_parser(
+        "serve", help="run the async experiment service over HTTP"
+    )
+    serve_p.add_argument("--root", default="serve-root", metavar="DIR",
+                         help="service state directory: result cache + "
+                              "queue dirs (default serve-root)")
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=8642,
+                         help="bind port; 0 picks a free one (default 8642)")
+    serve_p.add_argument("--workers", type=int, default=2, metavar="N",
+                         help="worker processes per submission (default 2)")
+    serve_p.add_argument("--max-in-flight", type=int, default=64,
+                         metavar="CELLS",
+                         help="admission budget: max cells enqueued or "
+                              "executing across all submissions; beyond it "
+                              "submissions get 429 (default 64)")
+    serve_p.add_argument("--retry-after", type=float, default=1.0,
+                         metavar="SECONDS",
+                         help="Retry-After hint on 429 responses "
+                              "(default 1)")
+    serve_p.add_argument("--breaker-threshold", type=int, default=3,
+                         metavar="N",
+                         help="consecutive fleet failures before the "
+                              "circuit opens to cache-only mode (default 3)")
+    serve_p.add_argument("--breaker-reset", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="cool-down before a half-open trial "
+                              "(default 30)")
+    serve_p.add_argument("--lease", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="queue lease duration for service workers "
+                              "(default 30)")
+    serve_p.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                         help="executions per cell before quarantine "
+                              "(default 3)")
+    serve_p.add_argument("--cell-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-cell wall-clock timeout (default none)")
+
     replay_p = sub.add_parser(
         "replay", help="re-execute a crash bundle deterministically"
     )
@@ -607,6 +660,56 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_queue(args: argparse.Namespace) -> int:
+    """Inspect a queue directory; exit codes mirror ``worker``.
+
+    Exit codes: 2 when the queue cannot be opened; 1 when any cell is
+    quarantined (CI fails loudly on poisoned grids); 0 otherwise.
+    """
+    import json as _json
+
+    from repro.harness.queue import SweepQueue
+
+    try:
+        queue = SweepQueue.open(args.queue_dir)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    health = queue.health()
+    if args.json:
+        print(_json.dumps(health.to_dict(), indent=2, sort_keys=True))
+    else:
+        s = health.stats
+        print(f"queue: {args.queue_dir}")
+        print(f"cells: {s.total} total | {s.open} open, {s.leased} leased, "
+              f"{s.done} done, {s.failed} failed, "
+              f"{s.quarantined} quarantined")
+        print(f"drained: {'yes' if health.drained else 'no'}")
+        for lease in health.leases:
+            marker = " STALE" if lease.stale else ""
+            print(f"  lease cell {lease.idx}: owner {lease.owner}, "
+                  f"attempt {lease.attempts}, age {lease.age:.1f}s, "
+                  f"{lease.remaining:.1f}s remaining{marker}")
+    return 1 if health.stats.quarantined else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.app import ExperimentService
+
+    service = ExperimentService(
+        args.root, host=args.host, port=args.port,
+        workers=args.workers,
+        max_in_flight_cells=args.max_in_flight,
+        retry_after=args.retry_after,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset=args.breaker_reset,
+        lease_duration=args.lease,
+        max_attempts=args.max_attempts,
+        cell_timeout=args.cell_timeout,
+    )
+    return service.run()
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     from repro.check import bisect_bundle, load_bundle, replay_bundle
 
@@ -700,6 +803,8 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "sweep": _cmd_sweep,
     "worker": _cmd_worker,
+    "queue": _cmd_queue,
+    "serve": _cmd_serve,
     "replay": _cmd_replay,
     "bench": _cmd_bench,
 }

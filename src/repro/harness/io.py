@@ -139,6 +139,39 @@ def failed_from_dict(data: dict) -> FailedRun:
     )
 
 
+def sweep_key_to_dict(key) -> dict:
+    """Serialize a :class:`repro.harness.sweep.SweepKey` for the wire."""
+    return {
+        "workload": key.workload,
+        "policy": key.policy,
+        "config": key.config,
+        "hyper": key.hyper,
+        "fault": key.fault,
+    }
+
+
+def sweep_result_to_dict(result) -> dict:
+    """Serialize a :class:`repro.harness.sweep.SweepResult` for the wire.
+
+    Cells appear in iteration (grid) order, each carrying its key and
+    either a :func:`result_to_dict` payload or a :func:`failed_to_dict`
+    payload, so a client can reassemble the exact structure serial
+    ``Sweep.run()`` returns — the per-result dicts are byte-identical to
+    locally serialized ones by construction.
+    """
+    return {
+        "schema": _SCHEMA_VERSION,
+        "points": [
+            {"key": sweep_key_to_dict(key), "result": result_to_dict(run)}
+            for key, run in result.points.items()
+        ],
+        "failures": [
+            {"key": sweep_key_to_dict(key), "failure": failed_to_dict(failed)}
+            for key, failed in result.failures.items()
+        ],
+    }
+
+
 def save_result(result: RunResult, path: Union[str, Path]) -> Path:
     """Write a run result to a JSON file; returns the path."""
     path = Path(path)

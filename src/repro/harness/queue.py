@@ -119,6 +119,34 @@ def backoff_delay(attempts: int, base: float, cap: float) -> float:
     return min(base * (2.0 ** min(attempts - 1, 63)), cap)
 
 
+def jittered_backoff_delay(attempts: int, base: float, cap: float,
+                           token: str = "") -> float:
+    """Decorrelated-jitter backoff for lease reclamation.
+
+    A SIGKILLed fleet leaves all its leases expiring at the same
+    instant; plain exponential backoff then re-opens every cell at the
+    same ``not_before``, and the restarted fleet thundering-herds the
+    sqlite lease transaction.  Decorrelated jitter spreads the delays
+    across ``[base, min(cap, base * 3**(attempts-1))]`` instead.
+
+    The jitter is *deterministic*: ``token`` (cell index, attempt count,
+    last owner) is hashed to the uniform draw, so the schedule is
+    reproducible across reruns and across the workers racing to reclaim
+    — whichever worker wins the transaction computes the same delay.
+    Timing never reaches the simulation, so results stay byte-identical.
+    """
+    if attempts < 1 or base <= 0.0:
+        return 0.0
+    import hashlib
+
+    ceiling = min(base * (3.0 ** min(attempts - 1, 40)), cap)
+    if ceiling <= base:
+        return min(base, cap)
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    unit = int.from_bytes(digest[:8], "big") / 2.0 ** 64
+    return base + unit * (ceiling - base)
+
+
 @dataclass(frozen=True)
 class QueueSettings:
     """Per-queue execution policy, fixed at creation time.
@@ -188,6 +216,67 @@ class QueueStats:
     @property
     def unhealthy(self) -> int:
         return self.failed + self.quarantined
+
+
+@dataclass(frozen=True)
+class LeaseHealth:
+    """One live lease as the health snapshot sees it."""
+
+    idx: int
+    owner: Optional[str]
+    attempts: int
+    age: float  # seconds since the lease was granted (or last extended)
+    remaining: float  # seconds until expiry; negative = stale
+
+    @property
+    def stale(self) -> bool:
+        return self.remaining < 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "idx": self.idx,
+            "owner": self.owner,
+            "attempts": self.attempts,
+            "age_s": round(self.age, 3),
+            "remaining_s": round(self.remaining, 3),
+            "stale": self.stale,
+        }
+
+
+@dataclass(frozen=True)
+class QueueHealth:
+    """One observation of a queue: counts plus every live lease.
+
+    This is the snapshot the service's ``/healthz`` endpoint and the
+    ``queue status`` CLI both render.  A *stale* lease (its deadline has
+    passed but no claim/reap has reclaimed it yet) is the signature of a
+    dead worker awaiting recovery.
+    """
+
+    stats: QueueStats
+    leases: tuple  # of LeaseHealth
+    at: float
+
+    @property
+    def stale_leases(self) -> tuple:
+        return tuple(lease for lease in self.leases if lease.stale)
+
+    @property
+    def drained(self) -> bool:
+        return self.stats.live == 0
+
+    def to_dict(self) -> dict:
+        s = self.stats
+        return {
+            "cells": {
+                "open": s.open, "leased": s.leased, "done": s.done,
+                "failed": s.failed, "quarantined": s.quarantined,
+                "total": s.total,
+            },
+            "drained": self.drained,
+            "leases": [lease.to_dict() for lease in self.leases],
+            "stale_leases": len(self.stale_leases),
+        }
 
 
 def default_owner() -> str:
@@ -479,7 +568,10 @@ class SweepQueue:
                 self._log(conn, idx, owner, "quarantine", message, now)
                 quarantined.append(idx)
             else:
-                delay = backoff_delay(attempts, s.backoff_base, s.backoff_cap)
+                delay = jittered_backoff_delay(
+                    attempts, s.backoff_base, s.backoff_cap,
+                    token=f"{idx}:{attempts}:{owner}",
+                )
                 conn.execute(
                     "UPDATE cells SET status='open', owner=NULL, "
                     "not_before=?, error_type='LeaseExpired', message=? "
@@ -691,6 +783,43 @@ class SweepQueue:
     def drained(self) -> bool:
         """True once every cell is terminal (done/failed/quarantined)."""
         return self.stats().live == 0
+
+    def health(self, now: Optional[float] = None) -> QueueHealth:
+        """Counts plus per-lease ages, in one consistent read.
+
+        Purely observational — nothing is reclaimed or mutated, so a
+        monitor may poll this as often as it likes without perturbing
+        the lease protocol.
+        """
+        now = time.time() if now is None else now
+        lease_duration = self.settings.lease_duration
+        conn = self._connect()
+        try:
+            counts = dict(conn.execute(
+                "SELECT status, COUNT(*) FROM cells GROUP BY status"
+            ).fetchall())
+            rows = conn.execute(
+                "SELECT idx, owner, attempts, lease_deadline FROM cells "
+                "WHERE status='leased' ORDER BY idx"
+            ).fetchall()
+        finally:
+            conn.close()
+        stats = QueueStats(
+            open=counts.get("open", 0),
+            leased=counts.get("leased", 0),
+            done=counts.get("done", 0),
+            failed=counts.get("failed", 0),
+            quarantined=counts.get("quarantined", 0),
+        )
+        leases = tuple(
+            LeaseHealth(
+                idx=idx, owner=owner, attempts=attempts,
+                age=now - (deadline - lease_duration),
+                remaining=deadline - now,
+            )
+            for idx, owner, attempts, deadline in rows
+        )
+        return QueueHealth(stats=stats, leases=leases, at=now)
 
     def rows(self) -> list[tuple]:
         """Every cell row, in grid order (for tests and tooling)."""

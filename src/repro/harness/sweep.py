@@ -302,6 +302,210 @@ def group_fingerprint(args, code_fp: str = "") -> Optional[str]:
     })
 
 
+class SpecError(ValueError):
+    """A JSON sweep spec failed validation.
+
+    The service's admission path turns this into HTTP 400; the message
+    is user-facing, so every raise names the offending field.
+    """
+
+
+# Top-level keys a JSON sweep spec may carry.  ``deadline_s`` is consumed
+# by the service (per-request wall clock), not by the sweep itself, but
+# it must not trip the unknown-key check.
+_SPEC_KEYS = frozenset({
+    "workloads", "policies", "configs", "hypers", "faults",
+    "scale", "seed", "max_events", "stall_threshold", "deadline_s",
+})
+_CONFIG_SPEC_KEYS = frozenset({"preset", "gpus", "fabric"})
+
+
+def _config_from_spec(name: str, cfg: Optional[dict]):
+    from repro.config.presets import (
+        NVLINK,
+        PCIE_V4,
+        paper_system,
+        small_system,
+        tiny_system,
+    )
+
+    presets = {"tiny": tiny_system, "small": small_system,
+               "paper": paper_system}
+    cfg = cfg or {}
+    if not isinstance(cfg, dict):
+        raise SpecError(f"configs[{name!r}] must be an object")
+    unknown = set(cfg) - _CONFIG_SPEC_KEYS
+    if unknown:
+        raise SpecError(
+            f"configs[{name!r}] has unknown keys {sorted(unknown)}; "
+            f"allowed: {sorted(_CONFIG_SPEC_KEYS)}"
+        )
+    preset = cfg.get("preset", "small")
+    if preset not in presets:
+        raise SpecError(
+            f"configs[{name!r}].preset must be one of "
+            f"{sorted(presets)}, got {preset!r}"
+        )
+    gpus = cfg.get("gpus")
+    if gpus is not None and (not isinstance(gpus, int) or gpus < 1):
+        raise SpecError(f"configs[{name!r}].gpus must be a positive integer")
+    fabric = cfg.get("fabric", "pcie")
+    if fabric not in ("pcie", "nvlink"):
+        raise SpecError(
+            f"configs[{name!r}].fabric must be 'pcie' or 'nvlink'"
+        )
+    base = presets[preset]() if gpus is None else presets[preset](gpus)
+    return base.with_link(NVLINK if fabric == "nvlink" else PCIE_V4)
+
+
+def _names_from_spec(spec: dict, key: str, known, kind: str) -> list:
+    values = spec.get(key)
+    if (not isinstance(values, list) or not values
+            or not all(isinstance(v, str) for v in values)):
+        raise SpecError(f"{key!r} must be a non-empty list of {kind} names")
+    unknown = [v for v in values if v not in known]
+    if unknown:
+        raise SpecError(
+            f"unknown {kind}(s) {unknown}; available: {sorted(known)}"
+        )
+    return list(values)
+
+
+def sweep_from_spec(spec: dict) -> tuple["Sweep", dict]:
+    """Build a :class:`Sweep` plus run parameters from a JSON-shaped dict.
+
+    This is the wire format ``repro serve`` accepts.  Validation is
+    eager and strict — unknown keys, unknown workloads/policies, and bad
+    types all raise :class:`SpecError` with a message naming the field —
+    so a bad submission is rejected at admission, before anything is
+    enqueued.  Returns ``(sweep, run_params)`` where ``run_params`` are
+    keyword arguments for :meth:`Sweep.run` (``scale``, ``seed``,
+    ``max_events_per_run``, ``stall_threshold``).
+
+    Spec shape (everything but ``workloads``/``policies`` optional)::
+
+        {"workloads": ["MT", "SC"], "policies": ["baseline", "griffin"],
+         "configs": {"tiny": {"preset": "tiny", "gpus": 2,
+                              "fabric": "pcie"}},
+         "hypers": {"eager": {"min_pages_per_source": 1}},
+         "faults": {"chaos": {"migration_drop_rate": 0.3}},
+         "scale": 0.008, "seed": 5, "max_events": 5000000}
+    """
+    from repro.config.faults import FaultConfig
+    from repro.core.policies import list_policies
+    from repro.workloads.registry import list_workloads
+
+    if not isinstance(spec, dict):
+        raise SpecError("sweep spec must be a JSON object")
+    unknown = set(spec) - _SPEC_KEYS
+    if unknown:
+        raise SpecError(
+            f"unknown spec keys {sorted(unknown)}; "
+            f"allowed: {sorted(_SPEC_KEYS)}"
+        )
+    workloads = _names_from_spec(spec, "workloads", set(list_workloads()),
+                                 "workload")
+    policies = _names_from_spec(spec, "policies", set(list_policies()),
+                                "policy")
+
+    configs = None
+    if spec.get("configs") is not None:
+        if not isinstance(spec["configs"], dict) or not spec["configs"]:
+            raise SpecError("'configs' must be a non-empty object")
+        configs = {
+            str(name): _config_from_spec(name, cfg)
+            for name, cfg in spec["configs"].items()
+        }
+
+    hypers = None
+    if spec.get("hypers") is not None:
+        if not isinstance(spec["hypers"], dict) or not spec["hypers"]:
+            raise SpecError("'hypers' must be a non-empty object")
+        base = GriffinHyperParams.calibrated()
+        fields = {f.name for f in dataclasses.fields(GriffinHyperParams)}
+        hypers = {}
+        for name, overrides in spec["hypers"].items():
+            overrides = overrides or {}
+            if not isinstance(overrides, dict):
+                raise SpecError(f"hypers[{name!r}] must be an object")
+            bad = set(overrides) - fields
+            if bad:
+                raise SpecError(
+                    f"hypers[{name!r}] has unknown fields {sorted(bad)}"
+                )
+            hypers[str(name)] = base.with_overrides(**overrides)
+
+    faults = None
+    if spec.get("faults") is not None:
+        if not isinstance(spec["faults"], dict) or not spec["faults"]:
+            raise SpecError("'faults' must be a non-empty object")
+        fields = {f.name for f in dataclasses.fields(FaultConfig)}
+        faults = {}
+        for name, plan in spec["faults"].items():
+            if plan is None:
+                faults[str(name)] = None
+                continue
+            if not isinstance(plan, dict):
+                raise SpecError(f"faults[{name!r}] must be an object or null")
+            bad = set(plan) - fields
+            if bad:
+                raise SpecError(
+                    f"faults[{name!r}] has unknown fields {sorted(bad)}"
+                )
+            try:
+                faults[str(name)] = FaultConfig(**plan)
+            except (TypeError, ValueError) as exc:
+                raise SpecError(f"faults[{name!r}]: {exc}") from exc
+
+    def _number(key, default, kind, minimum=None):
+        value = spec.get(key, default)
+        if value is None:
+            return None
+        if not isinstance(value, kind) or isinstance(value, bool):
+            raise SpecError(f"{key!r} must be a number")
+        if minimum is not None and value < minimum:
+            raise SpecError(f"{key!r} must be >= {minimum}")
+        return value
+
+    run_params = {
+        "scale": float(_number("scale", 0.015, (int, float), 1e-6)),
+        "seed": _number("seed", 3, int, 0),
+        "max_events_per_run": _number("max_events", None, int, 1),
+        "stall_threshold": _number("stall_threshold", 1_000_000, int, 1),
+    }
+    sweep = Sweep(workloads=workloads, policies=policies,
+                  configs=configs, hypers=hypers, faults=faults)
+    return sweep, run_params
+
+
+def partition_cached_cells(cells, cache) -> tuple[list, list]:
+    """Split planned queue cells into cache hits and cells still to run.
+
+    ``cells`` is :func:`plan_queue_cells` output; ``cache`` a
+    :class:`repro.harness.io.SweepResultCache`.  Returns ``(cached,
+    missing)`` where ``cached`` holds ``(grid_index, key, fingerprint,
+    RunResult)`` for every cell already present in the fingerprint cache
+    and ``missing`` the remaining planned cells (grid order preserved).
+    This is the partial-grid submission path: identical resubmissions
+    are served entirely from ``cached`` and enqueue nothing.
+
+    Group fingerprints are deliberately left as planned even when cache
+    hits shrink a fork group below two members: the serial oracle runs
+    the full grid and forks such a cell, so keeping the plan keeps the
+    budget-exhaustion failure message (which quotes the continuation
+    budget) byte-identical to serial.
+    """
+    cached: list = []
+    missing: list = []
+    for index, (key, args, fingerprint, group_fp) in enumerate(cells):
+        hit = cache.load(fingerprint) if fingerprint is not None else None
+        if hit is not None:
+            cached.append((index, key, fingerprint, hit))
+        else:
+            missing.append((key, args, fingerprint, group_fp))
+    return cached, missing
+
+
 def plan_queue_cells(grid, code_fp: str = "", fork: bool = True) -> list:
     """Queue rows ``(key, args, fingerprint, group_fp)`` for a grid.
 

@@ -240,18 +240,37 @@ class _Heartbeat(threading.Thread):
 
 @dataclass
 class WorkerReport:
-    """What one ``run_worker`` invocation did before returning."""
+    """What one ``run_worker`` invocation did before returning.
+
+    A report is *always* produced, even when the worker is interrupted
+    (SIGTERM/SIGINT/``KeyboardInterrupt``) before it ever claims a
+    lease — the fleet supervisor and the service health endpoint treat
+    a missing report as a crash, so a graceful drain must never look
+    like one.  ``interrupted`` records that the worker drained early.
+    """
 
     owner: str
     claimed: int = 0
     completed: int = 0
     failed: int = 0
     released: int = 0
+    interrupted: bool = False
 
     def summary(self) -> str:
         return (f"worker {self.owner}: {self.claimed} claimed, "
                 f"{self.completed} completed, {self.failed} failed, "
-                f"{self.released} released")
+                f"{self.released} released"
+                + (" (interrupted)" if self.interrupted else ""))
+
+    def to_dict(self) -> dict:
+        return {
+            "owner": self.owner,
+            "claimed": self.claimed,
+            "completed": self.completed,
+            "failed": self.failed,
+            "released": self.released,
+            "interrupted": self.interrupted,
+        }
 
 
 def run_worker(
@@ -287,66 +306,86 @@ def run_worker(
         progress: Optional callable ``(report, stats)`` invoked after
             every claimed cell.
     """
-    queue = SweepQueue.open(queue_dir)
-    settings = queue.settings
     owner = owner or default_owner()
     stop = stop or threading.Event()
     report = WorkerReport(owner=owner)
-    cache = SweepResultCache(queue.cache_dir)
-    hb_interval = settings.lease_duration / 3.0
 
+    # Handlers go in before the queue is even opened: a SIGTERM landing
+    # during startup must drain gracefully (and emit the report), not
+    # kill the process with nothing claimed and nothing said.
     if install_signal_handlers:
         previous = {
             sig: signal.signal(sig, lambda _s, _f: stop.set())
             for sig in (signal.SIGTERM, signal.SIGINT)
         }
     try:
-        while not stop.is_set():
-            if max_cells is not None and report.claimed >= max_cells:
-                break
-            lease = queue.claim(owner)
-            if lease is None:
-                if exit_when_drained and queue.drained():
+        try:
+            queue = SweepQueue.open(queue_dir)
+            settings = queue.settings
+            cache = SweepResultCache(queue.cache_dir)
+            hb_interval = settings.lease_duration / 3.0
+            while not stop.is_set():
+                if max_cells is not None and report.claimed >= max_cells:
                     break
-                stop.wait(poll_interval)
-                continue
-            report.claimed += 1
-            heartbeat = _Heartbeat(queue, lease, owner, hb_interval)
-            heartbeat.start()
-            try:
-                if settings.cell_timeout is not None:
-                    outcome = run_cell_supervised(
-                        lease.args, lease.group_fp, queue.cache_dir,
-                        timeout=settings.cell_timeout, stop=stop,
-                    )
-                else:
-                    # In-process execution: a drain request arriving
-                    # mid-cell waits for the cell to finish (it is
-                    # committed, never stranded).
-                    try:
-                        outcome = execute_cell(
-                            lease.args, lease.group_fp, cache
+                lease = queue.claim(owner)
+                if lease is None:
+                    if exit_when_drained and queue.drained():
+                        break
+                    stop.wait(poll_interval)
+                    continue
+                report.claimed += 1
+                heartbeat = _Heartbeat(queue, lease, owner, hb_interval)
+                heartbeat.start()
+                try:
+                    if settings.cell_timeout is not None:
+                        outcome = run_cell_supervised(
+                            lease.args, lease.group_fp, queue.cache_dir,
+                            timeout=settings.cell_timeout, stop=stop,
                         )
-                    except Exception as exc:
-                        outcome = _failure_from_exception(exc)
-            finally:
-                heartbeat.stop()
-            if outcome is RELEASED:
-                queue.release(lease.idx, owner)
-                report.released += 1
-                break
-            if isinstance(outcome, CellFailure):
-                queue.fail(
-                    lease.idx, owner, outcome.error_type, outcome.message,
-                    retryable=outcome.retryable,
-                    bundle_path=outcome.bundle_path,
-                )
-                report.failed += 1
-            else:
-                queue.complete(lease.idx, owner, outcome)
-                report.completed += 1
-            if progress is not None:
-                progress(report, queue.stats())
+                    else:
+                        # In-process execution: a drain request arriving
+                        # mid-cell waits for the cell to finish (it is
+                        # committed, never stranded).
+                        try:
+                            outcome = execute_cell(
+                                lease.args, lease.group_fp, cache
+                            )
+                        except KeyboardInterrupt:
+                            raise
+                        except Exception as exc:
+                            outcome = _failure_from_exception(exc)
+                except KeyboardInterrupt:
+                    # Interrupted mid-cell without installed handlers:
+                    # hand the lease back before draining so the cell is
+                    # never stranded behind a dead worker's lease.
+                    queue.release(lease.idx, owner)
+                    report.released += 1
+                    raise
+                finally:
+                    heartbeat.stop()
+                if outcome is RELEASED:
+                    queue.release(lease.idx, owner)
+                    report.released += 1
+                    break
+                if isinstance(outcome, CellFailure):
+                    queue.fail(
+                        lease.idx, owner, outcome.error_type, outcome.message,
+                        retryable=outcome.retryable,
+                        bundle_path=outcome.bundle_path,
+                    )
+                    report.failed += 1
+                else:
+                    queue.complete(lease.idx, owner, outcome)
+                    report.completed += 1
+                if progress is not None:
+                    progress(report, queue.stats())
+        except KeyboardInterrupt:
+            # Graceful drain for interrupts that bypass the handler path
+            # (library callers without install_signal_handlers): whether
+            # it landed pre-claim or mid-cell, the lease is already
+            # safe, so swallow the interrupt and return the report.
+            stop.set()
+            report.interrupted = True
     finally:
         if install_signal_handlers:
             for sig, handler in previous.items():

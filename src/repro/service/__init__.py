@@ -1,0 +1,28 @@
+"""``repro serve``: an async, fault-tolerant experiment service.
+
+See :mod:`repro.service.app` for the service itself,
+:mod:`repro.service.admission` for the request guards (budget,
+deadline, circuit breaker), :mod:`repro.service.fleet` for worker-fleet
+supervision, and :mod:`repro.service.http` for the stdlib-only wire
+layer.  ``docs/service.md`` documents the HTTP API.
+"""
+
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionLimitExceeded,
+    CircuitBreaker,
+    Deadline,
+)
+from repro.service.app import ExperimentService, ServiceUnavailable, Submission
+from repro.service.fleet import FleetSupervisor
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionLimitExceeded",
+    "CircuitBreaker",
+    "Deadline",
+    "ExperimentService",
+    "FleetSupervisor",
+    "ServiceUnavailable",
+    "Submission",
+]

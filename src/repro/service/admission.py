@@ -1,0 +1,200 @@
+"""Admission control for ``repro serve``: budgets, deadlines, breaker.
+
+Three small, independently testable guards stand between a request and
+the simulator fleet:
+
+* :class:`AdmissionController` — a bounded budget of in-flight cells.
+  A submission whose *missing* cells would push the service past the
+  budget is refused with HTTP 429 and a ``Retry-After`` hint instead of
+  queueing unboundedly (load sheds at the front door, not by OOM).
+* :class:`Deadline` — per-request wall clock.  An expired deadline
+  cancels the submission's fleet gracefully (leases released or
+  committed, never stranded) and degrades the request, not the service.
+* :class:`CircuitBreaker` — repeated fleet failures flip the service to
+  cache-only read mode; after a cool-down one trial submission is
+  allowed through (half-open) and its outcome closes or re-opens the
+  circuit.
+
+All three are thread-safe: the asyncio loop, the fleet-supervisor
+polling, and test harnesses may observe them concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+
+class AdmissionLimitExceeded(RuntimeError):
+    """The in-flight cell budget is exhausted (HTTP 429)."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class AdmissionController:
+    """A bounded count of cells currently enqueued or executing.
+
+    ``admit(n)`` reserves budget for a submission's missing cells and
+    raises :class:`AdmissionLimitExceeded` when the reservation would
+    exceed ``max_in_flight_cells``; ``release(n)`` returns the budget
+    when the submission drains, is cancelled, or degrades.  Cached cells
+    never consume budget — dedupe means repeat traffic is free.
+    """
+
+    def __init__(self, max_in_flight_cells: int = 64,
+                 retry_after: float = 1.0) -> None:
+        if max_in_flight_cells < 1:
+            raise ValueError("max_in_flight_cells must be >= 1")
+        self.max_in_flight_cells = max_in_flight_cells
+        self.retry_after = retry_after
+        self._in_flight = 0
+        self._lock = threading.Lock()
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    def admit(self, cells: int) -> None:
+        """Reserve budget for ``cells`` cells, or raise (nothing held)."""
+        if cells < 0:
+            raise ValueError("cells must be >= 0")
+        with self._lock:
+            if self._in_flight + cells > self.max_in_flight_cells:
+                raise AdmissionLimitExceeded(
+                    f"admitting {cells} cells would put "
+                    f"{self._in_flight + cells} in flight "
+                    f"(budget {self.max_in_flight_cells}); retry later",
+                    retry_after=self.retry_after,
+                )
+            self._in_flight += cells
+
+    def release(self, cells: int) -> None:
+        with self._lock:
+            self._in_flight = max(0, self._in_flight - cells)
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {"in_flight_cells": self._in_flight,
+                    "max_in_flight_cells": self.max_in_flight_cells}
+
+
+class Deadline:
+    """A wall-clock budget for one request (monotonic clock)."""
+
+    def __init__(self, seconds: Optional[float],
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if seconds is not None and seconds <= 0:
+            raise ValueError("deadline must be positive")
+        self.seconds = seconds
+        self._clock = clock
+        self._start = clock()
+
+    @property
+    def expired(self) -> bool:
+        return self.seconds is not None and self.remaining <= 0.0
+
+    @property
+    def remaining(self) -> float:
+        if self.seconds is None:
+            return float("inf")
+        return self.seconds - (self._clock() - self._start)
+
+
+class CircuitBreaker:
+    """Closed -> open on repeated failures; half-open trial after rest.
+
+    ``record_failure()`` counts consecutive fleet failures; at
+    ``failure_threshold`` the circuit opens and ``allow()`` returns
+    False (the service serves cache hits only).  ``reset_after``
+    seconds later the circuit goes half-open: ``allow()`` lets exactly
+    one trial through, whose ``record_success``/``record_failure``
+    closes or re-opens it.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, failure_threshold: int = 3, reset_after: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_after = reset_after
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+        self._trial_in_flight = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if self._opened_at is None:
+            return self.CLOSED
+        if self._clock() - self._opened_at >= self.reset_after:
+            return self.HALF_OPEN
+        return self.OPEN
+
+    @property
+    def retry_after(self) -> float:
+        """Seconds until the next trial is allowed (0 when not open)."""
+        with self._lock:
+            if self._opened_at is None:
+                return 0.0
+            return max(
+                0.0, self.reset_after - (self._clock() - self._opened_at)
+            )
+
+    def allow(self) -> bool:
+        """May a submission that needs compute proceed right now?"""
+        with self._lock:
+            state = self._state_locked()
+            if state == self.CLOSED:
+                return True
+            if state == self.HALF_OPEN and not self._trial_in_flight:
+                self._trial_in_flight = True  # exactly one trial
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._opened_at = None
+            self._trial_in_flight = False
+
+    def abort_trial(self) -> None:
+        """Release a half-open trial without a verdict.
+
+        For trials that end without telling us anything about the fleet
+        (the submission was cancelled by a deadline or shutdown): the
+        circuit returns to plain half-open so the next compute request
+        can trial, instead of the flag pinning the service in cache-only
+        mode forever.
+        """
+        with self._lock:
+            self._trial_in_flight = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            state = self._state_locked()
+            self._failures += 1
+            if state != self.CLOSED or self._failures >= self.failure_threshold:
+                # A failed half-open trial, or the threshold: (re)open.
+                self._opened_at = self._clock()
+                self._trial_in_flight = False
+
+    def to_dict(self) -> dict:
+        return {
+            "state": self.state,
+            "failure_threshold": self.failure_threshold,
+            "reset_after_s": self.reset_after,
+            "retry_after_s": round(self.retry_after, 3),
+        }

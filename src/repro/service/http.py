@@ -1,0 +1,162 @@
+"""Minimal HTTP/1.1 on asyncio streams (stdlib-only).
+
+Just enough protocol for ``repro serve``: request-line + header parsing
+with hard size limits, ``Content-Length`` bodies, JSON responses, and a
+chunked-transfer NDJSON stream for per-cell progress.  Deliberately not
+a framework — the service owns routing and semantics; this module owns
+bytes on the wire.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+MAX_REQUEST_LINE = 8 * 1024
+MAX_HEADER_BYTES = 32 * 1024
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class BadRequest(Exception):
+    """The client sent something unparseable; answer 400 and close."""
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict = field(default_factory=dict)
+    headers: dict = field(default_factory=dict)  # lower-cased names
+    body: bytes = b""
+
+    def json(self):
+        """The body decoded as JSON; :class:`BadRequest` on failure."""
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise BadRequest(f"body is not valid JSON: {exc}") from exc
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request; None on a cleanly closed connection."""
+    try:
+        line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not line:
+        return None
+    if len(line) > MAX_REQUEST_LINE:
+        raise BadRequest("request line too long")
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise BadRequest(f"malformed request line: {line!r}")
+    method, target, _version = parts
+    split = urlsplit(target)
+    path = unquote(split.path)
+    query = dict(parse_qsl(split.query))
+
+    headers: dict = {}
+    total = 0
+    while True:
+        line = await reader.readline()
+        if not line:
+            raise BadRequest("connection closed mid-headers")
+        if line in (b"\r\n", b"\n"):
+            break
+        total += len(line)
+        if total > MAX_HEADER_BYTES:
+            raise BadRequest("headers too large")
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise BadRequest(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            length = int(length)
+        except ValueError as exc:
+            raise BadRequest("bad Content-Length") from exc
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise BadRequest("body too large")
+        body = await reader.readexactly(length)
+    return Request(method=method.upper(), path=path, query=query,
+                   headers=headers, body=body)
+
+
+def json_bytes(payload) -> bytes:
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+async def send_json(writer: asyncio.StreamWriter, status: int, payload,
+                    headers: Optional[dict] = None) -> None:
+    """Write one complete JSON response (connection stays open)."""
+    body = json_bytes(payload)
+    head = [f"HTTP/1.1 {status} {REASONS.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}"]
+    for name, value in (headers or {}).items():
+        head.append(f"{name}: {value}")
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
+    await writer.drain()
+
+
+class NDJSONStream:
+    """A chunked-transfer NDJSON response: one JSON object per line.
+
+    The service emits progress events through this while a submission
+    executes; any HTTP/1.1 client (``http.client``, curl) decodes the
+    chunking transparently and sees newline-delimited JSON.
+    """
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.started = False
+        self.closed = False
+
+    async def start(self, status: int = 200,
+                    headers: Optional[dict] = None) -> None:
+        head = [f"HTTP/1.1 {status} {REASONS.get(status, 'Unknown')}",
+                "Content-Type: application/x-ndjson",
+                "Transfer-Encoding: chunked",
+                "Cache-Control: no-store"]
+        for name, value in (headers or {}).items():
+            head.append(f"{name}: {value}")
+        self.writer.write(
+            ("\r\n".join(head) + "\r\n\r\n").encode("latin-1")
+        )
+        await self.writer.drain()
+        self.started = True
+
+    async def emit(self, event: dict) -> None:
+        """Send one event as one NDJSON line (one chunk)."""
+        if not self.started:
+            await self.start()
+        line = json_bytes(event)
+        self.writer.write(f"{len(line):x}\r\n".encode("latin-1")
+                          + line + b"\r\n")
+        await self.writer.drain()
+
+    async def close(self) -> None:
+        if self.started and not self.closed:
+            self.writer.write(b"0\r\n\r\n")
+            await self.writer.drain()
+        self.closed = True

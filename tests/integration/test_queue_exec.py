@@ -296,3 +296,67 @@ class TestQueueCLI:
     def test_worker_rejects_missing_queue(self, tmp_path, capsys):
         assert main(["worker", str(tmp_path / "nope")]) == 2
         assert "no sweep queue" in capsys.readouterr().err
+
+
+class TestWorkerDrainReport:
+    """Regression: a drained worker always returns a structured report.
+
+    Before the fix, a KeyboardInterrupt landing before the first claim
+    (or mid-cell) escaped ``run_worker`` entirely — the fleet supervisor
+    saw a crash where a graceful drain had happened.
+    """
+
+    def _make_queue(self, tmp_path):
+        from tests.unit.test_queue import make_cells
+
+        return SweepQueue.create(
+            tmp_path / "q", make_cells(2),
+            QueueSettings(lease_duration=10.0, max_attempts=3),
+        )
+
+    def test_interrupt_before_first_claim_returns_report(
+            self, tmp_path, monkeypatch):
+        self._make_queue(tmp_path)
+
+        def interrupted_claim(self, owner, now=None):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(SweepQueue, "claim", interrupted_claim)
+        report = run_worker(tmp_path / "q", owner="drainee")
+        assert report.interrupted and report.claimed == 0
+        assert report.to_dict()["interrupted"] is True
+        assert report.summary().endswith("(interrupted)")
+
+    def test_interrupt_mid_cell_releases_lease_and_reports(
+            self, tmp_path, monkeypatch):
+        import repro.harness.worker as worker_mod
+
+        queue = self._make_queue(tmp_path)
+
+        def interrupted_execute(args, group_fp, cache):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(worker_mod, "execute_cell", interrupted_execute)
+        report = run_worker(tmp_path / "q", owner="drainee")
+        assert report.interrupted
+        assert report.claimed == 1 and report.released == 1
+        health = queue.health()
+        assert health.stats.leased == 0  # the lease went back, not stranded
+        assert health.stats.open == 2
+
+    def test_interrupt_during_queue_open_still_reports(
+            self, tmp_path, monkeypatch):
+        self._make_queue(tmp_path)
+        original_open = SweepQueue.open.__func__
+
+        def interrupted_open(cls, root):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(SweepQueue, "open",
+                            classmethod(interrupted_open))
+        try:
+            report = run_worker(tmp_path / "q", owner="drainee")
+        finally:
+            monkeypatch.setattr(SweepQueue, "open",
+                                classmethod(original_open))
+        assert report.interrupted and report.claimed == 0

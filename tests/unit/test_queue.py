@@ -18,6 +18,7 @@ from repro.harness.queue import (
     QueueSettings,
     SweepQueue,
     backoff_delay,
+    jittered_backoff_delay,
 )
 from repro.harness.results import FailedRun, RunResult
 from repro.harness.sweep import SweepKey
@@ -281,3 +282,96 @@ class TestFailedRunIO:
         assert "attempts" not in data and "last_owner" not in data
         assert "bundle" not in data
         assert failed_from_dict(data) == plain
+
+
+class TestJitteredBackoff:
+    def test_first_attempt_collapses_to_base(self):
+        # The attempt-1 window is [base, base], so the existing lease
+        # protocol tests (which pin the first reclaim delay to exactly
+        # ``base``) stay valid with jitter enabled.
+        for token in ("", "0:1:w1", "cell:1:other"):
+            assert jittered_backoff_delay(1, base=1.0, cap=4.0,
+                                          token=token) == 1.0
+
+    def test_deterministic_for_a_token(self):
+        a = jittered_backoff_delay(3, base=1.0, cap=60.0, token="7:3:w1")
+        b = jittered_backoff_delay(3, base=1.0, cap=60.0, token="7:3:w1")
+        assert a == b
+
+    def test_bounded_by_window(self):
+        for attempt in range(1, 12):
+            for cell in range(20):
+                delay = jittered_backoff_delay(
+                    attempt, base=0.5, cap=8.0, token=f"{cell}:{attempt}:x"
+                )
+                ceiling = min(0.5 * 3.0 ** (attempt - 1), 8.0)
+                assert 0.5 <= delay <= max(ceiling, 0.5)
+
+    def test_tokens_spread_the_herd(self):
+        # A SIGKILLed 16-worker fleet reclaims 16 cells at once; their
+        # delays must not collapse onto one instant.
+        delays = {
+            round(jittered_backoff_delay(2, base=1.0, cap=60.0,
+                                         token=f"{cell}:2:dead"), 6)
+            for cell in range(16)
+        }
+        assert len(delays) >= 12
+
+    def test_zero_attempts_and_zero_base(self):
+        assert jittered_backoff_delay(0, base=1.0, cap=4.0) == 0.0
+        assert jittered_backoff_delay(3, base=0.0, cap=4.0) == 0.0
+
+    def test_reclaimed_cells_reopen_at_spread_instants(self, tmp_path):
+        settings = QueueSettings(lease_duration=10.0, max_attempts=5,
+                                 backoff_base=1.0, backoff_cap=30.0)
+        queue = SweepQueue.create(tmp_path / "q", make_cells(8), settings)
+        for _ in range(8):
+            assert queue.claim("doomed", now=0.0) is not None
+        # Simulate one more failed generation so attempts=2 opens a real
+        # jitter window, then let every lease expire at the same instant.
+        queue.reap(now=50.0)   # attempts 1 -> reclaim, backoff base
+        for _ in range(8):
+            assert queue.claim("doomed2", now=60.0) is not None
+        queue.reap(now=120.0)  # attempts 2 -> jittered window
+        import sqlite3
+
+        with sqlite3.connect(queue.db_path) as conn:
+            not_befores = {
+                row[0] for row in
+                conn.execute("SELECT not_before FROM cells")
+            }
+        assert len(not_befores) >= 6  # decorrelated, not a herd
+
+
+class TestQueueHealth:
+    def test_fresh_queue_counts(self, queue):
+        health = queue.health(now=0.0)
+        assert health.stats.open == 3 and health.stats.leased == 0
+        assert health.leases == () and not health.drained
+
+    def test_live_lease_age_and_remaining(self, queue):
+        queue.claim("w1", now=100.0)  # lease_duration 10
+        health = queue.health(now=104.0)
+        (lease,) = health.leases
+        assert lease.owner == "w1" and lease.attempts == 1
+        assert lease.age == pytest.approx(4.0)
+        assert lease.remaining == pytest.approx(6.0)
+        assert not lease.stale and health.stale_leases == ()
+
+    def test_expired_lease_reported_stale(self, queue):
+        queue.claim("w1", now=100.0)
+        health = queue.health(now=115.0)
+        (lease,) = health.leases
+        assert lease.stale and lease.remaining == pytest.approx(-5.0)
+        assert len(health.stale_leases) == 1
+
+    def test_drained_and_to_dict_shape(self, queue):
+        for _ in range(3):
+            lease = queue.claim("w1", now=0.0)
+            queue.complete(lease.idx, "w1", make_result())
+        health = queue.health(now=1.0)
+        assert health.drained
+        payload = health.to_dict()
+        assert payload["cells"]["done"] == 3
+        assert payload["drained"] is True
+        assert payload["leases"] == [] and payload["stale_leases"] == 0
